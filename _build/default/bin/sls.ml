@@ -1,0 +1,1 @@
+let () = exit (Aurora_cli.Cli.main ())

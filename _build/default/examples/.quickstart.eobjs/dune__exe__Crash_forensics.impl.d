@@ -1,0 +1,1 @@
+examples/crash_forensics.ml: Aurora_posix Aurora_proc Aurora_sls Aurora_vm Container Context Fd Int64 Kernel List Machine Option Printf Process Program Rr Scheduler Syscall Thread Vmmap

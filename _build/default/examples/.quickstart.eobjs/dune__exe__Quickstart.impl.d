@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aurora_proc Aurora_simtime Aurora_sls Aurora_vm Container Context Duration Format Int64 Kernel List Machine Printf Process Program Stats Syscall Thread Types Vmmap

@@ -1,0 +1,1 @@
+examples/serverless_scaleout.ml: Aurora_apps Aurora_objstore Aurora_proc Aurora_simtime Aurora_sls Container Duration Format Kernel List Machine Printf Scheduler Serverless Stats Store Types

@@ -1,0 +1,1 @@
+examples/speculation.ml: Api Aurora_proc Aurora_simtime Aurora_sls Aurora_vm Container Context Duration Float Int64 Kernel List Machine Printf Process Program Syscall Thread Types Vmmap

@@ -1,0 +1,1 @@
+examples/timetravel_debug.mli:

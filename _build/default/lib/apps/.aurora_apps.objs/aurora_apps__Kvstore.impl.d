@@ -1,0 +1,1 @@
+lib/apps/kvstore.ml: Aurora_posix Aurora_proc Aurora_vfs Aurora_vm Bytes Content Context Fd Int64 Kernel List Option Process Program String Syscall Thread Vmmap Workload

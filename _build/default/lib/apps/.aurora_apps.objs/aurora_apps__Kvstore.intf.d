@@ -1,0 +1,1 @@
+lib/apps/kvstore.mli: Aurora_proc Aurora_vm Content Kernel Process Workload

@@ -1,0 +1,1 @@
+lib/apps/lsmtree.ml: Aurora_posix Aurora_proc Aurora_vfs Buffer Hashtbl Kernel List Printf Process Serial String Syscall

@@ -1,0 +1,1 @@
+lib/apps/lsmtree.mli: Aurora_proc Kernel Process

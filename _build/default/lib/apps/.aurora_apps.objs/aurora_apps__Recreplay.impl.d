@@ -1,0 +1,1 @@
+lib/apps/recreplay.ml: Api Aurora_sls List Machine Types

@@ -1,0 +1,1 @@
+lib/apps/recreplay.mli: Aurora_sls Machine Types

@@ -1,0 +1,1 @@
+lib/apps/serverless.ml: Aurora_posix Aurora_proc Aurora_simtime Aurora_vm Bytes Context Fd Int64 Kernel Option Printf Process Program String Syscall Thread Vmmap

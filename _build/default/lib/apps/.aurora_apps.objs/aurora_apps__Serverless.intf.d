@@ -1,0 +1,1 @@
+lib/apps/serverless.mli: Aurora_proc Kernel Process

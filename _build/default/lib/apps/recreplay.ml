@@ -1,0 +1,18 @@
+open Aurora_sls
+
+type t = { machine : Machine.t; group : Types.pgroup }
+
+let create machine group = { machine; group }
+
+let record_input t input =
+  let durable = Api.sls_ntflush t.machine t.group input in
+  Api.sls_barrier_until t.machine durable
+
+let on_checkpoint t = Api.sls_log_truncate t.machine t.group
+let log_length t = List.length (Api.sls_log_read t.machine t.group)
+
+let rollback_and_replay t ~deliver =
+  let entries = Api.sls_log_read t.machine t.group in
+  ignore (Api.sls_rollback t.machine t.group);
+  List.iter deliver entries;
+  List.length entries

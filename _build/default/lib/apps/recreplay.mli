@@ -1,0 +1,39 @@
+(** Record/replay integration (§4, "Debugging and Speculation").
+
+    Aurora bounds a record/replay system's log to the records since
+    the last checkpoint: the recorder journals every nondeterministic
+    input through the SLS persistent log; each checkpoint truncates
+    it. "On a failure, the application is rolled back to this
+    checkpoint and replays the remaining log" — so a developer
+    witnesses the final moments before a crash from a log only one
+    checkpoint-interval long.
+
+    The deterministic simulator makes replay exact: rolling back and
+    re-delivering the recorded inputs reproduces the pre-failure state
+    bit-for-bit (asserted by the tests).
+
+    This module is the {e application-driven} integration (the app
+    journals its own inputs). For transparent kernel-side journaling
+    of all boundary traffic, see [Aurora_sls.Rr] and
+    [Machine.enable_recording]. *)
+
+open Aurora_sls
+
+type t
+
+val create : Machine.t -> Types.pgroup -> t
+
+val record_input : t -> string -> unit
+(** Journal one nondeterministic input durably (before delivering it
+    to the application). *)
+
+val on_checkpoint : t -> unit
+(** Called after a checkpoint: drops the now-covered prefix ("only
+    keeping the records since the last checkpoint"). *)
+
+val log_length : t -> int
+
+val rollback_and_replay : t -> deliver:(string -> unit) -> int
+(** Roll the group back to its last checkpoint and re-deliver every
+    recorded input through [deliver]; returns how many were
+    replayed. *)

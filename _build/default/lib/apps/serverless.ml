@@ -1,0 +1,136 @@
+open Aurora_vm
+open Aurora_posix
+open Aurora_proc
+
+type config = {
+  runtime_pages : int;
+  func_pages : int;
+  func_id : int;
+  touch_per_invoke : int;
+}
+
+let default_config ?(func_id = 0) () =
+  { runtime_pages = 192; func_pages = 8; func_id; touch_per_invoke = 16 }
+
+type instance = {
+  func : Process.t;
+  invoker : Process.t;
+  fd : int;
+}
+
+(* Registers: r1 base vpn, r2 runtime pages, r3 func pages, r4 func id,
+   r5 invocations handled, r6 request fd, r7 touch-per-invoke. *)
+let () =
+  Program.register ~name:"aurora/func-runtime" (fun k p th ->
+      let ctx = th.Thread.context in
+      match ctx.Context.pc with
+      | 0 ->
+        (* Runtime initialization. Cold starts are dominated by work
+           the simulation does not model structurally — image pull,
+           exec, dynamic linking, interpreter boot — so that is charged
+           as a lump (30 ms, at the low end of measured serverless cold
+           starts). The touched pages' content depends only on the page
+           index, so every function's runtime pages are bit-identical
+           (dedup fodder). *)
+        Kernel.charge k (Aurora_simtime.Duration.milliseconds 30);
+        let rp = Context.reg_int ctx 2 and fp = Context.reg_int ctx 3 in
+        let e = Syscall.mmap_anon k p ~npages:(rp + fp) in
+        Context.set_reg_int ctx 1 e.Vmmap.start_vpn;
+        let base = e.Vmmap.start_vpn in
+        for i = 0 to rp - 1 do
+          Syscall.mem_write k p ~vpn:(base + i) ~offset:0
+            ~value:(Int64.of_int (0x52_0000 + i))
+        done;
+        (* Function-specific state. *)
+        let fid = Context.reg_int ctx 4 in
+        for i = 0 to fp - 1 do
+          Syscall.mem_write k p ~vpn:(base + rp + i) ~offset:0
+            ~value:(Int64.of_int ((fid * 1_000_000) + i))
+        done;
+        ctx.Context.pc <- 1;
+        Program.Continue
+      | _ -> (
+        let fd = Context.reg_int ctx 6 in
+        match Syscall.read k p fd ~len:8 with
+        | `Data s when String.length s = 8 ->
+          let base = Context.reg_int ctx 1 in
+          let rp = Context.reg_int ctx 2 in
+          let touch = Context.reg_int ctx 7 in
+          (* The request working set: mostly-stable runtime pages (the
+             "almost identical between invocations" observation). *)
+          for i = 0 to touch - 1 do
+            ignore (Syscall.mem_read k p ~vpn:(base + (i mod rp)) ~offset:0)
+          done;
+          let count = Context.reg_int ctx 5 + 1 in
+          Context.set_reg_int ctx 5 count;
+          (match Syscall.write k p fd (Printf.sprintf "ok:%s" s) with
+           | `Written _ | `Would_block | `Broken -> ());
+          Program.Continue
+        | `Data _ -> Program.Continue
+        | `Would_block -> (
+          match Fd.get p.Process.fdtable fd with
+          | Some { Fd.kind = Fd.Obj oid; _ } -> Program.Block (Thread.Wait_read oid)
+          | _ -> Program.Exit_program 1)
+        | `Eof -> Program.Exit_program 0))
+
+let () =
+  Program.register ~name:"aurora/func-invoker" (fun _ _ _ ->
+      Program.Block Thread.Wait_forever)
+
+let wire k ~func ~invoker =
+  let ffd, peer_fd = Syscall.socketpair k func in
+  let peer_ofd = Option.get (Fd.get func.Process.fdtable peer_fd) in
+  peer_ofd.Fd.refcount <- peer_ofd.Fd.refcount + 1;
+  let fd = Fd.install invoker.Process.fdtable peer_ofd in
+  ignore (Fd.release func.Process.fdtable peer_fd);
+  Context.set_reg_int (Process.main_thread func).Thread.context 6 ffd;
+  fd
+
+let spawn k ?(container = 0) c =
+  let func =
+    Kernel.spawn k ~container ~name:(Printf.sprintf "func-%d" c.func_id)
+      ~program:"aurora/func-runtime" ()
+  in
+  let invoker = Kernel.spawn k ~name:"invoker" ~program:"aurora/func-invoker" () in
+  let ctx = (Process.main_thread func).Thread.context in
+  Context.set_reg_int ctx 2 c.runtime_pages;
+  Context.set_reg_int ctx 3 c.func_pages;
+  Context.set_reg_int ctx 4 c.func_id;
+  Context.set_reg_int ctx 7 c.touch_per_invoke;
+  let fd = wire k ~func ~invoker in
+  { func; invoker; fd }
+
+let initialized (p : Process.t) =
+  (Process.main_thread p).Thread.context.Context.pc >= 1
+
+let invocations (p : Process.t) =
+  Context.reg_int (Process.main_thread p).Thread.context 5
+
+let invoke k inst ~id =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int id);
+  match Syscall.write k inst.invoker inst.fd (Bytes.to_string b) with
+  | `Written _ -> ()
+  | `Would_block | `Broken -> invalid_arg "Serverless.invoke: request send failed"
+
+let reply k inst =
+  match Syscall.read k inst.invoker inst.fd ~len:64 with
+  | `Data s -> Some s
+  | `Would_block | `Eof -> None
+
+let wire_restored k ~func_pid =
+  match Kernel.proc k func_pid with
+  | None -> None
+  | Some func ->
+    let invoker = Kernel.spawn k ~name:"invoker" ~program:"aurora/func-invoker" () in
+    (* Drop the checkpointed request descriptor (its peer belonged to
+       the previous instance) and wire a fresh pair. *)
+    let ctx = (Process.main_thread func).Thread.context in
+    let old_fd = Context.reg_int ctx 6 in
+    (try Syscall.close k func old_fd with Syscall.Sys_error _ -> ());
+    let fd = wire k ~func ~invoker in
+    (* Re-park the runtime on the new descriptor. *)
+    (match (Process.main_thread func).Thread.state with
+     | Thread.Blocked _ -> (Process.main_thread func).Thread.state <- Thread.Runnable
+     | _ -> ());
+    Some { func; invoker; fd }

@@ -1,0 +1,49 @@
+(** Serverless function runtimes (§4's first application).
+
+    A function instance is a container with one process: on start it
+    initializes a language runtime (touching [runtime_pages] of memory
+    with content that is {e identical across all functions} — this is
+    what the object store deduplicates: "each function is a small
+    delta over the runtime container's checkpoint") and then loads
+    function-specific state ([func_pages], keyed by [func_id]).
+    Initialized, it parks waiting for invocations on a stream;
+    each invocation touches a request working set and replies.
+
+    Warm start = checkpoint an initialized instance once, then restore
+    (clone) it per invocation — Table 4's serverless columns and the
+    F-dedup density figure both drive this module. *)
+
+open Aurora_proc
+
+type config = {
+  runtime_pages : int;   (** shared language runtime image *)
+  func_pages : int;      (** function-specific state *)
+  func_id : int;
+  touch_per_invoke : int;  (** request working set, in pages *)
+}
+
+val default_config : ?func_id:int -> unit -> config
+(** 192 runtime pages + 8 function pages — a hello-world footprint
+    (~800 KiB). *)
+
+type instance = {
+  func : Process.t;
+  invoker : Process.t;   (** parked holder of the client end *)
+  fd : int;              (** invoker's descriptor for requests *)
+}
+
+val spawn : Kernel.t -> ?container:int -> config -> instance
+val initialized : Process.t -> bool
+val invocations : Process.t -> int
+
+val invoke : Kernel.t -> instance -> id:int -> unit
+(** Queue one invocation (drive the scheduler to let it execute). *)
+
+val reply : Kernel.t -> instance -> string option
+(** Collect a finished invocation's reply, if one arrived. *)
+
+val wire_restored : Kernel.t -> func_pid:int -> instance option
+(** After restoring/cloning a checkpointed instance: find the restored
+    function process and build a fresh invoker wired to a {e new}
+    socketpair (the checkpointed peer belonged to the old instance).
+    Returns [None] if the pid does not exist. *)

@@ -1,0 +1,424 @@
+open Aurora_simtime
+open Aurora_device
+open Aurora_proc
+open Aurora_objstore
+open Aurora_sls
+open Cmdliner
+
+(* --- the universe file ------------------------------------------------ *)
+
+(* What survives between invocations: the NVMe device (clock included)
+   plus a small registry of applications (pgid order matters: groups
+   are recreated in it so pgroup ids are stable). *)
+type app_entry = {
+  app_name : string;
+  app_kind : string;  (* "counter" | "kv" | "func" *)
+  app_cid : int;
+  mutable app_backends : string list; (* "disk" (primary), "memory" *)
+}
+
+type universe_file = {
+  uf_nvme : Blockdev.t;
+  uf_apps : app_entry list;
+}
+
+type universe = {
+  machine : Machine.t;
+  mutable apps : (app_entry * Types.pgroup) list;
+}
+
+let default_path = "aurora.universe"
+
+let save path (u : universe) =
+  (* Quiesce: a final checkpoint of each group, fully durable, so the
+     device alone can resurrect everything. *)
+  List.iter
+    (fun (_, g) ->
+      if Types.member_pids u.machine.Machine.kernel g <> [] then begin
+        let b = Machine.checkpoint_now u.machine g () in
+        Store.wait_durable u.machine.Machine.disk_store b.Types.durable_at
+      end)
+    u.apps;
+  let oc = open_out_bin path in
+  Marshal.to_channel oc
+    { uf_nvme = u.machine.Machine.nvme; uf_apps = List.map fst u.apps }
+    [];
+  close_out oc
+
+(* Demo application programs live in Aurora_apps (linked in); the
+   counter comes from here. *)
+let () =
+  Program.register ~name:"cli/counter" (fun k p th ->
+      let ctx = th.Thread.context in
+      if ctx.Context.pc = 0 then begin
+        let e = Aurora_proc.Syscall.mmap_anon k p ~npages:4 in
+        Context.set_reg_int ctx 1 e.Aurora_vm.Vmmap.start_vpn;
+        ctx.Context.pc <- 1;
+        Program.Continue
+      end
+      else begin
+        let n = Context.reg_int ctx 2 + 1 in
+        Context.set_reg_int ctx 2 n;
+        Syscall.mem_write k p ~vpn:(Context.reg_int ctx 1 + (n mod 4)) ~offset:0
+          ~value:(Int64.of_int n);
+        Program.Continue
+      end)
+
+let spawn_app (m : Machine.t) (entry : app_entry) =
+  let k = m.Machine.kernel in
+  Kernel.ensure_container k ~cid:entry.app_cid ~name:entry.app_name;
+  (match entry.app_kind with
+   | "counter" ->
+     ignore
+       (Kernel.spawn k ~container:entry.app_cid ~name:entry.app_name
+          ~program:"cli/counter" ())
+   | "kv" ->
+     let cfg =
+       Aurora_apps.Kvstore.default_config ~mode:Aurora_apps.Kvstore.Aurora
+         ~nkeys:65536 ()
+     in
+     ignore (Aurora_apps.Kvstore.spawn k ~container:entry.app_cid cfg)
+   | "func" ->
+     ignore
+       (Aurora_apps.Serverless.spawn k ~container:entry.app_cid
+          (Aurora_apps.Serverless.default_config ()))
+   | kind -> failwith (Printf.sprintf "unknown app kind %S" kind));
+  ()
+
+let register_group (u : universe) (entry : app_entry) =
+  let g = Machine.persist u.machine (`Container entry.app_cid) in
+  (* Secondary backends are re-attached per the registry ("disk" is
+     the primary and always present). *)
+  if List.mem "memory" entry.app_backends then
+    Machine.attach u.machine g (Machine.memory_backend u.machine);
+  u.apps <- u.apps @ [ (entry, g) ];
+  g
+
+let load path =
+  if not (Sys.file_exists path) then
+    failwith (Printf.sprintf "no universe at %s (run `sls init` first)" path);
+  let ic = open_in_bin path in
+  let (uf : universe_file) = (Marshal.from_channel ic : universe_file) in
+  close_in ic;
+  let machine = Machine.boot ~nvme:uf.uf_nvme in
+  Machine.enable_sls_calls machine;
+  let u = { machine; apps = [] } in
+  (* Recreate the groups in order (stable pgids), then resurrect each
+     application from its latest checkpoint. *)
+  List.iter
+    (fun entry ->
+      let g = register_group u entry in
+      match Store.latest machine.Machine.disk_store with
+      | Some latest -> (
+        g.Types.last_gen <- Some latest;
+        try ignore (Machine.restore_group machine g ())
+        with Failure _ | Invalid_argument _ ->
+          (* This group never checkpointed into the store. *)
+          g.Types.last_gen <- None)
+      | None -> ())
+    uf.uf_apps;
+  u
+
+let fresh () =
+  let machine = Machine.create () in
+  Machine.enable_sls_calls machine;
+  { machine; apps = [] }
+
+(* --- command implementations ------------------------------------------ *)
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let cmd_init path =
+  let u = fresh () in
+  save path u;
+  say "initialized universe at %s" path;
+  0
+
+let cmd_spawn path kind name interval_ms =
+  let u = load path in
+  let cid = List.length u.apps + 1 in
+  let entry =
+    { app_name = name; app_kind = kind; app_cid = cid; app_backends = [ "disk" ] }
+  in
+  spawn_app u.machine entry;
+  let g = register_group u entry in
+  g.Types.interval <- Duration.milliseconds interval_ms;
+  (* Let it initialize and take its first checkpoints. *)
+  Machine.run u.machine (Duration.milliseconds (3 * interval_ms));
+  say "spawned %s (%s) in container %d; persisted every %d ms" name kind cid
+    interval_ms;
+  save path u;
+  0
+
+let cmd_run path ms =
+  let u = load path in
+  Machine.run u.machine (Duration.milliseconds ms);
+  say "advanced %d ms (now t=%s)" ms
+    (Format.asprintf "%a" Duration.pp (Machine.now u.machine));
+  save path u;
+  0
+
+let cmd_ps path =
+  let u = load path in
+  say "%6s %-16s %10s %-8s" "PID" "NAME" "CONTAINER" "STATE";
+  List.iter
+    (fun (pid, name, cid, state) -> say "%6d %-16s %10d %-8s" pid name cid state)
+    (Machine.ps u.machine);
+  say "";
+  say "%6s %-16s %10s %-10s" "PGID" "APP" "INTERVAL" "LAST-GEN";
+  List.iter
+    (fun (entry, g) ->
+      say "%6d %-16s %8.0fms %-10s" g.Types.pgid entry.app_name
+        (Duration.to_ms g.Types.interval)
+        (match g.Types.last_gen with Some n -> string_of_int n | None -> "-"))
+    u.apps;
+  0
+
+let cmd_checkpoint path name =
+  let u = load path in
+  List.iter
+    (fun (entry, g) ->
+      let b = Machine.checkpoint_now u.machine g ?name () in
+      say "%s: generation %d (stop %.1f us, %d pages)" entry.app_name b.Types.gen
+        (Duration.to_us b.Types.stop_time)
+        b.Types.pages_captured)
+    u.apps;
+  save path u;
+  0
+
+let cmd_gens path =
+  let u = load path in
+  let store = u.machine.Machine.disk_store in
+  say "generations: %s"
+    (String.concat ", " (List.map string_of_int (Store.generations store)));
+  List.iter (fun (name, g) -> say "  %-20s -> generation %d" name g) (Store.named store);
+  0
+
+let cmd_restore path gen =
+  let u = load path in
+  List.iter
+    (fun (entry, g) ->
+      let pids, breakdown = Machine.restore_group u.machine g ?gen () in
+      say "%s: restored pids [%s] in %.1f us" entry.app_name
+        (String.concat ";" (List.map string_of_int pids))
+        (Duration.to_us breakdown.Types.total_latency))
+    u.apps;
+  save path u;
+  0
+
+let cmd_send path out pgid =
+  let u = load path in
+  let entry, g =
+    match List.filter (fun (_, g) -> pgid = None || pgid = Some g.Types.pgid) u.apps with
+    | (e, g) :: _ -> (e, g)
+    | [] -> failwith "no such persistence group"
+  in
+  let gen =
+    match g.Types.last_gen with
+    | Some gen -> gen
+    | None -> failwith "group has no checkpoint yet"
+  in
+  let image =
+    Sendrecv.export u.machine.Machine.disk_store ~gen ~pgid:g.Types.pgid ()
+  in
+  let oc = open_out_bin out in
+  output_string oc image;
+  close_out oc;
+  say "wrote %s: %d KiB image of %s (generation %d)" out
+    (String.length image / 1024)
+    entry.app_name gen;
+  0
+
+let cmd_recv path in_file =
+  let u = load path in
+  let ic = open_in_bin in_file in
+  let image = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let gen, durable = Sendrecv.import u.machine.Machine.disk_store image in
+  Store.wait_durable u.machine.Machine.disk_store durable;
+  say "imported %s as generation %d (use `sls restore --gen %d`)" in_file gen gen;
+  save path u;
+  0
+
+let find_app u pgid =
+  match List.filter (fun (_, g) -> pgid = None || pgid = Some g.Types.pgid) u.apps with
+  | (e, g) :: _ -> (e, g)
+  | [] -> failwith "no such persistence group"
+
+let cmd_attach path pgid backend =
+  let u = load path in
+  let entry, g = find_app u pgid in
+  (match backend with
+   | "memory" ->
+     if not (List.mem "memory" entry.app_backends) then begin
+       entry.app_backends <- entry.app_backends @ [ "memory" ];
+       Machine.attach u.machine g (Machine.memory_backend u.machine)
+     end
+   | "disk" -> () (* the primary; always attached *)
+   | other -> failwith (Printf.sprintf "unknown backend %S (disk|memory)" other));
+  say "%s: backends now [%s]" entry.app_name (String.concat "; " entry.app_backends);
+  save path u;
+  0
+
+let cmd_detach path pgid backend =
+  let u = load path in
+  let entry, g = find_app u pgid in
+  (match backend with
+   | "memory" ->
+     entry.app_backends <- List.filter (fun b -> b <> "memory") entry.app_backends;
+     g.Types.backends <-
+       List.filter
+         (function Types.Local { kind = `Memory; _ } -> false | _ -> true)
+         g.Types.backends
+   | "disk" -> failwith "cannot detach the primary disk backend"
+   | other -> failwith (Printf.sprintf "unknown backend %S" other));
+  say "%s: backends now [%s]" entry.app_name (String.concat "; " entry.app_backends);
+  save path u;
+  0
+
+let cmd_fsck path =
+  let u = load path in
+  (match Store.fsck u.machine.Machine.disk_store with
+   | Ok () ->
+     let st = Store.stats u.machine.Machine.disk_store in
+     say "store healthy: %d live blocks, %d generations, %d dedup entries"
+       st.Store.live_blocks st.Store.committed_generations st.Store.dedup_entries
+   | Error problems ->
+     List.iter (fun p -> say "PROBLEM: %s" p) problems;
+     failwith (Printf.sprintf "%d integrity violations" (List.length problems)));
+  0
+
+let cmd_crash path =
+  let u = load path in
+  Machine.crash u.machine;
+  (* Save WITHOUT quiescing: exactly what the power failure left. *)
+  let oc = open_out_bin path in
+  Marshal.to_channel oc
+    { uf_nvme = u.machine.Machine.nvme; uf_apps = List.map fst u.apps }
+    [];
+  close_out oc;
+  say "power failure simulated; only durable device state survives";
+  0
+
+(* --- cmdliner wiring ---------------------------------------------------- *)
+
+let universe_arg =
+  Arg.(value & opt string default_path & info [ "universe"; "u" ] ~docv:"FILE"
+         ~doc:"Universe state file.")
+
+let wrap f =
+  try f () with
+  | Failure msg | Invalid_argument msg ->
+    Printf.eprintf "sls: %s\n" msg;
+    1
+
+let init_cmd =
+  Cmd.v (Cmd.info "init" ~doc:"Create a fresh universe.")
+    Term.(const (fun path -> wrap (fun () -> cmd_init path)) $ universe_arg)
+
+let spawn_cmd =
+  let kind =
+    Arg.(value & opt string "counter" & info [ "app" ] ~docv:"KIND"
+           ~doc:"Built-in application: counter, kv, or func.")
+  in
+  let app_name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let interval =
+    Arg.(value & opt int 10 & info [ "interval" ] ~docv:"MS"
+           ~doc:"Checkpoint interval in milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "spawn"
+       ~doc:"Run a built-in application under transparent persistence (sls persist).")
+    Term.(
+      const (fun path kind name interval ->
+          wrap (fun () -> cmd_spawn path kind name interval))
+      $ universe_arg $ kind $ app_name_arg $ interval)
+
+let run_cmd =
+  let ms = Arg.(value & opt int 100 & info [ "ms" ] ~docv:"MS" ~doc:"Span to run.") in
+  Cmd.v (Cmd.info "run" ~doc:"Advance simulated time (periodic checkpoints fire).")
+    Term.(const (fun path ms -> wrap (fun () -> cmd_run path ms)) $ universe_arg $ ms)
+
+let ps_cmd =
+  Cmd.v (Cmd.info "ps" ~doc:"List applications in Aurora.")
+    Term.(const (fun path -> wrap (fun () -> cmd_ps path)) $ universe_arg)
+
+let checkpoint_cmd =
+  let ckpt_name =
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
+           ~doc:"Name the checkpoint.")
+  in
+  Cmd.v (Cmd.info "checkpoint" ~doc:"Checkpoint every persisted application now.")
+    Term.(
+      const (fun path name -> wrap (fun () -> cmd_checkpoint path name))
+      $ universe_arg $ ckpt_name)
+
+let gens_cmd =
+  Cmd.v (Cmd.info "gens" ~doc:"List checkpoint generations and named snapshots.")
+    Term.(const (fun path -> wrap (fun () -> cmd_gens path)) $ universe_arg)
+
+let restore_cmd =
+  let gen =
+    Arg.(value & opt (some int) None & info [ "gen" ] ~docv:"GEN"
+           ~doc:"Generation to restore (default: latest).")
+  in
+  Cmd.v (Cmd.info "restore" ~doc:"Restore applications from a checkpoint.")
+    Term.(
+      const (fun path gen -> wrap (fun () -> cmd_restore path gen)) $ universe_arg $ gen)
+
+let send_cmd =
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let pgid =
+    Arg.(value & opt (some int) None & info [ "pgroup" ] ~docv:"PGID"
+           ~doc:"Persistence group to export (default: first).")
+  in
+  Cmd.v (Cmd.info "send" ~doc:"Export an application image to a file.")
+    Term.(
+      const (fun path out pgid -> wrap (fun () -> cmd_send path out pgid))
+      $ universe_arg $ out $ pgid)
+
+let recv_cmd =
+  let in_file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "recv" ~doc:"Import an application image from a file.")
+    Term.(
+      const (fun path in_file -> wrap (fun () -> cmd_recv path in_file))
+      $ universe_arg $ in_file)
+
+let backend_arg =
+  Arg.(value & opt string "memory" & info [ "backend" ] ~docv:"KIND"
+         ~doc:"Backend kind: disk or memory.")
+
+let pgid_arg =
+  Arg.(value & opt (some int) None & info [ "pgroup" ] ~docv:"PGID"
+         ~doc:"Persistence group (default: first).")
+
+let attach_cmd =
+  Cmd.v (Cmd.info "attach" ~doc:"Attach a backend to a persistence group.")
+    Term.(
+      const (fun path pgid backend -> wrap (fun () -> cmd_attach path pgid backend))
+      $ universe_arg $ pgid_arg $ backend_arg)
+
+let detach_cmd =
+  Cmd.v (Cmd.info "detach" ~doc:"Detach a backend from a persistence group.")
+    Term.(
+      const (fun path pgid backend -> wrap (fun () -> cmd_detach path pgid backend))
+      $ universe_arg $ pgid_arg $ backend_arg)
+
+let crash_cmd =
+  Cmd.v (Cmd.info "crash" ~doc:"Simulate a power failure.")
+    Term.(const (fun path -> wrap (fun () -> cmd_crash path)) $ universe_arg)
+
+let fsck_cmd =
+  Cmd.v (Cmd.info "fsck" ~doc:"Check object-store integrity.")
+    Term.(const (fun path -> wrap (fun () -> cmd_fsck path)) $ universe_arg)
+
+let group =
+  let doc = "the Aurora single level store (simulated)" in
+  Cmd.group (Cmd.info "sls" ~doc)
+    [
+      init_cmd; spawn_cmd; run_cmd; ps_cmd; checkpoint_cmd; gens_cmd; restore_cmd;
+      send_cmd; recv_cmd; attach_cmd; detach_cmd; crash_cmd; fsck_cmd;
+    ]
+
+let main () = Cmd.eval' group
+let run ~argv = Cmd.eval' ~argv group

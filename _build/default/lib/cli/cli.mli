@@ -1,0 +1,19 @@
+(** The `sls` command line interface (Table 1).
+
+    A CLI invocation operates on a {e universe}: a simulated machine
+    whose only durable state is its NVMe device, persisted between
+    invocations in a host file (default [./aurora.universe], override
+    with [--universe]). Each command boots the machine from the device
+    — exactly an SLS's worldview: processes exist between runs only as
+    checkpoints — restores the registered applications, performs its
+    work, checkpoints, and saves the device back.
+
+    Commands: [init], [spawn] (run a built-in demo application under
+    persistence), [run], [ps], [checkpoint], [restore], [gens],
+    [send], [recv], [crash], [attach], [detach]. See [sls --help]. *)
+
+val main : unit -> int
+(** Evaluate the command line; returns the exit status. *)
+
+val run : argv:string array -> int
+(** Like {!main} with an explicit argument vector (tests). *)

@@ -1,0 +1,1 @@
+lib/device/blockdev.ml: Aurora_simtime Clock Duration Hashtbl List Printf Profile String

@@ -1,0 +1,1 @@
+lib/device/blockdev.mli: Aurora_simtime Clock Duration Profile

@@ -1,0 +1,1 @@
+lib/device/costmodel.ml: Aurora_simtime Duration Float

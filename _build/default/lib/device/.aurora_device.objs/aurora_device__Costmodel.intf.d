@@ -1,0 +1,1 @@
+lib/device/costmodel.mli: Aurora_simtime Duration

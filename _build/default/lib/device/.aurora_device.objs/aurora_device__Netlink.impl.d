@@ -1,0 +1,1 @@
+lib/device/netlink.ml: Aurora_simtime Clock Duration Profile Queue String

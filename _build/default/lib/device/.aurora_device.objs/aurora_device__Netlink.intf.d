@@ -1,0 +1,1 @@
+lib/device/netlink.mli: Aurora_simtime Clock Duration Profile

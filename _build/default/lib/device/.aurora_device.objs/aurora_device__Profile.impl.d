@@ -1,0 +1,1 @@
+lib/device/profile.ml: Aurora_simtime Duration Format

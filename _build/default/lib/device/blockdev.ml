@@ -1,0 +1,170 @@
+open Aurora_simtime
+
+let block_size = 4096
+
+type content =
+  | Data of string
+  | Seed of int64
+  | Zero
+
+type slot = { mutable current : content; mutable durable : content; mutable is_durable : bool }
+
+type stats = {
+  reads : int;
+  writes : int;
+  blocks_read : int;
+  blocks_written : int;
+  flushes : int;
+}
+
+type t = {
+  name : string;
+  clock : Clock.t;
+  profile : Profile.t;
+  capacity_blocks : int option;
+  slots : (int, slot) Hashtbl.t;
+  mutable busy_until : Duration.t;     (* device queue drains at this time *)
+  mutable pending : (int * content) list list; (* async batches not yet completed *)
+  mutable st : stats;
+}
+
+let zero_stats = { reads = 0; writes = 0; blocks_read = 0; blocks_written = 0; flushes = 0 }
+
+let create ?capacity_blocks ~clock ~profile name =
+  { name; clock; profile; capacity_blocks; slots = Hashtbl.create 4096;
+    busy_until = Duration.zero; pending = []; st = zero_stats }
+
+let name t = t.name
+let profile t = t.profile
+let clock t = t.clock
+let busy_until t = t.busy_until
+
+let check_index t i =
+  if i < 0 then invalid_arg "Blockdev: negative block index";
+  match t.capacity_blocks with
+  | Some cap when i >= cap ->
+    invalid_arg (Printf.sprintf "Blockdev %s: block %d beyond capacity %d" t.name i cap)
+  | _ -> ()
+
+let slot t i =
+  check_index t i;
+  match Hashtbl.find_opt t.slots i with
+  | Some s -> s
+  | None ->
+    let s = { current = Zero; durable = Zero; is_durable = true } in
+    Hashtbl.replace t.slots i s;
+    s
+
+(* Charge a synchronous command: the device may still be draining its
+   queue, so completion is max(now, busy_until) + cost. *)
+let charge_sync t ~op ~blocks =
+  let cost = Profile.transfer_cost t.profile ~op ~bytes:(blocks * block_size) in
+  let start = Duration.max (Clock.now t.clock) t.busy_until in
+  let completion = Duration.add start cost in
+  t.busy_until <- completion;
+  Clock.advance_to t.clock completion
+
+let read t i =
+  charge_sync t ~op:`Read ~blocks:1;
+  t.st <- { t.st with reads = t.st.reads + 1; blocks_read = t.st.blocks_read + 1 };
+  (slot t i).current
+
+let peek t i = (slot t i).current
+
+let read_many t indices =
+  let n = List.length indices in
+  if n > 0 then charge_sync t ~op:`Read ~blocks:n;
+  t.st <- { t.st with reads = t.st.reads + 1; blocks_read = t.st.blocks_read + n };
+  List.map (fun i -> (slot t i).current) indices
+
+let store_block t ~completed (i, c) =
+  (match c with
+   | Data s when String.length s > block_size ->
+     invalid_arg "Blockdev.write: content larger than a block"
+   | Data _ | Seed _ | Zero -> ());
+  let s = slot t i in
+  s.current <- c;
+  if completed && not t.profile.Profile.volatile_cache then begin
+    s.durable <- c;
+    s.is_durable <- true
+  end
+  else s.is_durable <- false
+
+let write_many t writes =
+  let n = List.length writes in
+  if n > 0 then charge_sync t ~op:`Write ~blocks:n;
+  t.st <- { t.st with writes = t.st.writes + 1; blocks_written = t.st.blocks_written + n };
+  List.iter (store_block t ~completed:true) writes
+
+let write t i c = write_many t [ (i, c) ]
+
+let write_async t writes =
+  let n = List.length writes in
+  let cost = Profile.transfer_cost t.profile ~op:`Write ~bytes:(n * block_size) in
+  let start = Duration.max (Clock.now t.clock) t.busy_until in
+  let completion = Duration.add start cost in
+  t.busy_until <- completion;
+  t.st <- { t.st with writes = t.st.writes + 1; blocks_written = t.st.blocks_written + n };
+  (* Content is visible immediately (the store serializes access), but
+     the batch is remembered as in-flight so a crash before completion
+     can drop it; completion also gates durability on non-volatile
+     caches. *)
+  List.iter (store_block t ~completed:false) writes;
+  t.pending <- writes :: t.pending;
+  completion
+
+let settle_pending t =
+  (* All queued batches complete once the clock reaches busy_until. *)
+  if Duration.(Clock.now t.clock >= t.busy_until) then begin
+    if not t.profile.Profile.volatile_cache then
+      List.iter
+        (fun batch ->
+          List.iter
+            (fun (i, _) ->
+              let s = slot t i in
+              s.durable <- s.current;
+              s.is_durable <- true)
+            batch)
+        t.pending;
+    t.pending <- []
+  end
+
+let await t completion =
+  Clock.advance_to t.clock completion;
+  settle_pending t
+
+let flush t =
+  Clock.advance_to t.clock t.busy_until;
+  Clock.advance t.clock t.profile.Profile.flush_latency;
+  t.pending <- [];
+  t.st <- { t.st with flushes = t.st.flushes + 1 };
+  Hashtbl.iter
+    (fun _ s ->
+      if not s.is_durable then begin
+        s.durable <- s.current;
+        s.is_durable <- true
+      end)
+    t.slots
+
+let crash t =
+  (* Queued-but-incomplete async batches never happened. *)
+  settle_pending t;
+  let dropped = Hashtbl.create 16 in
+  List.iter
+    (fun batch -> List.iter (fun (i, _) -> Hashtbl.replace dropped i ()) batch)
+    t.pending;
+  t.pending <- [];
+  t.busy_until <- Clock.now t.clock;
+  Hashtbl.iter
+    (fun i s ->
+      if Hashtbl.mem dropped i || not s.is_durable then begin
+        s.current <- s.durable;
+        s.is_durable <- true
+      end)
+    t.slots
+
+let stats t = t.st
+let reset_stats t = t.st <- zero_stats
+
+let used_blocks t =
+  Hashtbl.fold (fun _ s acc -> match s.current with Zero -> acc | _ -> acc + 1) t.slots 0

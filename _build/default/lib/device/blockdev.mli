@@ -1,0 +1,92 @@
+(** Simulated block storage device.
+
+    A block device stores fixed-size (4 KiB) blocks of opaque content
+    behind a {!Profile.t} performance model. Writes land in the device
+    write cache and become durable only after {!flush} (immediately, if
+    the profile's cache is power-loss protected). {!crash} reverts every
+    non-durable block — this is what the crash-consistency tests lean
+    on.
+
+    Two submission modes mirror how Aurora uses storage:
+    - synchronous ([read]/[write]/[flush]) advance the simulated clock
+      to command completion, and
+    - asynchronous ([write_async]) queue work on the device timeline
+      and return the absolute completion time without blocking the
+      caller — this models the orchestrator flushing checkpoints "in
+      the background concurrently with application execution". *)
+
+open Aurora_simtime
+
+val block_size : int
+(** 4096 bytes. *)
+
+type content =
+  | Data of string     (** serialized metadata; length <= [block_size] *)
+  | Seed of int64      (** a page payload, identified by its content seed *)
+  | Zero
+
+type t
+
+val create : ?capacity_blocks:int -> clock:Clock.t -> profile:Profile.t -> string -> t
+(** [create ~clock ~profile name]. [capacity_blocks] defaults to
+    unlimited; when set, writes past the capacity raise
+    [Invalid_argument]. *)
+
+val name : t -> string
+val profile : t -> Profile.t
+val clock : t -> Clock.t
+
+val read : t -> int -> content
+(** Synchronous single-block read; charges the clock. Unwritten blocks
+    read as [Zero]. Raises [Invalid_argument] on negative index. *)
+
+val read_many : t -> int list -> content list
+(** One command: latency charged once, bandwidth per block. *)
+
+val peek : t -> int -> content
+(** Read without charging the clock or the stats counters. For
+    simulator-internal use only: precomputing what a future fault will
+    return, where the fault itself charges the read cost (lazy
+    restore), or assertions in tests. *)
+
+val write : t -> int -> content -> unit
+(** Synchronous write into the device cache; charges the clock. The
+    block is durable only after {!flush} (or immediately when the
+    profile has a non-volatile cache). *)
+
+val write_many : t -> (int * content) list -> unit
+
+val write_async : t -> (int * content) list -> Duration.t
+(** Queue the writes on the device timeline; returns the absolute
+    simulated time at which they complete (and, for non-volatile
+    caches, become durable). Does not advance the clock. *)
+
+val await : t -> Duration.t -> unit
+(** Advance the clock to the given absolute completion time if it is in
+    the future — i.e. block on an async write. *)
+
+val busy_until : t -> Duration.t
+(** The absolute time at which the device's queue drains. *)
+
+val flush : t -> unit
+(** Durability barrier: waits for queued writes, pays the profile's
+    flush latency, marks all completed writes durable. *)
+
+val crash : t -> unit
+(** Power failure: every block whose latest write was not durable
+    reverts to its last durable content; queued async writes are
+    dropped. *)
+
+(** Operation counters, for bandwidth/volume reporting in benches. *)
+type stats = {
+  reads : int;          (** read commands *)
+  writes : int;         (** write commands *)
+  blocks_read : int;
+  blocks_written : int;
+  flushes : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val used_blocks : t -> int
+(** Number of distinct blocks ever written and still holding content. *)

@@ -1,0 +1,57 @@
+open Aurora_simtime
+
+type side = [ `A | `B ]
+
+type direction = {
+  mutable busy_until : Duration.t;
+  inbox : (Duration.t * string) Queue.t; (* arrival time, payload *)
+}
+
+type t = {
+  clock : Clock.t;
+  profile : Profile.t;
+  a_to_b : direction;
+  b_to_a : direction;
+  mutable bytes_sent : int;
+}
+
+let create ~clock ~profile () =
+  let dir () = { busy_until = Duration.zero; inbox = Queue.create () } in
+  { clock; profile; a_to_b = dir (); b_to_a = dir (); bytes_sent = 0 }
+
+let direction_to t (side : side) =
+  match side with `A -> t.b_to_a | `B -> t.a_to_b
+
+let send t ~from_ payload =
+  let dir = match from_ with `A -> t.a_to_b | `B -> t.b_to_a in
+  let bytes = String.length payload in
+  let wire_time =
+    Duration.of_sec_float (float_of_int bytes /. t.profile.Profile.write_bw)
+  in
+  let start = Duration.max (Clock.now t.clock) dir.busy_until in
+  let last_byte = Duration.add start wire_time in
+  dir.busy_until <- last_byte;
+  let arrival = Duration.add last_byte t.profile.Profile.write_latency in
+  Queue.push (arrival, payload) dir.inbox;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  arrival
+
+let recv t ~side =
+  let dir = direction_to t side in
+  match Queue.peek_opt dir.inbox with
+  | Some (arrival, payload) when Duration.(arrival <= Clock.now t.clock) ->
+    ignore (Queue.pop dir.inbox);
+    Some payload
+  | Some _ | None -> None
+
+let recv_blocking t ~side =
+  let dir = direction_to t side in
+  match Queue.peek_opt dir.inbox with
+  | None -> None
+  | Some (arrival, payload) ->
+    ignore (Queue.pop dir.inbox);
+    Clock.advance_to t.clock arrival;
+    Some payload
+
+let pending t ~side = Queue.length (direction_to t side).inbox
+let bytes_sent t = t.bytes_sent

@@ -1,0 +1,36 @@
+(** Simulated full-duplex network link between two hosts.
+
+    Both ends share one simulated clock (the simulation models a single
+    universe). Each direction serializes transmissions through its own
+    bandwidth queue; a message arrives one wire latency after its last
+    byte is on the wire. Payloads are opaque strings — the SLS
+    send/recv machinery ships serialized checkpoint records over
+    this. *)
+
+open Aurora_simtime
+
+type t
+type side = [ `A | `B ]
+
+val create : clock:Clock.t -> profile:Profile.t -> unit -> t
+(** The profile's [write_latency] is the one-way wire latency and
+    [write_bw] the link bandwidth. *)
+
+val send : t -> from_:side -> string -> Duration.t
+(** Queue a message from one side; returns its absolute arrival time at
+    the peer. Does not advance the clock (transmission is
+    asynchronous). *)
+
+val recv : t -> side:side -> string option
+(** Next message addressed to [side] that has already arrived, if
+    any. *)
+
+val recv_blocking : t -> side:side -> string option
+(** Like {!recv}, but if a message is still in flight, advances the
+    clock to its arrival. [None] only when nothing is queued at all. *)
+
+val pending : t -> side:side -> int
+(** Messages queued for [side], whether or not they have arrived. *)
+
+val bytes_sent : t -> int
+(** Total payload bytes ever queued, both directions. *)

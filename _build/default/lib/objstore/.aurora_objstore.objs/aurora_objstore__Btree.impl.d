@@ -1,0 +1,1 @@
+lib/objstore/btree.ml: Alloc Array Aurora_device Aurora_posix Aurora_simtime Blockdev Clock Hashtbl Int Int64 List Printf Serial String

@@ -1,0 +1,1 @@
+lib/objstore/btree.mli: Alloc Aurora_device Aurora_simtime Blockdev Duration

@@ -1,0 +1,1 @@
+lib/objstore/dedup.ml: Alloc Hashtbl

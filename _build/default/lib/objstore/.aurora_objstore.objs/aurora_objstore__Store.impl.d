@@ -1,0 +1,1 @@
+lib/objstore/store.ml: Alloc Aurora_device Aurora_posix Aurora_simtime Aurora_vm Blockdev Btree Buffer Char Clock Content Dedup Format Fun Hashtbl Int Int64 List Option Printf Profile Serial String

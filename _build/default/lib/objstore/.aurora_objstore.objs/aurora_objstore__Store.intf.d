@@ -1,0 +1,1 @@
+lib/objstore/store.mli: Aurora_device Aurora_simtime Blockdev Duration

@@ -1,0 +1,67 @@
+type t = {
+  first_block : int;
+  capacity_blocks : int option;
+  refs : (int, int) Hashtbl.t;
+  mutable free_list : int list;
+  mutable next_fresh : int;
+  mutable live : int;
+  mutable on_free : (int -> unit) list;
+}
+
+let create ~first_block ?capacity_blocks () =
+  if first_block < 0 then invalid_arg "Alloc.create: negative first_block";
+  { first_block; capacity_blocks; refs = Hashtbl.create 4096; free_list = [];
+    next_fresh = first_block; live = 0; on_free = [] }
+
+let add_on_free t f = t.on_free <- t.on_free @ [ f ]
+
+let alloc t =
+  let block =
+    match t.free_list with
+    | b :: rest ->
+      t.free_list <- rest;
+      b
+    | [] ->
+      let b = t.next_fresh in
+      (match t.capacity_blocks with
+       | Some cap when b >= cap -> failwith "Alloc: device full"
+       | _ -> ());
+      t.next_fresh <- b + 1;
+      b
+  in
+  Hashtbl.replace t.refs block 1;
+  t.live <- t.live + 1;
+  block
+
+let refcount t block = Option.value ~default:0 (Hashtbl.find_opt t.refs block)
+
+let incref t block =
+  match Hashtbl.find_opt t.refs block with
+  | Some n when n > 0 -> Hashtbl.replace t.refs block (n + 1)
+  | Some _ | None -> invalid_arg (Printf.sprintf "Alloc.incref: dead block %d" block)
+
+let decref t block =
+  match Hashtbl.find_opt t.refs block with
+  | Some n when n > 1 -> Hashtbl.replace t.refs block (n - 1)
+  | Some 1 ->
+    Hashtbl.remove t.refs block;
+    t.free_list <- block :: t.free_list;
+    t.live <- t.live - 1;
+    List.iter (fun f -> f block) t.on_free
+  | Some _ | None -> invalid_arg (Printf.sprintf "Alloc.decref: dead block %d" block)
+
+let live_blocks t = t.live
+
+let mark_live t block =
+  (match Hashtbl.find_opt t.refs block with
+   | Some n -> Hashtbl.replace t.refs block (n + 1)
+   | None ->
+     Hashtbl.replace t.refs block 1;
+     t.live <- t.live + 1);
+  if block >= t.next_fresh then t.next_fresh <- block + 1
+
+let reset t =
+  Hashtbl.reset t.refs;
+  t.free_list <- [];
+  t.next_fresh <- t.first_block;
+  t.live <- 0

@@ -1,0 +1,44 @@
+(** Reference-counted block allocation for the object store.
+
+    Blocks are shared aggressively — by COW B+tree snapshots (a tree
+    node referenced from many generation roots) and by page
+    deduplication (one content block referenced from many images) — so
+    the allocator tracks a reference count per block and frees in
+    place when it reaches zero. This is what makes the paper's
+    "in-place garbage collection without needing to rewrite incremental
+    checkpoints" work: releasing a generation decrements counts down
+    the shared structure and only uniquely-owned blocks return to the
+    free list.
+
+    State is kept in memory and reconstructed at recovery by walking
+    the generation roots (see [Store.open_]). *)
+
+type t
+
+val create : first_block:int -> ?capacity_blocks:int -> unit -> t
+(** Blocks below [first_block] are reserved (superblocks). *)
+
+val alloc : t -> int
+(** A free block, refcount 1. Raises [Failure] when a capacity is set
+    and exhausted. *)
+
+val incref : t -> int -> unit
+val decref : t -> int -> unit
+(** Frees at zero (block returns to the free list and the [on_free]
+    hook fires). Raises [Invalid_argument] on a dead block. *)
+
+val refcount : t -> int -> int
+(** 0 for unallocated blocks. *)
+
+val live_blocks : t -> int
+val add_on_free : t -> (int -> unit) -> unit
+(** Register a hook invoked when a block is freed; the B+tree evicts
+    its node cache and the store drops deduplication entries. Hooks
+    run in registration order. *)
+
+val mark_live : t -> int -> unit
+(** Recovery: force the block's refcount up by one (from zero if
+    unallocated). *)
+
+val reset : t -> unit
+(** Drop all state (before a recovery walk repopulates it). *)

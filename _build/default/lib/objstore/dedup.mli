@@ -1,0 +1,30 @@
+(** Content-addressed page deduplication.
+
+    Maps page-content hashes to the block already holding that
+    content. This is what lets the object store "deduplicate otherwise
+    unrelated checkpoints on disk for higher storage density" (§2) and
+    represent each serverless function as "a small delta over the
+    runtime container's checkpoint" (§4): the second and later images
+    of identical pages cost one reference count, not one block.
+
+    Entries are dropped automatically when their block is freed (the
+    index registers an [Alloc] free hook). *)
+
+type t
+
+val create : alloc:Alloc.t -> t
+
+val find : t -> hash:int64 -> int option
+(** Block already holding content with this hash, if any. *)
+
+val add : t -> hash:int64 -> block:int -> unit
+(** Record that [block] holds content hashing to [hash]. Raises
+    [Invalid_argument] if the hash is already mapped to a different
+    block. *)
+
+val entries : t -> int
+val hits : t -> int
+val misses : t -> int
+(** Running counters maintained by {!find}. *)
+
+val reset_counters : t -> unit

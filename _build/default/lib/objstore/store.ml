@@ -1,0 +1,609 @@
+open Aurora_simtime
+open Aurora_device
+open Aurora_posix
+open Aurora_vm
+
+type gen = int
+
+let magic = "AURORA-SLS-v1"
+let superblock_slots = 2 (* blocks 0 and 1 *)
+
+type gen_entry = { root : int; name : string option }
+
+type t = {
+  dev : Blockdev.t;
+  alloc : Alloc.t;
+  tree : Btree.t;
+  dedup : Dedup.t;
+  dedup_enabled : bool;
+  gens : (gen, gen_entry) Hashtbl.t;
+  mutable commit_seq : int;          (* superblock alternation counter *)
+  mutable next_gen : gen;
+  mutable gentable_blocks : int list; (* blocks holding the current gen table *)
+  mutable open_gen : (gen * int) option; (* generation being built, working root *)
+  mutable pending_pages : (int * Blockdev.content) list; (* data block writes *)
+}
+
+(* --- key encoding ---------------------------------------------------
+   key = oid * 2^34 + kind * 2^32 + index
+   kinds: 0 = record length (Imm), 1 = record chunk (Ptr), 2 = page (Ptr). *)
+
+let kind_record_len = 0L
+let kind_record_chunk = 1L
+let kind_page = 2L
+let kind_blob = 3L
+
+(* FNV-1a, for content-addressing byte blobs. *)
+let hash_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let key ~oid ~kind ~index =
+  if oid < 0 || oid >= 1 lsl 29 then invalid_arg "Store: oid out of range";
+  if index < 0 then invalid_arg "Store: negative index";
+  Int64.add
+    (Int64.add
+       (Int64.mul (Int64.of_int oid) 0x4_0000_0000L)
+       (Int64.mul kind 0x1_0000_0000L))
+    (Int64.of_int index)
+
+(* --- construction --------------------------------------------------- *)
+
+let make ?(dedup = true) dev =
+  let alloc = Alloc.create ~first_block:superblock_slots () in
+  let tree = Btree.create ~dev ~alloc in
+  let dedup_index = Dedup.create ~alloc in
+  { dev; alloc; tree; dedup = dedup_index; dedup_enabled = dedup;
+    gens = Hashtbl.create 16; commit_seq = 0; next_gen = 1;
+    gentable_blocks = []; open_gen = None; pending_pages = [] }
+
+let encode_superblock t =
+  let w = Serial.writer () in
+  Serial.w_string w magic;
+  Serial.w_int w t.commit_seq;
+  Serial.w_int w t.next_gen;
+  Serial.w_list w Serial.w_int t.gentable_blocks;
+  Serial.contents w
+
+let encode_gentable t =
+  let w = Serial.writer () in
+  let entries =
+    Hashtbl.fold (fun g e acc -> (g, e) :: acc) t.gens []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Serial.w_list w (fun w (g, e) ->
+      Serial.w_int w g;
+      Serial.w_int w e.root;
+      Serial.w_option w Serial.w_string e.name)
+    entries;
+  Serial.contents w
+
+let decode_gentable data =
+  let r = Serial.reader data in
+  Serial.r_list r (fun r ->
+      let g = Serial.r_int r in
+      let root = Serial.r_int r in
+      let name = Serial.r_option r Serial.r_string in
+      (g, { root; name }))
+
+let format ?dedup ~dev () =
+  let t = make ?dedup dev in
+  (* Empty gen table: superblock alone describes the store. *)
+  Blockdev.write dev 0 (Blockdev.Data (encode_superblock t));
+  Blockdev.flush dev;
+  t
+
+let device t = t.dev
+
+(* --- commit ---------------------------------------------------------- *)
+
+let chunk_string data =
+  let n = String.length data in
+  let nchunks = (n + Blockdev.block_size - 1) / Blockdev.block_size in
+  List.init nchunks (fun i ->
+      String.sub data (i * Blockdev.block_size)
+        (min Blockdev.block_size (n - (i * Blockdev.block_size))))
+
+let require_open t =
+  match t.open_gen with
+  | Some g -> g
+  | None -> invalid_arg "Store: no open generation"
+
+let require_closed t =
+  if t.open_gen <> None then invalid_arg "Store: a generation is already open"
+
+let begin_generation t ?base () =
+  require_closed t;
+  let g = t.next_gen in
+  t.next_gen <- g + 1;
+  Btree.begin_epoch t.tree g;
+  let base =
+    match base with
+    | Some b -> Some b
+    | None ->
+      Hashtbl.fold (fun g' _ acc ->
+          match acc with Some best when best >= g' -> acc | _ -> Some g')
+        t.gens None
+  in
+  let root =
+    match base with
+    | None -> Btree.empty_root t.tree
+    | Some b -> (
+      match Hashtbl.find_opt t.gens b with
+      | None -> invalid_arg (Printf.sprintf "Store: unknown base generation %d" b)
+      | Some e ->
+        (* The working tree holds its own reference; the base keeps
+           its generation-table reference. *)
+        Btree.retain_root t.tree e.root;
+        e.root)
+  in
+  t.open_gen <- Some (g, root);
+  g
+
+let tree_insert t key value =
+  let g, root = require_open t in
+  let root' = Btree.insert t.tree ~root ~key value in
+  t.open_gen <- Some (g, root')
+
+let put_record t ~oid data =
+  let _, root = require_open t in
+  (* Stale chunks from a longer previous record are overwritten with
+     immediates so their blocks are released. *)
+  let old_chunks =
+    match Btree.find t.tree ~root (key ~oid ~kind:kind_record_len ~index:1) with
+    | Some (Btree.Imm n) -> Int64.to_int n
+    | Some (Btree.Ptr _) | None -> 0
+  in
+  let chunks = chunk_string data in
+  let nchunks = List.length chunks in
+  List.iteri
+    (fun i chunk ->
+      let block = Alloc.alloc t.alloc in
+      t.pending_pages <- (block, Blockdev.Data chunk) :: t.pending_pages;
+      tree_insert t (key ~oid ~kind:kind_record_chunk ~index:i) (Btree.Ptr block))
+    chunks;
+  let rec blank i =
+    if i < old_chunks then begin
+      tree_insert t (key ~oid ~kind:kind_record_chunk ~index:i) (Btree.Imm 0L);
+      blank (i + 1)
+    end
+  in
+  blank nchunks;
+  tree_insert t (key ~oid ~kind:kind_record_len ~index:0)
+    (Btree.Imm (Int64.of_int (String.length data)));
+  tree_insert t (key ~oid ~kind:kind_record_len ~index:1)
+    (Btree.Imm (Int64.of_int nchunks))
+
+let put_page t ~oid ~pindex ~seed =
+  let _ = require_open t in
+  let hash = Content.hash (Content.of_seed seed) in
+  let block =
+    match (if t.dedup_enabled then Dedup.find t.dedup ~hash else None) with
+    | Some block ->
+      Alloc.incref t.alloc block;
+      block
+    | None ->
+      let block = Alloc.alloc t.alloc in
+      t.pending_pages <- (block, Blockdev.Seed seed) :: t.pending_pages;
+      if t.dedup_enabled then Dedup.add t.dedup ~hash ~block;
+      block
+  in
+  tree_insert t (key ~oid ~kind:kind_page ~index:pindex) (Btree.Ptr block)
+
+let put_blob t ~oid ~index data =
+  let _ = require_open t in
+  if String.length data > Blockdev.block_size then
+    invalid_arg "Store.put_blob: blob exceeds block size";
+  let hash = hash_string data in
+  let block =
+    match (if t.dedup_enabled then Dedup.find t.dedup ~hash else None) with
+    | Some block ->
+      Alloc.incref t.alloc block;
+      block
+    | None ->
+      let block = Alloc.alloc t.alloc in
+      t.pending_pages <- (block, Blockdev.Data data) :: t.pending_pages;
+      if t.dedup_enabled then Dedup.add t.dedup ~hash ~block;
+      block
+  in
+  tree_insert t (key ~oid ~kind:kind_blob ~index) (Btree.Ptr block)
+
+let write_superblock t =
+  (* Free the previous generation-table blocks and write the new table
+     plus the superblock, all on the device queue (FIFO order makes
+     the superblock land last). *)
+  List.iter (fun b -> Alloc.decref t.alloc b) t.gentable_blocks;
+  let table = encode_gentable t in
+  let blocks =
+    List.map (fun chunk -> (Alloc.alloc t.alloc, chunk)) (chunk_string table)
+  in
+  t.gentable_blocks <- List.map fst blocks;
+  t.commit_seq <- t.commit_seq + 1;
+  let slot = t.commit_seq mod superblock_slots in
+  let writes =
+    List.map (fun (b, chunk) -> (b, Blockdev.Data chunk)) blocks
+    @ [ (slot, Blockdev.Data (encode_superblock t)) ]
+  in
+  Blockdev.write_async t.dev writes
+
+let commit t ?name () =
+  let g, root = require_open t in
+  t.open_gen <- None;
+  Hashtbl.replace t.gens g { root; name };
+  let data_batch = List.rev t.pending_pages in
+  t.pending_pages <- [];
+  if data_batch <> [] then ignore (Blockdev.write_async t.dev data_batch);
+  ignore (Btree.flush_dirty t.tree);
+  let durable_at = write_superblock t in
+  if (Blockdev.profile t.dev).Profile.volatile_cache then begin
+    (* No power-loss protection: a synchronous flush is the only way
+       to durability, and the application pays for it. *)
+    Blockdev.flush t.dev;
+    (g, Clock.now (Blockdev.clock t.dev))
+  end
+  else (g, durable_at)
+
+let wait_durable t at = Blockdev.await t.dev at
+
+(* --- reading --------------------------------------------------------- *)
+
+let gen_root t g =
+  match Hashtbl.find_opt t.gens g with
+  | Some e -> Some e.root
+  | None -> (
+    (* Reading from the open generation is allowed (restores from the
+       working tree are not, but tests peek). *)
+    match t.open_gen with
+    | Some (og, root) when og = g -> Some root
+    | _ -> None)
+
+let read_block_data t block =
+  match Blockdev.read t.dev block with
+  | Blockdev.Data s -> s
+  | Blockdev.Seed _ | Blockdev.Zero ->
+    raise (Serial.Corrupt (Printf.sprintf "Store: block %d is not a data block" block))
+
+let read_record t g ~oid =
+  match gen_root t g with
+  | None -> None
+  | Some root -> (
+    match Btree.find t.tree ~root (key ~oid ~kind:kind_record_len ~index:0) with
+    | None | Some (Btree.Ptr _) -> None
+    | Some (Btree.Imm len64) ->
+      let len = Int64.to_int len64 in
+      let nchunks = (len + Blockdev.block_size - 1) / Blockdev.block_size in
+      let buf = Buffer.create len in
+      for i = 0 to nchunks - 1 do
+        match Btree.find t.tree ~root (key ~oid ~kind:kind_record_chunk ~index:i) with
+        | Some (Btree.Ptr block) -> Buffer.add_string buf (read_block_data t block)
+        | Some (Btree.Imm _) | None ->
+          raise (Serial.Corrupt (Printf.sprintf "Store: missing chunk %d of oid %d" i oid))
+      done;
+      Some (Buffer.contents buf))
+
+let read_blob t g ~oid ~index =
+  match gen_root t g with
+  | None -> None
+  | Some root -> (
+    match Btree.find t.tree ~root (key ~oid ~kind:kind_blob ~index) with
+    | Some (Btree.Ptr block) -> Some (read_block_data t block)
+    | Some (Btree.Imm _) | None -> None)
+
+let read_page t g ~oid ~pindex =
+  match gen_root t g with
+  | None -> None
+  | Some root -> (
+    match Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindex) with
+    | Some (Btree.Ptr block) -> (
+      match Blockdev.read t.dev block with
+      | Blockdev.Seed s -> Some s
+      | Blockdev.Zero -> Some 0L
+      | Blockdev.Data _ ->
+        raise (Serial.Corrupt (Printf.sprintf "Store: page block %d holds metadata" block)))
+    | Some (Btree.Imm _) | None -> None)
+
+let read_pages_batch t g ~oid ~pindexes =
+  match gen_root t g with
+  | None -> []
+  | Some root ->
+    let located =
+      List.filter_map
+        (fun pindex ->
+          match Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindex) with
+          | Some (Btree.Ptr block) -> Some (pindex, block)
+          | Some (Btree.Imm _) | None -> None)
+        pindexes
+    in
+    let contents = Blockdev.read_many t.dev (List.map snd located) in
+    List.map2
+      (fun (pindex, block) content ->
+        match content with
+        | Blockdev.Seed s -> (pindex, s)
+        | Blockdev.Zero -> (pindex, 0L)
+        | Blockdev.Data _ ->
+          raise (Serial.Corrupt (Printf.sprintf "Store: page block %d holds metadata" block)))
+      located contents
+
+let peek_page t g ~oid ~pindex =
+  match gen_root t g with
+  | None -> None
+  | Some root -> (
+    match Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindex) with
+    | Some (Btree.Ptr block) -> (
+      match Blockdev.peek t.dev block with
+      | Blockdev.Seed s -> Some s
+      | Blockdev.Zero -> Some 0L
+      | Blockdev.Data _ ->
+        raise (Serial.Corrupt (Printf.sprintf "Store: page block %d holds metadata" block)))
+    | Some (Btree.Imm _) | None -> None)
+
+let fold_page_indexes t g ~oid ~init ~f =
+  match gen_root t g with
+  | None -> init
+  | Some root ->
+    let lo = key ~oid ~kind:kind_page ~index:0 in
+    let hi = Int64.add lo 0xFFFF_FFFFL in
+    Btree.fold_range t.tree ~root ~lo ~hi ~init ~f:(fun acc k v ->
+        match v with
+        | Btree.Ptr _ -> f acc (Int64.to_int (Int64.logand k 0xFFFF_FFFFL))
+        | Btree.Imm _ -> acc)
+
+let fold_pages t g ~oid ~init ~f =
+  match gen_root t g with
+  | None -> init
+  | Some root ->
+    let lo = key ~oid ~kind:kind_page ~index:0 in
+    let hi = Int64.add lo 0xFFFF_FFFFL in
+    Btree.fold_range t.tree ~root ~lo ~hi ~init ~f:(fun acc k v ->
+        match v with
+        | Btree.Ptr block ->
+          let pindex = Int64.to_int (Int64.logand k 0xFFFF_FFFFL) in
+          let seed =
+            match Blockdev.read t.dev block with
+            | Blockdev.Seed s -> s
+            | Blockdev.Zero -> 0L
+            | Blockdev.Data _ ->
+              raise (Serial.Corrupt "Store: page block holds metadata")
+          in
+          f acc pindex seed
+        | Btree.Imm _ -> acc)
+
+let fold_blobs t g ~oid ~init ~f =
+  match gen_root t g with
+  | None -> init
+  | Some root ->
+    let lo = key ~oid ~kind:kind_blob ~index:0 in
+    let hi = Int64.add lo 0xFFFF_FFFFL in
+    Btree.fold_range t.tree ~root ~lo ~hi ~init ~f:(fun acc k v ->
+        match v with
+        | Btree.Ptr block ->
+          f acc (Int64.to_int (Int64.logand k 0xFFFF_FFFFL)) (read_block_data t block)
+        | Btree.Imm _ -> acc)
+
+let page_count t g ~oid =
+  match gen_root t g with
+  | None -> 0
+  | Some root ->
+    let lo = key ~oid ~kind:kind_page ~index:0 in
+    let hi = Int64.add lo 0xFFFF_FFFFL in
+    Btree.fold_range t.tree ~root ~lo ~hi ~init:0 ~f:(fun acc _ v ->
+        match v with Btree.Ptr _ -> acc + 1 | Btree.Imm _ -> acc)
+
+let oids t g =
+  match gen_root t g with
+  | None -> []
+  | Some root ->
+    Btree.fold_range t.tree ~root ~lo:Int64.min_int ~hi:Int64.max_int ~init:[]
+      ~f:(fun acc k _ ->
+        let oid = Int64.to_int (Int64.div k 0x4_0000_0000L) in
+        match acc with o :: _ when o = oid -> acc | _ -> oid :: acc)
+    |> List.rev
+
+(* --- generations ----------------------------------------------------- *)
+
+let generations t =
+  Hashtbl.fold (fun g _ acc -> g :: acc) t.gens [] |> List.sort Int.compare
+
+let latest t =
+  match generations t with [] -> None | gens -> Some (List.nth gens (List.length gens - 1))
+
+let named t =
+  Hashtbl.fold
+    (fun g e acc -> match e.name with Some n -> (n, g) :: acc | None -> acc)
+    t.gens []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find_named t name = List.assoc_opt name (named t)
+
+let name_generation t g name =
+  match Hashtbl.find_opt t.gens g with
+  | None -> invalid_arg (Printf.sprintf "Store.name_generation: unknown generation %d" g)
+  | Some e ->
+    Hashtbl.replace t.gens g { e with name = Some name };
+    let durable = write_superblock t in
+    if (Blockdev.profile t.dev).Profile.volatile_cache then Blockdev.flush t.dev
+    else Blockdev.await t.dev durable
+
+let gc t ~keep =
+  require_closed t;
+  let victims =
+    List.filter (fun g -> not (List.mem g keep)) (generations t)
+  in
+  let before = Alloc.live_blocks t.alloc in
+  List.iter
+    (fun g ->
+      match Hashtbl.find_opt t.gens g with
+      | Some e ->
+        Hashtbl.remove t.gens g;
+        Btree.release_root t.tree e.root
+      | None -> ())
+    victims;
+  if victims <> [] then begin
+    let durable = write_superblock t in
+    if (Blockdev.profile t.dev).Profile.volatile_cache then Blockdev.flush t.dev
+    else Blockdev.await t.dev durable
+  end;
+  before - Alloc.live_blocks t.alloc
+
+(* --- recovery -------------------------------------------------------- *)
+
+let decode_superblock data =
+  let r = Serial.reader data in
+  if Serial.r_string r <> magic then None
+  else
+    let commit_seq = Serial.r_int r in
+    let next_gen = Serial.r_int r in
+    let gentable_blocks = Serial.r_list r Serial.r_int in
+    Some (commit_seq, next_gen, gentable_blocks)
+
+(* Rebuild reference counts by walking every generation tree: a
+   block's count is the number of edges (parent links, value pointers,
+   generation roots) that reach it. Each node's outgoing edges are
+   counted exactly once, on first visit. *)
+let recover_refcounts t =
+  Alloc.reset t.alloc;
+  List.iter (Alloc.mark_live t.alloc) t.gentable_blocks;
+  let visited = Hashtbl.create 4096 in
+  let rec walk block =
+    Alloc.mark_live t.alloc block;
+    if not (Hashtbl.mem visited block) then begin
+      Hashtbl.replace visited block ();
+      match Btree.view t.tree block with
+      | Btree.Internal_view children -> List.iter walk children
+      | Btree.Leaf_view entries ->
+        List.iter
+          (fun (_, v) ->
+            match v with
+            | Btree.Ptr data_block ->
+              Alloc.mark_live t.alloc data_block;
+              (* Rebuild the dedup index from page blocks. *)
+              if not (Hashtbl.mem visited data_block) then begin
+                Hashtbl.replace visited data_block ();
+                (* Re-add content addresses. Identical content may sit
+                   in several blocks (record chunks are not deduped at
+                   write time), so first mapping wins. *)
+                let add_if_absent hash =
+                  if Dedup.find t.dedup ~hash = None then
+                    Dedup.add t.dedup ~hash ~block:data_block
+                in
+                match Blockdev.read t.dev data_block with
+                | Blockdev.Seed s -> add_if_absent (Content.hash (Content.of_seed s))
+                | Blockdev.Data d -> add_if_absent (hash_string d)
+                | Blockdev.Zero -> ()
+              end
+            | Btree.Imm _ -> ())
+          entries
+    end
+  in
+  Hashtbl.iter (fun _ e -> walk e.root) t.gens
+
+let open_ ~dev =
+  let read_slot slot =
+    match Blockdev.read dev slot with
+    | Blockdev.Data s -> ( try decode_superblock s with Serial.Corrupt _ -> None)
+    | Blockdev.Seed _ | Blockdev.Zero -> None
+  in
+  let candidates = List.filter_map read_slot (List.init superblock_slots Fun.id) in
+  match List.sort (fun (a, _, _) (b, _, _) -> Int.compare b a) candidates with
+  | [] -> failwith "Store.open_: no valid superblock"
+  | (commit_seq, next_gen, gentable_blocks) :: _ ->
+    let t = make dev in
+    t.commit_seq <- commit_seq;
+    t.next_gen <- next_gen;
+    t.gentable_blocks <- gentable_blocks;
+    (* A store that never committed a generation has no table. *)
+    if gentable_blocks <> [] then begin
+      let table =
+        String.concat ""
+          (List.map
+             (fun b ->
+               match Blockdev.read dev b with
+               | Blockdev.Data s -> s
+               | Blockdev.Seed _ | Blockdev.Zero ->
+                 raise (Serial.Corrupt "Store: bad generation table block"))
+             gentable_blocks)
+      in
+      List.iter (fun (g, e) -> Hashtbl.replace t.gens g e) (decode_gentable table)
+    end;
+    recover_refcounts t;
+    Btree.begin_epoch t.tree t.next_gen;
+    t
+
+(* --- introspection --------------------------------------------------- *)
+
+type stats = {
+  live_blocks : int;
+  dedup_entries : int;
+  dedup_hits : int;
+  dedup_misses : int;
+  committed_generations : int;
+}
+
+let stats t =
+  {
+    live_blocks = Alloc.live_blocks t.alloc;
+    dedup_entries = Dedup.entries t.dedup;
+    dedup_hits = Dedup.hits t.dedup;
+    dedup_misses = Dedup.misses t.dedup;
+    committed_generations = Hashtbl.length t.gens;
+  }
+
+let fsck t =
+  require_closed t;
+  let problems = ref [] in
+  let problem fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  (* Count reachable edges per block (generation roots, tree edges,
+     value pointers, generation-table blocks). *)
+  let edges : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let edge b = Hashtbl.replace edges b (1 + Option.value ~default:0 (Hashtbl.find_opt edges b)) in
+  List.iter edge t.gentable_blocks;
+  let visited = Hashtbl.create 4096 in
+  let rec walk block =
+    edge block;
+    if not (Hashtbl.mem visited block) then begin
+      Hashtbl.replace visited block ();
+      if Alloc.refcount t.alloc block = 0 then
+        problem "reachable block %d is unallocated" block;
+      match Btree.view t.tree block with
+      | exception Serial.Corrupt msg -> problem "node %d corrupt: %s" block msg
+      | Btree.Internal_view children -> List.iter walk children
+      | Btree.Leaf_view entries ->
+        List.iter
+          (fun (_, v) ->
+            match v with
+            | Btree.Ptr data_block ->
+              edge data_block;
+              if Alloc.refcount t.alloc data_block = 0 then
+                problem "data block %d is unallocated" data_block
+            | Btree.Imm _ -> ())
+          entries
+    end
+  in
+  Hashtbl.iter (fun _ e -> walk e.root) t.gens;
+  (* Reference counts must equal reachable edges. *)
+  Hashtbl.iter
+    (fun block n ->
+      let rc = Alloc.refcount t.alloc block in
+      if rc <> n then problem "block %d: refcount %d, reachable edges %d" block rc n)
+    edges;
+  (* Records must read back whole (an oid may hold only pages, which
+     is fine; a corrupt or truncated record is not). *)
+  Hashtbl.iter
+    (fun g _ ->
+      List.iter
+        (fun oid ->
+          match read_record t g ~oid with
+          | Some _ | None -> ()
+          | exception Serial.Corrupt msg ->
+            problem "generation %d oid %d: %s" g oid msg)
+        (oids t g))
+    t.gens;
+  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+let drop_caches t =
+  require_closed t;
+  Btree.drop_cache t.tree

@@ -1,0 +1,148 @@
+(** The Aurora object store.
+
+    Checkpoints are {e generations}: each generation is a COW B+tree
+    root indexing, per object id, a metadata record (chunked into
+    blocks) and a set of pages (deduplicated across all generations and
+    images by content hash). An incremental checkpoint starts from the
+    previous generation's tree, so unchanged objects and pages cost
+    nothing new — "it thus never flushes the same page twice".
+
+    Durability: data and tree nodes are queued to the device
+    asynchronously; {!commit} finishes by writing the generation table
+    and flipping between the two superblock slots, and returns the
+    absolute simulated time at which the checkpoint is durable. On a
+    device with a volatile write cache the commit instead issues a
+    synchronous flush (this is why the paper's testbed uses Optane).
+    A crash between commits recovers the last committed superblock —
+    never a torn generation.
+
+    Write ordering guarantees the superblock never points at
+    unwritten blocks: the device queue is FIFO and the superblock is
+    queued last.
+
+    Garbage collection is in place: {!gc} releases dropped
+    generations' roots; reference counts free exactly the blocks no
+    surviving generation shares. *)
+
+open Aurora_simtime
+open Aurora_device
+
+type t
+type gen = int
+
+val format : ?dedup:bool -> dev:Blockdev.t -> unit -> t
+(** Initialize a fresh store on the device (writes superblock 0).
+    [dedup] (default true) enables content-addressed page/blob
+    deduplication; disabling it exists for the ablation bench. *)
+
+val open_ : dev:Blockdev.t -> t
+(** Recover from the newest valid superblock: re-reads the generation
+    table and walks every generation's tree to rebuild reference
+    counts and the deduplication index. Device reads are charged to
+    the simulated clock (recovery is not free). Raises
+    [Failure] when no valid superblock exists. *)
+
+val device : t -> Blockdev.t
+
+(* --- building a generation ----------------------------------------- *)
+
+val begin_generation : t -> ?base:gen -> unit -> gen
+(** Open a new generation. With [base] (default: the newest committed
+    generation, if any) the new tree starts as a snapshot of the base
+    — an incremental checkpoint. Without a committed base it starts
+    empty (a full checkpoint). Raises [Invalid_argument] if a
+    generation is already open or [base] is unknown. *)
+
+val put_record : t -> oid:int -> string -> unit
+(** Store/replace the metadata record for an object in the open
+    generation. *)
+
+val put_page : t -> oid:int -> pindex:int -> seed:int64 -> unit
+(** Store/replace a page. Content (identified by its seed) is
+    deduplicated store-wide. *)
+
+val put_blob : t -> oid:int -> index:int -> string -> unit
+(** Store/replace a byte blob of at most one block (file-data chunks).
+    Deduplicated store-wide by content hash, like pages. Raises
+    [Invalid_argument] if the blob exceeds the block size. *)
+
+val commit : t -> ?name:string -> unit -> gen * Duration.t
+(** Close the open generation; returns it with its durability time
+    (see above). Does not advance the clock past CPU serialization
+    cost — flushing proceeds on the device timeline. *)
+
+val wait_durable : t -> Duration.t -> unit
+(** Block (advance the clock) until the given durability time. *)
+
+(* --- reading -------------------------------------------------------- *)
+
+val read_record : t -> gen -> oid:int -> string option
+val read_page : t -> gen -> oid:int -> pindex:int -> int64 option
+val read_blob : t -> gen -> oid:int -> index:int -> string option
+
+val read_pages_batch : t -> gen -> oid:int -> pindexes:int list -> (int * int64) list
+(** Read several pages as one device command (latency paid once —
+    the restore prefetch path). Missing indexes are omitted. *)
+
+val peek_page : t -> gen -> oid:int -> pindex:int -> int64 option
+(** Like {!read_page} but the data block read is not charged to the
+    clock (index lookups still are, on cache misses). Used by lazy
+    restore: the page's device cost is paid by the fault that brings
+    it in, not at mapping time. *)
+
+val fold_page_indexes :
+  t -> gen -> oid:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Page indexes only — no data blocks are read. *)
+
+val fold_blobs : t -> gen -> oid:int -> init:'a -> f:('a -> int -> string -> 'a) -> 'a
+(** Blob (index, data) pairs of an object, in index order. *)
+
+val fold_pages : t -> gen -> oid:int -> init:'a -> f:('a -> int -> int64 -> 'a) -> 'a
+val oids : t -> gen -> int list
+(** Object ids with records in the generation, ascending. *)
+
+val page_count : t -> gen -> oid:int -> int
+
+(* --- generations ---------------------------------------------------- *)
+
+val generations : t -> gen list
+(** Committed generations, ascending. *)
+
+val latest : t -> gen option
+val named : t -> (string * gen) list
+val find_named : t -> string -> gen option
+
+(** [name_generation t g name] attaches (or replaces) a name on a
+    committed generation — a zero-copy snapshot. Durably updates the
+    generation table. Raises [Invalid_argument] on an unknown
+    generation. *)
+val name_generation : t -> gen -> string -> unit
+val gc : t -> keep:gen list -> int
+(** Drop all committed generations not listed; returns how many blocks
+    were freed in place. Unknown ids in [keep] are ignored. *)
+
+(* --- introspection -------------------------------------------------- *)
+
+type stats = {
+  live_blocks : int;
+  dedup_entries : int;
+  dedup_hits : int;
+  dedup_misses : int;
+  committed_generations : int;
+}
+
+val stats : t -> stats
+
+val fsck : t -> (unit, string list) result
+(** Integrity check ("scrub"): walks every committed generation and
+    verifies (a) each tree node decodes and each reachable block is
+    allocated, (b) every record reads back completely, (c) reference
+    counts equal the number of reachable edges, and (d) the
+    deduplication index maps only to live blocks. Returns the list of
+    violations, empty on a healthy store. Raises [Invalid_argument]
+    while a generation is open. *)
+
+val drop_caches : t -> unit
+(** Evict clean caches so subsequent reads hit the device (cold
+    restore measurements). Raises [Invalid_argument] while a
+    generation is open. *)

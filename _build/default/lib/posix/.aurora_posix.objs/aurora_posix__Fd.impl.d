@@ -1,0 +1,1 @@
+lib/posix/fd.ml: Aurora_vfs Hashtbl Int List Printf Serial Vnode

@@ -1,0 +1,1 @@
+lib/posix/fd.mli: Aurora_vfs Hashtbl Serial Vnode

@@ -1,0 +1,1 @@
+lib/posix/fifo.ml: Buffer Queue Serial String

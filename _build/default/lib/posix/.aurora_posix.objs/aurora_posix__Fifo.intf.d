@@ -1,0 +1,1 @@
+lib/posix/fifo.mli: Serial

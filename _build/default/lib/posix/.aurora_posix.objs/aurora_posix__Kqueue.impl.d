@@ -1,0 +1,1 @@
+lib/posix/kqueue.ml: List Printf Serial

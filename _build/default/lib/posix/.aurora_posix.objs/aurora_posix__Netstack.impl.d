@@ -1,0 +1,1 @@
+lib/posix/netstack.ml: Hashtbl Int List Printf Serial String Unixsock

@@ -1,0 +1,1 @@
+lib/posix/netstack.mli: Serial Unixsock

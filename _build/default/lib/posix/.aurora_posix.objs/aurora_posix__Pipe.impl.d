@@ -1,0 +1,1 @@
+lib/posix/pipe.ml: Fifo Serial

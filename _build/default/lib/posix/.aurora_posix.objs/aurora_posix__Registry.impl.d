@@ -1,0 +1,1 @@
+lib/posix/registry.ml: Hashtbl Int Kqueue List Msgq Oidgen Pipe Printf Semaphore Serial Shm Unixsock

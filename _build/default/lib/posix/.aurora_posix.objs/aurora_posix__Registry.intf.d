@@ -1,0 +1,1 @@
+lib/posix/registry.mli: Aurora_vm Kqueue Msgq Oidgen Pipe Semaphore Serial Shm Unixsock Vmobject

@@ -1,0 +1,1 @@
+lib/posix/semaphore.mli: Serial

@@ -1,0 +1,1 @@
+lib/posix/serial.ml: Buffer Bytes Char Format Int64 List String

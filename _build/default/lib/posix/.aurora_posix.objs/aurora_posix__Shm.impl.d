@@ -1,0 +1,1 @@
+lib/posix/shm.ml: Aurora_vm Printf Serial Vmobject

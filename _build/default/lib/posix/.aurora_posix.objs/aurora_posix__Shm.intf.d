@@ -1,0 +1,1 @@
+lib/posix/shm.mli: Aurora_vm Frame Serial Vmobject

@@ -1,0 +1,1 @@
+lib/posix/unixsock.ml: Fifo List Printf Serial

@@ -1,0 +1,1 @@
+lib/posix/unixsock.mli: Serial

@@ -1,0 +1,10 @@
+type t = { mutable next : int }
+
+let create () = { next = 1 }
+
+let next t =
+  let v = t.next in
+  t.next <- t.next + 1;
+  v
+
+let reserve_above t v = if v >= t.next then t.next <- v + 1

@@ -1,0 +1,16 @@
+(** Kernel object identifiers.
+
+    Every first-class object (pipe, socket, shared memory segment,
+    open file description, process, VM object reference, ...) carries
+    a machine-unique oid. Checkpoints use oids as the cross-reference
+    currency: shared objects are serialized once and re-linked by oid
+    on restore. *)
+
+type t
+
+val create : unit -> t
+val next : t -> int
+val reserve_above : t -> int -> unit
+(** Ensure future ids exceed the given value — used on restore so
+    recreated objects can keep their checkpointed oids without
+    colliding with fresh allocations. *)

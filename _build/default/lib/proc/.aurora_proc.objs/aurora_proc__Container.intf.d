@@ -1,0 +1,1 @@
+lib/proc/container.mli: Format

@@ -1,0 +1,1 @@
+lib/proc/context.ml: Array Aurora_posix Format Int64 List Printf Serial

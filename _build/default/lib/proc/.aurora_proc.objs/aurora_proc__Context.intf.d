@@ -1,0 +1,1 @@
+lib/proc/context.mli: Aurora_posix Format Serial

@@ -1,0 +1,1 @@
+lib/proc/kernel.ml: Aurora_posix Aurora_simtime Aurora_vfs Aurora_vm Clock Container Duration Fd Format Frame Hashtbl Int List Memfs Netstack Printf Prng Process Registry Tracelog Unixsock Vmmap

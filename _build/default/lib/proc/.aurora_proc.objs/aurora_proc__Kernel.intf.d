@@ -1,0 +1,1 @@
+lib/proc/kernel.mli: Aurora_posix Aurora_simtime Aurora_vfs Aurora_vm Clock Container Duration Fd Format Frame Hashtbl Memfs Netstack Prng Process Registry Tracelog Unixsock

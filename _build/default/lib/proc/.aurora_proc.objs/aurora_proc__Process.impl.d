@@ -1,0 +1,1 @@
+lib/proc/process.ml: Aurora_posix Aurora_vm Fd Format List Printf Thread Vmmap

@@ -1,0 +1,1 @@
+lib/proc/process.mli: Aurora_posix Aurora_vm Fd Format Thread Vmmap

@@ -1,0 +1,1 @@
+lib/proc/program.ml: Hashtbl Kernel List Printf Process String Thread

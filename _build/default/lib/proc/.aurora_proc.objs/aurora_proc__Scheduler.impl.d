@@ -1,0 +1,1 @@
+lib/proc/scheduler.ml: Aurora_device Aurora_posix Aurora_simtime Clock Context Costmodel Duration Kernel Kqueue List Msgq Pipe Process Program Registry Semaphore Syscall Thread Unixsock

@@ -1,0 +1,1 @@
+lib/proc/scheduler.mli: Aurora_simtime Duration Kernel

@@ -1,0 +1,1 @@
+lib/proc/syscall.mli: Aurora_posix Aurora_simtime Aurora_vm Content Duration Kernel Kqueue Process Shm Thread Vmmap

@@ -1,0 +1,1 @@
+lib/proc/thread.ml: Aurora_posix Aurora_simtime Context Duration Format Printf Serial

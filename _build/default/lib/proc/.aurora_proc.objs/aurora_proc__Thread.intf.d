@@ -1,0 +1,1 @@
+lib/proc/thread.mli: Aurora_posix Aurora_simtime Context Duration Format Serial

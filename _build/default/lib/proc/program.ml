@@ -1,0 +1,20 @@
+type step_result =
+  | Continue
+  | Yield
+  | Block of Thread.wait
+  | Exit_program of int
+
+type step_fn = Kernel.t -> Process.t -> Thread.t -> step_result
+
+let table : (string, step_fn) Hashtbl.t = Hashtbl.create 16
+
+let register ~name fn = Hashtbl.replace table name fn
+let find name = Hashtbl.find_opt table name
+
+let find_exn name =
+  match find name with
+  | Some fn -> fn
+  | None -> invalid_arg (Printf.sprintf "Program.find_exn: no program %S" name)
+
+let registered () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) table [] |> List.sort String.compare

@@ -1,0 +1,109 @@
+(** The system call layer: what simulated programs invoke.
+
+    Every call charges trap overhead on the simulated clock and
+    operates on the calling process's descriptor table, address space,
+    and the kernel's object registry — it is the POSIX surface of the
+    simulated OS. All potentially-blocking operations are non-blocking
+    here and return [`Would_block]; programs convert that into a
+    {!Thread.wait} (the scheduler re-runs them when the condition
+    clears), mirroring an event-driven server on a real kernel. *)
+
+open Aurora_simtime
+open Aurora_vm
+open Aurora_posix
+
+exception Sys_error of string
+(** Programming errors (bad descriptor, wrong object class, missing
+    path): the simulated equivalent of a fatal errno. *)
+
+(* --- files --------------------------------------------------------- *)
+
+val open_file :
+  Kernel.t -> Process.t -> ?create:bool -> ?append:bool -> string -> int
+(** Returns a descriptor. With [create], creates the file (parents must
+    exist). *)
+
+val read : Kernel.t -> Process.t -> int -> len:int ->
+  [ `Data of string | `Eof | `Would_block ]
+val write : Kernel.t -> Process.t -> int -> string ->
+  [ `Written of int | `Would_block | `Broken ]
+val lseek : Kernel.t -> Process.t -> int -> int -> unit
+val fsync : Kernel.t -> Process.t -> int -> unit
+val close : Kernel.t -> Process.t -> int -> unit
+val dup : Kernel.t -> Process.t -> int -> int
+val mkdir : Kernel.t -> Process.t -> string -> unit
+val unlink : Kernel.t -> Process.t -> string -> unit
+val rename : Kernel.t -> Process.t -> src:string -> dst:string -> unit
+val file_size : Kernel.t -> Process.t -> int -> int
+
+(* --- pipes and sockets --------------------------------------------- *)
+
+val pipe : Kernel.t -> Process.t -> int * int
+(** (read descriptor, write descriptor). *)
+
+val socketpair : Kernel.t -> Process.t -> int * int
+
+val socket : Kernel.t -> Process.t -> [ `Unix | `Tcp ] -> int
+
+val bind_listen : Kernel.t -> Process.t -> int -> addr:string -> backlog:int -> unit
+(** For [`Unix] sockets [addr] is a path; for [`Tcp], a decimal port. *)
+
+val connect : Kernel.t -> Process.t -> int -> addr:string -> [ `Ok | `Refused ]
+val accept : Kernel.t -> Process.t -> int -> [ `Fd of int | `Would_block ]
+
+(* --- shared memory ------------------------------------------------- *)
+
+val shm_open : Kernel.t -> Process.t -> flavor:Shm.flavor -> name:string -> npages:int -> int
+(** Create-or-open a segment by name; returns its oid. *)
+
+val shm_attach : Kernel.t -> Process.t -> int -> Vmmap.entry
+val shm_detach : Kernel.t -> Process.t -> int -> Vmmap.entry -> unit
+
+(* --- message queues / semaphores / kqueue -------------------------- *)
+
+val msgq_open : Kernel.t -> Process.t -> key:string -> int
+val msgq_send : Kernel.t -> Process.t -> int -> mtype:int -> string -> [ `Ok | `Would_block ]
+val msgq_recv : Kernel.t -> Process.t -> int -> ?mtype:int -> unit ->
+  [ `Msg of int * string | `Would_block ]
+
+val sem_open : Kernel.t -> Process.t -> name:string -> value:int -> int
+val sem_wait : Kernel.t -> Process.t -> int -> [ `Ok | `Would_block ]
+val sem_post : Kernel.t -> Process.t -> int -> unit
+
+val kqueue : Kernel.t -> Process.t -> int
+val kevent_register : Kernel.t -> Process.t -> kq:int -> ident:int -> Kqueue.filter -> unit
+val kevent_trigger : Kernel.t -> Process.t -> kq:int -> ident:int -> Kqueue.filter -> unit
+val kevent_poll : Kernel.t -> Process.t -> kq:int -> max:int -> (int * Kqueue.filter) list
+
+(* --- memory -------------------------------------------------------- *)
+
+val mmap_anon : Kernel.t -> Process.t -> npages:int -> Vmmap.entry
+val munmap : Kernel.t -> Process.t -> Vmmap.entry -> unit
+val mem_write : Kernel.t -> Process.t -> vpn:int -> offset:int -> value:int64 -> unit
+val mem_load_page : Kernel.t -> Process.t -> vpn:int -> Content.t -> unit
+val mem_read : Kernel.t -> Process.t -> vpn:int -> offset:int -> int64
+val mem_page : Kernel.t -> Process.t -> vpn:int -> Content.t
+
+(* --- processes ----------------------------------------------------- *)
+
+val fork : Kernel.t -> Process.t -> Thread.t -> Process.t
+(** The child is a copy: forked address space, shared descriptions,
+    duplicated calling-thread context. Register 0 of the calling
+    thread receives the child pid; the child's register 0 is 0. *)
+
+val exit_process : Kernel.t -> Process.t -> int -> unit
+(** Closes descriptors, tears down the address space, marks threads
+    exited; the process lingers as a zombie until reaped. *)
+
+val waitpid : Kernel.t -> Process.t -> int -> [ `Reaped of int * int | `Would_block ]
+(** [`Reaped (pid, status)]. Pass [-1] for "any child". *)
+
+val sleep_until : Kernel.t -> Process.t -> Duration.t -> Thread.wait
+(** Helper: the wait value for an absolute deadline. *)
+
+(* --- libsls -------------------------------------------------------- *)
+
+val sls : Kernel.t -> Process.t -> Kernel.sls_op -> Kernel.sls_result
+(** Invoke the SLS from inside a program (the machine installs the
+    handler; raises {!Sys_error} when no SLS is attached or the caller
+    belongs to no persistence group). *)

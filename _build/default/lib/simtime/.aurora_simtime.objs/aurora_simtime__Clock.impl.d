@@ -1,0 +1,1 @@
+lib/simtime/clock.ml: Duration Format

@@ -1,0 +1,1 @@
+lib/simtime/duration.ml: Float Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/simtime/duration.mli: Format

@@ -1,0 +1,1 @@
+lib/simtime/prng.ml: Array Float Hashtbl Int64 Stdlib

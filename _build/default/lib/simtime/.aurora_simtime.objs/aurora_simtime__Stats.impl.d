@@ -1,0 +1,1 @@
+lib/simtime/stats.ml: Array Duration Float Format

@@ -1,0 +1,1 @@
+lib/simtime/stats.mli: Duration Format

@@ -1,0 +1,1 @@
+lib/simtime/tracelog.ml: Array Clock Duration Format List String

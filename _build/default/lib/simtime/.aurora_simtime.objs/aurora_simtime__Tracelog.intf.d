@@ -1,0 +1,1 @@
+lib/simtime/tracelog.mli: Clock Duration Format

@@ -1,0 +1,13 @@
+type t = { mutable now : Duration.t }
+
+let create () = { now = Duration.zero }
+let now c = c.now
+let advance c d = c.now <- Duration.add c.now d
+let advance_to c t = if Duration.(t > c.now) then c.now <- t
+
+let lap c f =
+  let start = c.now in
+  let result = f () in
+  (result, Duration.sub c.now start)
+
+let pp ppf c = Format.fprintf ppf "t=%a" Duration.pp c.now

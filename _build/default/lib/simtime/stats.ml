@@ -1,0 +1,63 @@
+type t = {
+  mutable samples : float list;
+  mutable sorted : float array option; (* cache, invalidated by add *)
+  mutable count : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sumsq : float;
+}
+
+let create () =
+  { samples = []; sorted = None; count = 0; total = 0.0;
+    min_v = Float.infinity; max_v = Float.neg_infinity; sumsq = 0.0 }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.sorted <- None;
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let add_duration t d = add t (Duration.to_us d)
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then Float.nan else t.total /. float_of_int t.count
+let min_value t = if t.count = 0 then Float.nan else t.min_v
+let max_value t = if t.count = 0 then Float.nan else t.max_v
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort Float.compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  if t.count = 0 then Float.nan
+  else begin
+    let a = sorted t in
+    let rank = int_of_float (Float.round (p /. 100.0 *. float_of_int (t.count - 1))) in
+    a.(rank)
+  end
+
+let median t = percentile t 50.0
+
+let stddev t =
+  if t.count < 2 then 0.0
+  else begin
+    let m = mean t in
+    let var = (t.sumsq /. float_of_int t.count) -. (m *. m) in
+    if var <= 0.0 then 0.0 else sqrt var
+  end
+
+let pp_summary ppf t =
+  if t.count = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f"
+      t.count (mean t) (median t) (percentile t 99.0) t.max_v

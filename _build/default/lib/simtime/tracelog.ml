@@ -1,0 +1,52 @@
+type event = { at : Duration.t; subsystem : string; message : string }
+
+type t = {
+  clock : Clock.t;
+  capacity : int;
+  buf : event option array;
+  mutable next : int; (* total events ever recorded *)
+}
+
+let create ?(capacity = 65536) clock =
+  if capacity <= 0 then invalid_arg "Tracelog.create: capacity <= 0";
+  { clock; capacity; buf = Array.make capacity None; next = 0 }
+
+let record t ~subsystem message =
+  let e = { at = Clock.now t.clock; subsystem; message } in
+  t.buf.(t.next mod t.capacity) <- Some e;
+  t.next <- t.next + 1
+
+let recordf t ~subsystem fmt =
+  Format.kasprintf (fun s -> record t ~subsystem s) fmt
+
+let events t =
+  let start = if t.next > t.capacity then t.next - t.capacity else 0 in
+  let rec collect i acc =
+    if i < start then acc
+    else
+      match t.buf.(i mod t.capacity) with
+      | None -> collect (i - 1) acc
+      | Some e -> collect (i - 1) (e :: acc)
+  in
+  collect (t.next - 1) []
+
+let find t ~subsystem ~substring =
+  let matches e =
+    String.equal e.subsystem subsystem
+    &&
+    let len_m = String.length e.message and len_s = String.length substring in
+    let rec scan i =
+      if i + len_s > len_m then false
+      else if String.sub e.message i len_s = substring then true
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  List.find_opt matches (events t)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%a] %s: %s" Duration.pp e.at e.subsystem e.message

@@ -1,0 +1,24 @@
+(** Timestamped event trace.
+
+    A ring buffer of simulated-time events, used by tests to assert
+    ordering properties (e.g. "no external output released before its
+    checkpoint became durable") and by examples for narration. *)
+
+type t
+
+type event = { at : Duration.t; subsystem : string; message : string }
+
+val create : ?capacity:int -> Clock.t -> t
+(** Default capacity 65536 events; older events are dropped. *)
+
+val record : t -> subsystem:string -> string -> unit
+val recordf : t -> subsystem:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val events : t -> event list
+(** Oldest first. *)
+
+val find : t -> subsystem:string -> substring:string -> event option
+(** First event of the subsystem whose message contains the substring. *)
+
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/sls/api.ml: Aurora_objstore Aurora_posix Aurora_proc Aurora_vm Context Fd Kernel List Machine Ntlog Option Printf Process Store Thread Types Vmmap

@@ -1,0 +1,1 @@
+lib/sls/api.mli: Aurora_objstore Aurora_proc Aurora_simtime Aurora_vm Duration Machine Process Store Types Vmmap

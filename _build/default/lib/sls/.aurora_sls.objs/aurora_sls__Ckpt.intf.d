@@ -1,0 +1,1 @@
+lib/sls/ckpt.mli: Aurora_proc Kernel Types

@@ -1,0 +1,1 @@
+lib/sls/criu_baseline.ml: Aurora_device Aurora_objstore Aurora_proc Aurora_simtime Aurora_slsfs Aurora_vm Clock Content Costmodel Duration Kernel List Oidspace Serialize Stats Store Types Vmobject

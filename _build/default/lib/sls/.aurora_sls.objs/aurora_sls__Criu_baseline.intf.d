@@ -1,0 +1,1 @@
+lib/sls/criu_baseline.mli: Aurora_proc Kernel Types

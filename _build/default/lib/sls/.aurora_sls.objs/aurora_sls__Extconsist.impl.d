@@ -1,0 +1,1 @@
+lib/sls/extconsist.ml: Aurora_posix Aurora_proc Aurora_simtime Clock Duration Fd Kernel List Process String Types Unixsock

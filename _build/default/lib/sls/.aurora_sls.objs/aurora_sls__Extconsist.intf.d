@@ -1,0 +1,1 @@
+lib/sls/extconsist.mli: Aurora_posix Aurora_proc Aurora_simtime Duration Kernel Process Types

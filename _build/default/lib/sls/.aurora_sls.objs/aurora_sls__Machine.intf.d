@@ -1,0 +1,1 @@
+lib/sls/machine.mli: Aurora_device Aurora_objstore Aurora_proc Aurora_simtime Aurora_vm Blockdev Clock Duration Extconsist Kernel Profile Store Types

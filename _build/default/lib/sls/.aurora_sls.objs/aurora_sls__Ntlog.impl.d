@@ -1,0 +1,1 @@
+lib/sls/ntlog.ml: Aurora_device Aurora_objstore Aurora_posix List Oidspace Option Printf Serial Store String Types

@@ -1,0 +1,1 @@
+lib/sls/ntlog.mli: Aurora_simtime Duration Types

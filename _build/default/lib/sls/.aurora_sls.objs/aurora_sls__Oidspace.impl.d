@@ -1,0 +1,1 @@
+lib/sls/oidspace.ml: Aurora_slsfs

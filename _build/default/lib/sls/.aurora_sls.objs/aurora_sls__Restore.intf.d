@@ -1,0 +1,1 @@
+lib/sls/restore.mli: Aurora_objstore Aurora_proc Kernel Store Types

@@ -1,0 +1,1 @@
+lib/sls/rr.ml: Aurora_posix Aurora_proc Kernel List Ntlog Oidspace Serial Types Unixsock

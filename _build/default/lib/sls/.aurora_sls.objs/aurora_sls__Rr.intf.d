@@ -1,0 +1,1 @@
+lib/sls/rr.mli: Aurora_proc Types

@@ -1,0 +1,1 @@
+lib/sls/sendrecv.ml: Aurora_device Aurora_objstore Aurora_posix Hashtbl List Netlink Oidspace Option Printf Serial Serialize Store String

@@ -1,0 +1,1 @@
+lib/sls/sendrecv.mli: Aurora_device Aurora_objstore Aurora_simtime Duration Netlink Store

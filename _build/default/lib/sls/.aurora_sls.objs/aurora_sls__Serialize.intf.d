@@ -1,0 +1,1 @@
+lib/sls/serialize.mli: Aurora_proc Aurora_simtime Aurora_vm Duration Kernel Thread Types Vmmap Vmobject

@@ -1,0 +1,1 @@
+lib/sls/types.ml: Aurora_device Aurora_objstore Aurora_proc Aurora_simtime Duration Format Kernel List Netlink Process Stats Store

@@ -1,0 +1,1 @@
+lib/sls/types.mli: Aurora_device Aurora_objstore Aurora_proc Aurora_simtime Duration Format Kernel Netlink Process Stats Store

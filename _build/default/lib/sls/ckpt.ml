@@ -1,0 +1,114 @@
+open Aurora_simtime
+open Aurora_device
+open Aurora_vm
+open Aurora_posix
+open Aurora_proc
+open Aurora_vfs
+open Aurora_objstore
+
+(* Count, per vnode, the open file descriptions captured by this
+   checkpoint — the value of Aurora's on-disk open reference count. *)
+let persistent_opens (k : Kernel.t) (g : Types.pgroup) =
+  let counts = Hashtbl.create 16 in
+  let seen_ofds = Hashtbl.create 32 in
+  List.iter
+    (fun (p : Process.t) ->
+      if Types.member k g p && not (Process.is_zombie p) then
+        List.iter
+          (fun (_, ofd) ->
+            if not (Hashtbl.mem seen_ofds ofd.Fd.ofd_oid) then begin
+              Hashtbl.replace seen_ofds ofd.Fd.ofd_oid ();
+              match ofd.Fd.kind with
+              | Fd.Vnode_file { vnode; _ } ->
+                let c =
+                  Option.value ~default:0 (Hashtbl.find_opt counts vnode.Vnode.vid)
+                in
+                Hashtbl.replace counts vnode.Vnode.vid (c + 1)
+              | Fd.Obj _ -> ()
+            end)
+          (Fd.descriptors p.Process.fdtable))
+    (Kernel.processes k);
+  fun vid -> Option.value ~default:0 (Hashtbl.find_opt counts vid)
+
+let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
+  let store =
+    match Types.primary_store g with
+    | Some s -> s
+    | None -> invalid_arg "Ckpt.checkpoint: group has no local backend"
+  in
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> if g.Types.incremental then `Incremental else `Full
+  in
+  let clock = k.Kernel.clock in
+  let barrier_at = Clock.now clock in
+
+  (* --- barrier: metadata copy --------------------------------------- *)
+  let records = Serialize.snapshot_metadata k g in
+  let metadata_copy = records.Serialize.metadata_cost in
+
+  (* --- barrier: COW arming ("lazy data copy") ------------------------ *)
+  let arm_started = Clock.now clock in
+  let arm_mode = match mode with `Full -> `Full | `Incremental -> `Dirty_only in
+  let captures =
+    List.map
+      (fun (obj, store_oid) ->
+        let items = Vmobject.arm_for_checkpoint obj ~mode:arm_mode in
+        Kernel.charge k (Costmodel.cow_arm ~pages:(List.length items));
+        (store_oid, items))
+      records.Serialize.vm_objects
+  in
+  let pages_captured =
+    List.fold_left (fun acc (_, items) -> acc + List.length items) 0 captures
+  in
+  let lazy_data_copy = Duration.sub (Clock.now clock) arm_started in
+  let stop_time = Duration.sub (Clock.now clock) barrier_at in
+  g.Types.last_barrier <- barrier_at;
+  Stats.add_duration g.Types.stop_stats stop_time;
+
+  (* --- background: flush into the object store ----------------------- *)
+  (* The orchestrator core does this work while the application runs;
+     it consumes device-queue time but not application CPU time. *)
+  let gen = Store.begin_generation store () in
+  Store.put_record store ~oid:(Oidspace.manifest g.Types.pgid) records.Serialize.manifest;
+  List.iter (fun (oid, record) -> Store.put_record store ~oid record)
+    records.Serialize.items;
+  List.iter
+    (fun (store_oid, items) ->
+      List.iter
+        (fun item ->
+          Store.put_page store ~oid:store_oid ~pindex:item.Vmobject.pindex
+            ~seed:(Content.to_seed item.Vmobject.content))
+        items)
+    captures;
+  if with_fs then
+    Aurora_slsfs.Slsfs.checkpoint_fs store k.Kernel.fs
+      ~popen_of_vid:(persistent_opens k g);
+  let gen', durable_at = Store.commit store ?name () in
+  assert (gen = gen');
+  (* The flush has the data now; release the held frames. *)
+  List.iter
+    (fun (_, items) ->
+      List.iter (Vmobject.release_flush_item ~pool:k.Kernel.pool) items)
+    captures;
+  g.Types.last_gen <- Some gen;
+  let breakdown =
+    {
+      Types.gen;
+      mode;
+      metadata_copy;
+      lazy_data_copy;
+      stop_time;
+      pages_captured;
+      records_written = List.length records.Serialize.items + 1;
+      barrier_at;
+      durable_at;
+    }
+  in
+  g.Types.last_breakdown <- Some breakdown;
+  Tracelog.recordf k.Kernel.trace ~subsystem:"ckpt"
+    "pgroup %d gen %d %s stop=%.1fus pages=%d" g.Types.pgid gen
+    (match mode with `Full -> "full" | `Incremental -> "incr")
+    (Duration.to_us stop_time) pages_captured;
+  breakdown

@@ -1,0 +1,35 @@
+(** The checkpoint engine.
+
+    One call = one checkpoint of one persistence group:
+
+    + {b Barrier} (the application is stopped — in the cooperative
+      simulation, nothing else runs while this code does): copy all
+      metadata into memory buffers ({!Serialize.snapshot_metadata})
+      and arm copy-on-write over the pages to capture — everything
+      resident for a full checkpoint, the object-level dirty sets for
+      an incremental one. Both phases charge the clock; their durations
+      are Table 3's "metadata copy" and "lazy data copy" rows, and
+      their sum is the application stop time.
+    + {b Background flush}: write records, pages and the file system
+      into a new object-store generation and commit. This consumes
+      device-timeline capacity but not application time (the
+      orchestrator core does the work); the returned breakdown carries
+      the absolute durability instant.
+
+    The captured page frames stay referenced until the store has their
+    contents, exactly like Aurora holding originals "while Aurora
+    flushes the original page". *)
+
+open Aurora_proc
+
+val checkpoint :
+  Kernel.t ->
+  Types.pgroup ->
+  ?mode:[ `Full | `Incremental ] ->
+  ?name:string ->
+  ?with_fs:bool ->
+  unit ->
+  Types.ckpt_breakdown
+(** [mode] defaults to the group's configured [incremental] flag;
+    [with_fs] (default true) also checkpoints the file system. Raises
+    [Invalid_argument] when the group has no local backend. *)

@@ -1,0 +1,371 @@
+open Aurora_simtime
+open Aurora_device
+open Aurora_vm
+open Aurora_proc
+open Aurora_vfs
+open Aurora_objstore
+
+type t = {
+  kernel : Kernel.t;
+  nvme : Blockdev.t;
+  memdev : Blockdev.t;
+  swap : Swap.t;
+  disk_store : Store.t;
+  mem_store : Store.t;
+  mutable pgroups : Types.pgroup list;
+  mutable next_pgid : int;
+  extcons : Extconsist.t;
+  mutable history_window : int;
+  mutable recorded : Types.pgroup list;
+}
+
+let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
+  let swap_dev =
+    Blockdev.create ~clock:kernel.Kernel.clock ~profile:(Blockdev.profile nvme) "swap0"
+  in
+  let swap = Swap.create ~dev:swap_dev ~pool:kernel.Kernel.pool in
+  let rec t =
+    lazy
+      {
+        kernel; nvme; memdev; swap; disk_store; mem_store; pgroups = [];
+        next_pgid = 1;
+        extcons =
+          Extconsist.install kernel ~groups:(fun () -> (Lazy.force t).pgroups);
+        history_window = 8;
+        recorded = [];
+      }
+  in
+  Lazy.force t
+
+let create ?(storage_profile = Profile.optane_900p) ?capacity_pages
+    ?(fs_with_disk = false) ?dedup () =
+  let kernel0 = Kernel.create ?capacity_pages () in
+  let clock = kernel0.Kernel.clock in
+  let fs =
+    if fs_with_disk then
+      Memfs.create ~backing:(Blockdev.create ~clock ~profile:storage_profile "fsdev0") ()
+    else Memfs.create ()
+  in
+  kernel0.Kernel.fs <- fs;
+  let nvme = Blockdev.create ~clock ~profile:storage_profile "nvme0" in
+  let memdev = Blockdev.create ~clock ~profile:Profile.dram "memdev0" in
+  let disk_store = Store.format ?dedup ~dev:nvme () in
+  let mem_store = Store.format ~dev:memdev () in
+  build_on ~kernel:kernel0 ~nvme ~memdev ~disk_store ~mem_store
+
+let clock t = t.kernel.Kernel.clock
+let now t = Clock.now (clock t)
+
+(* --- persistence groups --------------------------------------------- *)
+
+let disk_backend t = Types.Local { store = t.disk_store; kind = `Disk }
+let memory_backend t = Types.Local { store = t.mem_store; kind = `Memory }
+
+let persist_unattached t ?(interval = Duration.milliseconds 10) target =
+  let g = Types.make_pgroup ~pgid:t.next_pgid ~target ~interval in
+  g.Types.next_ckpt_at <- Duration.add (now t) interval;
+  t.next_pgid <- t.next_pgid + 1;
+  t.pgroups <- t.pgroups @ [ g ];
+  g
+
+let persist t ?interval ?(incremental = true) target =
+  let g = persist_unattached t ?interval target in
+  g.Types.incremental <- incremental;
+  g.Types.backends <- [ disk_backend t ];
+  g
+
+let attach _t g backend = g.Types.backends <- g.Types.backends @ [ backend ]
+
+let detach _t g backend =
+  g.Types.backends <- List.filter (fun b -> not (b == backend)) g.Types.backends
+
+(* --- checkpoints ----------------------------------------------------- *)
+
+let drain_storage t =
+  (* Advance time without scheduling the applications (they would keep
+     producing work); everything already queued becomes durable. *)
+  Blockdev.await t.nvme (Blockdev.busy_until t.nvme);
+  Blockdev.await t.memdev (Blockdev.busy_until t.memdev)
+
+let gc_history t =
+  let keep_named = List.map snd (Store.named t.disk_store) in
+  let gens = Store.generations t.disk_store in
+  let live =
+    List.filteri (fun i _ -> i >= List.length gens - t.history_window) gens
+  in
+  (* Keep every group's restore anchor alive too. *)
+  let anchors = List.filter_map (fun g -> g.Types.last_gen) t.pgroups in
+  Store.gc t.disk_store ~keep:(keep_named @ live @ anchors)
+
+let checkpoint_now t g ?mode ?name () =
+  let b = Ckpt.checkpoint t.kernel g ?mode ?name () in
+  Extconsist.on_checkpoint t.extcons g ~barrier:b.Types.barrier_at
+    ~durable_at:b.Types.durable_at;
+  (* The checkpoint bounds the record/replay journal. *)
+  if List.memq g t.recorded then Rr.on_checkpoint g;
+  (* Secondary backends: memory stores get their own generation (same
+     engine, separate store); remotes receive the exported image. *)
+  let primary = Types.primary_store g in
+  let is_primary backend =
+    match (backend, primary) with
+    | Types.Local { store; _ }, Some p -> store == p
+    | _ -> false
+  in
+  List.iter
+    (fun backend ->
+      if not (is_primary backend) then
+        match (backend, primary) with
+        | Types.Local { store = secondary; _ }, Some p ->
+          (* Mirror the image into the secondary store (memory
+             backends for debugging, an NVDIMM tier, ...). *)
+          let image = Sendrecv.export p ~gen:b.Types.gen ~pgid:g.Types.pgid () in
+          ignore (Sendrecv.import secondary image)
+        | Types.Remote { link; side }, Some p ->
+          ignore (Sendrecv.ship link ~from_:side p ~gen:b.Types.gen ~pgid:g.Types.pgid ())
+        | _, None -> ())
+    g.Types.backends;
+  ignore (gc_history t);
+  b
+
+(* --- the orchestrator loop ------------------------------------------- *)
+
+let next_checkpoint_due t =
+  List.fold_left
+    (fun acc g ->
+      if g.Types.backends = [] then acc
+      else
+        match acc with
+        | None -> Some g.Types.next_ckpt_at
+        | Some best -> Some (Duration.min best g.Types.next_ckpt_at))
+    None t.pgroups
+
+let fire_due_checkpoints t =
+  List.iter
+    (fun g ->
+      if g.Types.backends <> [] && Duration.(now t >= g.Types.next_ckpt_at) then begin
+        ignore (checkpoint_now t g ());
+        g.Types.next_ckpt_at <- Duration.add (now t) g.Types.interval
+      end)
+    t.pgroups
+
+let run t span =
+  let deadline = Duration.add (now t) span in
+  let rec loop () =
+    ignore (Extconsist.release_due t.extcons);
+    fire_due_checkpoints t;
+    if Duration.(now t >= deadline) then ()
+    else begin
+      let horizon =
+        match next_checkpoint_due t with
+        | Some at when Duration.(at < deadline) -> at
+        | Some _ | None -> deadline
+      in
+      (match Scheduler.run t.kernel ~until:horizon with
+       | Scheduler.Deadline -> ()
+       | Scheduler.Idle | Scheduler.All_exited ->
+         (* Nothing to run: time passes to the next event anyway. *)
+         Clock.advance_to (clock t) horizon);
+      loop ()
+    end
+  in
+  loop ()
+
+let run_until_idle t =
+  let rec loop guard =
+    if guard = 0 then ()
+    else begin
+      ignore (Extconsist.release_due t.extcons);
+      match Scheduler.run_until_idle t.kernel () with
+      | Scheduler.All_exited | Scheduler.Idle ->
+        if Extconsist.pending t.extcons > 0 then begin
+          (* Let a checkpoint cover and release the buffered output. *)
+          fire_due_checkpoints t;
+          List.iter
+            (fun g ->
+              if g.Types.backends <> [] then begin
+                let b = checkpoint_now t g () in
+                Store.wait_durable
+                  (Option.get (Types.primary_store g))
+                  b.Types.durable_at
+              end)
+            t.pgroups;
+          ignore (Extconsist.release_due t.extcons);
+          loop (guard - 1)
+        end
+      | Scheduler.Deadline -> loop (guard - 1)
+    end
+  in
+  loop 16
+
+(* --- libsls syscall bridge -------------------------------------------- *)
+
+(* Resolve the caller's persistence group and dispatch the Table 2
+   operation. *)
+let handle_sls_op t ~pid op =
+  let group_of_pid () =
+    match Kernel.proc t.kernel pid with
+    | None -> invalid_arg "sls: unknown caller"
+    | Some p -> (
+      match List.find_opt (fun g -> Types.member t.kernel g p) t.pgroups with
+      | Some g -> g
+      | None -> invalid_arg "sls: caller is not in a persistence group")
+  in
+  match op with
+  | Kernel.Sls_ntflush data ->
+    (* No GC here: this is the application's low-latency log path; the
+       accumulated micro-generations are collected by the next
+       checkpoint cycle. *)
+    Kernel.Sls_time (Ntlog.flush (group_of_pid ()) data)
+  | Kernel.Sls_checkpoint ->
+    let b = checkpoint_now t (group_of_pid ()) () in
+    Kernel.Sls_time b.Types.durable_at
+  | Kernel.Sls_barrier ->
+    Ntlog.barrier (group_of_pid ());
+    Kernel.Sls_time (now t)
+  | Kernel.Sls_log_read -> Kernel.Sls_log (Ntlog.read (group_of_pid ()))
+  | Kernel.Sls_log_truncate ->
+    Ntlog.truncate (group_of_pid ());
+    Kernel.Sls_time (now t)
+  | Kernel.Sls_fdctl (fd, ext_consistency) -> (
+    let p = Kernel.proc_exn t.kernel pid in
+    match Aurora_posix.Fd.get p.Process.fdtable fd with
+    | Some ofd ->
+      ofd.Aurora_posix.Fd.flags.Aurora_posix.Fd.ext_consistency <- ext_consistency;
+      Kernel.Sls_time (now t)
+    | None -> invalid_arg (Printf.sprintf "sls_fdctl: bad descriptor %d" fd))
+  | Kernel.Sls_mctl (vpn, persist) -> (
+    let p = Kernel.proc_exn t.kernel pid in
+    match Aurora_vm.Vmmap.entry_at p.Process.vm vpn with
+    | Some entry ->
+      entry.Aurora_vm.Vmmap.persisted <- persist;
+      Kernel.Sls_time (now t)
+    | None -> invalid_arg "sls_mctl: vpn not mapped")
+
+let enable_sls_calls t =
+  t.kernel.Kernel.sls_ops <- Some (fun ~pid op -> handle_sls_op t ~pid op)
+
+(* --- record/replay ----------------------------------------------------- *)
+
+let enable_recording t g =
+  if not (List.memq g t.recorded) then begin
+    t.recorded <- g :: t.recorded;
+    (* Compose the interposition: external consistency first (it may
+       claim outbound bytes), then journal bytes whose receiver is in
+       a recorded group. *)
+    t.kernel.Kernel.send_hook <-
+      Some
+        (fun ~src ~ofd ~data ->
+          let verdict = Extconsist.handle t.extcons ~src ~ofd ~data in
+          (match (verdict, Aurora_posix.Unixsock.state src) with
+           | `Deliver, Aurora_posix.Unixsock.Connected { peer } ->
+             List.iter
+               (fun rg ->
+                 match Extconsist.endpoint_owner t.kernel peer with
+                 | Some receiver when Types.member t.kernel rg receiver -> (
+                   (* Only *boundary* traffic is nondeterministic input:
+                      intra-group bytes replay by re-execution. *)
+                   match Extconsist.endpoint_owner t.kernel (Aurora_posix.Unixsock.oid src) with
+                   | Some sender when Types.member t.kernel rg sender -> ()
+                   | Some _ | None -> Rr.record_input rg ~peer_oid:peer data)
+                 | Some _ | None -> ())
+               t.recorded
+           | _ -> ());
+          verdict)
+  end
+
+(* --- restore / clone -------------------------------------------------- *)
+
+let store_of_backend = function
+  | Types.Local { store; _ } -> Some store
+  | Types.Remote _ -> None
+
+let restore_group t g ?gen ?policy ?from () =
+  let store =
+    match from with
+    | Some b -> (
+      match store_of_backend b with
+      | Some s -> s
+      | None -> invalid_arg "Machine.restore_group: remote backends cannot restore")
+    | None -> (
+      match Types.primary_store g with
+      | Some s -> s
+      | None -> invalid_arg "Machine.restore_group: no local backend")
+  in
+  let gen =
+    match gen with
+    | Some g -> g
+    | None -> (
+      match Store.latest store with
+      | Some g -> g
+      | None -> invalid_arg "Machine.restore_group: store has no checkpoints")
+  in
+  Restore.kill_group t.kernel g;
+  Restore.restore t.kernel ~store ~gen ~pgid:g.Types.pgid ?policy ()
+
+let clone_group t g ?gen ?policy () =
+  let store =
+    match Types.primary_store g with
+    | Some s -> s
+    | None -> invalid_arg "Machine.clone_group: no local backend"
+  in
+  let gen =
+    match gen with
+    | Some g -> g
+    | None -> (
+      match Store.latest store with
+      | Some g -> g
+      | None -> invalid_arg "Machine.clone_group: store has no checkpoints")
+  in
+  Restore.restore t.kernel ~store ~gen ~pgid:g.Types.pgid ?policy ~new_pids:true ()
+
+let rollback_and_replay t g =
+  let gen =
+    match g.Types.last_gen with
+    | Some gen -> gen
+    | None -> invalid_arg "rollback_and_replay: group was never checkpointed"
+  in
+  Restore.kill_group t.kernel g;
+  let pids, _ = Restore.restore t.kernel ~store:(Option.get (Types.primary_store g))
+      ~gen ~pgid:g.Types.pgid () in
+  let replayed = Rr.replay t.kernel g in
+  (pids, replayed)
+
+let ps t =
+  List.map
+    (fun (p : Process.t) ->
+      let state =
+        if Process.is_zombie p then "zombie"
+        else if List.exists Thread.is_runnable p.Process.threads then "run"
+        else "sleep"
+      in
+      (p.Process.pid, p.Process.name, p.Process.container, state))
+    (Kernel.processes t.kernel)
+
+(* --- failure ----------------------------------------------------------- *)
+
+let crash t =
+  Blockdev.crash t.nvme;
+  Blockdev.crash t.memdev;
+  Memfs.crash t.kernel.Kernel.fs;
+  Extconsist.uninstall t.extcons
+
+let boot ~nvme =
+  (* Boot: a fresh kernel on existing hardware, sharing wall time with
+     the device. *)
+  let kernel = Kernel.create ~clock:(Blockdev.clock nvme) () in
+  let disk_store = Store.open_ ~dev:nvme in
+  (* The conventional in-memory file system is rebuilt from the last
+     durable generation (the SLS file system view of the world) — if a
+     checkpoint ever captured one. *)
+  (match Store.latest disk_store with
+   | Some gen
+     when Store.read_record disk_store gen ~oid:Oidspace.fs_manifest_oid <> None ->
+     kernel.Kernel.fs <- Aurora_slsfs.Slsfs.restore_fs disk_store gen
+   | Some _ | None -> ());
+  let memdev =
+    Blockdev.create ~clock:(Blockdev.clock nvme) ~profile:Profile.dram "memdev0"
+  in
+  let mem_store = Store.format ~dev:memdev () in
+  build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store
+
+let recover t = boot ~nvme:t.nvme

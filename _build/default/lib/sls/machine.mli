@@ -1,0 +1,141 @@
+(** A simulated Aurora machine: kernel + devices + orchestrator.
+
+    This is the top of the system diagram (Figure 1): the kernel with
+    its POSIX object model, the storage devices (an Optane-class NVMe
+    drive for the disk store, a DRAM region for memory-backed
+    ephemeral checkpoints, a swap device), the SLS orchestrator with
+    its persistence groups and periodic checkpoint schedule, and the
+    external-consistency buffer.
+
+    {!run} advances simulated time: the scheduler executes programs,
+    checkpoints fire on each group's interval (100x per second by
+    default), buffered external output is released as checkpoints
+    become durable, and old generations are garbage-collected past the
+    configured history window. *)
+
+open Aurora_simtime
+open Aurora_device
+open Aurora_proc
+open Aurora_objstore
+
+type t = {
+  kernel : Kernel.t;
+  nvme : Blockdev.t;
+  memdev : Blockdev.t;
+  swap : Aurora_vm.Swap.t;
+  disk_store : Store.t;
+  mem_store : Store.t;
+  mutable pgroups : Types.pgroup list;
+  mutable next_pgid : int;
+  extcons : Extconsist.t;
+  mutable history_window : int;  (** generations kept on disk (plus named ones) *)
+  mutable recorded : Types.pgroup list;  (** groups with input recording on *)
+}
+
+val create :
+  ?storage_profile:Profile.t ->
+  ?capacity_pages:int ->
+  ?fs_with_disk:bool ->
+  ?dedup:bool ->
+  unit ->
+  t
+(** A fresh machine. [storage_profile] (default Optane 900P) is the
+    disk store's device. [fs_with_disk] (default false) gives the
+    conventional file system its own backing device — used by the
+    database baselines that fsync. [dedup] (default true) controls the
+    object store's content deduplication (ablation bench). *)
+
+val clock : t -> Clock.t
+val now : t -> Duration.t
+
+(* --- persistence groups (the Table 1 CLI surface) ------------------- *)
+
+val persist :
+  t -> ?interval:Duration.t -> ?incremental:bool -> Types.target -> Types.pgroup
+(** `sls persist`: register an application for transparent persistence
+    (default interval 10 ms, incremental). The disk store is attached
+    automatically as the primary backend. *)
+
+val persist_unattached : t -> ?interval:Duration.t -> Types.target -> Types.pgroup
+(** A group with no backends (attach explicitly). *)
+
+val attach : t -> Types.pgroup -> Types.backend -> unit
+val detach : t -> Types.pgroup -> Types.backend -> unit
+val memory_backend : t -> Types.backend
+val disk_backend : t -> Types.backend
+
+val checkpoint_now :
+  t -> Types.pgroup -> ?mode:[ `Full | `Incremental ] -> ?name:string -> unit ->
+  Types.ckpt_breakdown
+(** `sls checkpoint`: immediate checkpoint to every attached backend
+    (remotes receive the exported image). Also stamps the
+    external-consistency buffer and garbage-collects history. *)
+
+val run : t -> Duration.t -> unit
+(** Advance the machine by a span of simulated time. *)
+
+val run_until_idle : t -> unit
+(** Run until no thread can progress and all checkpoint work is
+    quiesced (at most one more periodic checkpoint per group). *)
+
+val restore_group :
+  t -> Types.pgroup -> ?gen:Store.gen -> ?policy:Types.restore_policy ->
+  ?from:Types.backend -> unit -> int list * Types.restore_breakdown
+(** `sls restore`: (re)create the group's processes from a checkpoint
+    (default: the latest generation of the primary backend). Existing
+    member processes are killed first. *)
+
+val clone_group :
+  t -> Types.pgroup -> ?gen:Store.gen -> ?policy:Types.restore_policy -> unit ->
+  int list * Types.restore_breakdown
+(** Serverless scale-out: restore another instance of the image with
+    fresh pids, alongside the running one. *)
+
+val ps : t -> (int * string * int * string) list
+(** `sls ps`: (pid, name, container, state). *)
+
+val enable_sls_calls : t -> unit
+(** Install the libsls syscall bridge so simulated programs can invoke
+    [Syscall.sls] (ntflush, manual checkpoints, barriers, log
+    replay). *)
+
+val enable_recording : t -> Types.pgroup -> unit
+(** Record/replay integration (§4): journal every byte entering the
+    group from outside before delivery. Checkpoints truncate the
+    journal ("only keeping the records since the last checkpoint"). *)
+
+val rollback_and_replay : t -> Types.pgroup -> int list * int
+(** Roll the group back to its last checkpoint and re-deliver the
+    journaled inputs into the restored endpoints: the §4 failure
+    workflow ("witness the last seconds before a crash"). Returns the
+    restored pids and the number of inputs replayed. The caller runs
+    the scheduler to watch the re-execution. *)
+
+(* --- failure -------------------------------------------------------- *)
+
+val crash : t -> unit
+(** Power failure: volatile device caches and all kernel state are
+    lost. The machine object must not be used afterwards except as the
+    argument of {!recover}. *)
+
+val boot : nvme:Blockdev.t -> t
+(** Boot a fresh machine on an existing storage device (recover its
+    object store; restore the file system from the latest generation
+    when one exists). The CLI uses this to resume a universe whose
+    only surviving state is the disk. *)
+
+val recover : t -> t
+(** Boot a new machine on the survivors: same clock (wall time moves
+    on), same storage devices; the object store is re-opened from its
+    superblocks and the file system restored from the latest
+    generation. Persistence groups are re-registered (empty: call
+    {!restore_group} to resurrect applications). *)
+
+val gc_history : t -> int
+(** Apply the history window now; returns blocks freed. *)
+
+val drain_storage : t -> unit
+(** Advance the clock (without scheduling applications) until the
+    storage devices' queues are empty — everything queued so far is
+    durable. Crash-test fixtures use this to define "the device caught
+    up". *)

@@ -1,0 +1,17 @@
+
+let fs_manifest_oid = Aurora_slsfs.Slsfs.fs_manifest_oid
+
+let tag n id =
+  if id < 0 || id >= 1 lsl 24 then invalid_arg "Oidspace: id out of range";
+  (n lsl 24) lor id
+
+let manifest pgid =
+  if pgid < 0 || pgid >= 1 lsl 20 then invalid_arg "Oidspace.manifest: bad pgid";
+  16 + pgid
+
+let kobj id = tag 1 id
+let vnode id = Aurora_slsfs.Slsfs.oid_of_vid id
+let proc id = tag 3 id
+let vmobj id = tag 4 id
+let ntlog pgid = tag 5 pgid
+let rrlog pgid = tag 6 pgid

@@ -1,0 +1,31 @@
+(** Store object-id namespaces.
+
+    The object store indexes everything by a flat integer oid;
+    checkpoint records for different kernds of state live in disjoint
+    tagged ranges so a process record can never collide with a vnode
+    or a VM object. Tag 2 (vnodes) is shared with [Aurora_slsfs]. *)
+
+val manifest : int -> int
+(** Per-persistence-group application manifest record (pids,
+    container, name tables), by pgroup id. *)
+
+val fs_manifest_oid : int
+(** Owned by [Aurora_slsfs]; listed here for the full map. *)
+
+val kobj : int -> int
+(** Kernel objects (pipes, sockets, shm, ...) by registry oid. *)
+
+val vnode : int -> int
+(** File system vnodes by vid (= [Aurora_slsfs.Slsfs.oid_of_vid]). *)
+
+val proc : int -> int
+(** Processes by pid. *)
+
+val vmobj : int -> int
+(** VM objects by their [Vmobject.oid]. *)
+
+val ntlog : int -> int
+(** Per-group persistent append-only log (`sls_ntflush`). *)
+
+val rrlog : int -> int
+(** Per-group record/replay input journal. *)

@@ -1,0 +1,343 @@
+open Aurora_simtime
+open Aurora_device
+open Aurora_vm
+open Aurora_posix
+open Aurora_proc
+open Aurora_vfs
+open Aurora_objstore
+
+let kill_group (k : Kernel.t) (g : Types.pgroup) =
+  (* Zombies included: a crashed member still occupies its pid. *)
+  List.iter
+    (fun (p : Process.t) ->
+      if Types.member k g p then begin
+        if not (Process.is_zombie p) then Syscall.exit_process k p 137;
+        Kernel.remove_proc k p.Process.pid
+      end)
+    (Kernel.processes k)
+
+(* Pages of one VM object, restored per policy. Eager paths charge the
+   device (real reads); lazy paths peek and leave the device cost to
+   the fault. *)
+let restore_object_pages (k : Kernel.t) store ~gen ~store_oid ~policy ~hot obj =
+  let dev = Store.device store in
+  let fault_cost =
+    Profile.transfer_cost (Blockdev.profile dev) ~op:`Read ~bytes:Blockdev.block_size
+  in
+  let hot_tbl = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace hot_tbl p ()) hot;
+  let indexes =
+    Store.fold_page_indexes store gen ~oid:store_oid ~init:[] ~f:(fun acc i -> i :: acc)
+  in
+  let indexes = List.rev indexes in
+  let eager_indexes, lazy_indexes =
+    List.partition
+      (fun pindex ->
+        match policy with
+        | Types.Eager -> true
+        | Types.Lazy -> false
+        | Types.Lazy_prefetch -> Hashtbl.mem hot_tbl pindex)
+      indexes
+  in
+  (* Eager pages come in as one batched command (prefetch pays the
+     device latency once); lazy pages are mapped as faulting
+     references into the image. The device time spent reading is
+     returned separately so the breakdown can attribute it to the
+     object-store-read phase. *)
+  let resident = ref 0 and lazy_ = ref 0 in
+  let batch, read_time =
+    Clock.lap k.Kernel.clock (fun () ->
+        Store.read_pages_batch store gen ~oid:store_oid ~pindexes:eager_indexes)
+  in
+  List.iter
+    (fun (pindex, seed) ->
+      Vmobject.install obj pindex (Frame.alloc k.Kernel.pool (Content.of_seed seed));
+      incr resident)
+    batch;
+  List.iter
+    (fun pindex ->
+      match Store.peek_page store gen ~oid:store_oid ~pindex with
+      | Some seed ->
+        Vmobject.install_paged_out obj pindex ~content:(Content.of_seed seed)
+          ~read_cost:fault_cost;
+        incr lazy_
+      | None -> ())
+    lazy_indexes;
+  (!resident, !lazy_, read_time)
+
+let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?from_disk
+    ?(new_pids = false) () =
+  let clock = k.Kernel.clock in
+  let started = Clock.now clock in
+  let dev = Store.device store in
+  let from_disk =
+    match from_disk with
+    | Some b -> b
+    | None -> (Blockdev.profile dev).Profile.name <> Profile.dram.Profile.name
+  in
+  let discount d =
+    if from_disk then Duration.scale_float d Costmodel.implicit_restore_discount else d
+  in
+
+  (* --- phase 1: object store read ----------------------------------- *)
+  let manifest =
+    match Store.read_record store gen ~oid:(Oidspace.manifest pgid) with
+    | Some data -> Serialize.parse_manifest data
+    | None -> failwith (Printf.sprintf "Restore: generation %d has no pgroup %d" gen pgid)
+  in
+  let proc_recs =
+    List.map
+      (fun pid ->
+        match Store.read_record store gen ~oid:(Oidspace.proc pid) with
+        | Some data -> Serialize.parse_proc data
+        | None -> failwith (Printf.sprintf "Restore: missing process record %d" pid))
+      manifest.Serialize.pids
+  in
+  (* VM object records, transitively through shadow chains. *)
+  let vmobj_recs = Hashtbl.create 32 in
+  let rec load_vmobj obj_oid =
+    if not (Hashtbl.mem vmobj_recs obj_oid) then begin
+      match Store.read_record store gen ~oid:(Oidspace.vmobj obj_oid) with
+      | None -> failwith (Printf.sprintf "Restore: missing vm object record %d" obj_oid)
+      | Some data ->
+        let rec_ = Serialize.parse_vmobj data in
+        Hashtbl.replace vmobj_recs obj_oid rec_;
+        Option.iter load_vmobj rec_.Serialize.shadow_oid
+    end
+  in
+  List.iter
+    (fun pr ->
+      List.iter
+        (fun (e : Serialize.vm_entry_rec) -> load_vmobj e.Serialize.obj_oid)
+        pr.Serialize.vm_entries)
+    proc_recs;
+  let kobj_recs =
+    List.map
+      (fun oid ->
+        match Store.read_record store gen ~oid:(Oidspace.kobj oid) with
+        | Some data -> (oid, data)
+        | None -> failwith (Printf.sprintf "Restore: missing kernel object %d" oid))
+      manifest.Serialize.kobj_oids
+  in
+  let objstore_read = Duration.sub (Clock.now clock) started in
+
+  (* --- phase 2: metadata state --------------------------------------- *)
+  let meta_started = Clock.now clock in
+  Kernel.charge k (discount Costmodel.restore_orchestrator_base);
+  (* Kernel objects first (descriptor tables point at them). Shared
+     memory segments are deferred: their backing VM objects are
+     recreated by the memory phase, and the segment record must link
+     to the real object. *)
+  let placeholder_obj _oid ~npages:_ =
+    Vmobject.create ~pool:k.Kernel.pool Vmobject.Anonymous
+  in
+  let deferred_shm = ref [] in
+  List.iter
+    (fun (oid, data) ->
+      Kernel.charge k (discount Costmodel.restore_object);
+      let kobj =
+        Registry.deserialize_kobj (Serial.reader data) ~restore_obj:placeholder_obj
+      in
+      match kobj with
+      | Registry.Kshm _ -> deferred_shm := (oid, data) :: !deferred_shm
+      | _ ->
+        Registry.remove k.Kernel.registry oid;
+        Registry.register k.Kernel.registry kobj;
+        (* Rebind names/ports for listeners. *)
+        (match kobj with
+         | Registry.Kusock s -> (
+           match Unixsock.bound_name s with
+           | Some name when Unixsock.state s <> Unixsock.Closed ->
+             Hashtbl.replace k.Kernel.unix_ns name (Unixsock.oid s)
+           | Some _ | None -> ())
+         | Registry.Ktcp s -> (
+           match (Unixsock.bound_name s, Unixsock.state s) with
+           | Some _, Unixsock.Listening _ -> Netstack.rebind k.Kernel.netstack s
+           | _ -> ())
+         | Registry.Kpipe _ | Registry.Kshm _ | Registry.Kmsgq _ | Registry.Ksem _
+         | Registry.Kkq _ -> ()))
+    kobj_recs;
+
+  (* Processes, threads, descriptor tables. *)
+  (match manifest.Serialize.target with
+   | `Container cid ->
+     Kernel.ensure_container k ~cid ~name:manifest.Serialize.group_name
+   | `Pids _ -> ());
+  let shared_ofds = Hashtbl.create 16 in
+  let vnode_of_vid vid =
+    match Memfs.vnode_by_id k.Kernel.fs vid with
+    | Some v -> v
+    | None -> raise (Serial.Corrupt (Printf.sprintf "Restore: no vnode %d" vid))
+  in
+  let pid_map = Hashtbl.create 8 in
+  let restored_procs =
+    List.map
+      (fun (pr : Serialize.proc_rec) ->
+        Kernel.charge k (discount Costmodel.restore_proc_base);
+        Kernel.charge k
+          (discount
+             (Duration.scale Costmodel.restore_thread (List.length pr.Serialize.threads)));
+        let pid =
+          if new_pids then begin
+            let pid = k.Kernel.next_pid in
+            k.Kernel.next_pid <- pid + 1;
+            pid
+          end
+          else begin
+            if Kernel.proc k pr.Serialize.pid <> None then
+              invalid_arg
+                (Printf.sprintf "Restore: pid %d already exists" pr.Serialize.pid);
+            pr.Serialize.pid
+          end
+        in
+        Hashtbl.replace pid_map pr.Serialize.pid pid;
+        (pr, pid))
+      proc_recs
+  in
+  let procs =
+    List.map
+      (fun ((pr : Serialize.proc_rec), pid) ->
+        let vm = Vmmap.create ~clock ~pool:k.Kernel.pool () in
+        let ppid =
+          Option.value ~default:pr.Serialize.ppid
+            (Hashtbl.find_opt pid_map pr.Serialize.ppid)
+        in
+        let p =
+          Process.create ~pid ~ppid ~name:pr.Serialize.name
+            ~container:
+              (match manifest.Serialize.target with
+              | `Container cid -> cid
+              | `Pids _ -> pr.Serialize.container)
+            ~vm ~program:"(restoring)"
+        in
+        p.Process.cwd <- pr.Serialize.cwd;
+        p.Process.next_tid <- pr.Serialize.next_tid;
+        p.Process.threads <- pr.Serialize.threads;
+        Kernel.charge k
+          (discount
+             (Duration.scale Costmodel.restore_object
+                (List.length pr.Serialize.vm_entries)));
+        let fdt =
+          Fd.deserialize_table
+            (Serial.reader pr.Serialize.fd_blob)
+            ~vnode_of_vid ~shared:shared_ofds
+        in
+        p.Process.fdtable <- fdt;
+        Hashtbl.replace k.Kernel.procs pid p;
+        (pr, p))
+      restored_procs
+  in
+  (* Every distinct restored description holding a vnode re-opens it
+     (this is what turns the checkpointed persistent-open count back
+     into a live open count). *)
+  let opened = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun ofd_oid (ofd : Fd.ofd) ->
+      if not (Hashtbl.mem opened ofd_oid) then begin
+        Hashtbl.replace opened ofd_oid ();
+        match ofd.Fd.kind with
+        | Fd.Vnode_file { vnode; _ } -> Memfs.open_vnode k.Kernel.fs vnode
+        | Fd.Obj _ -> ()
+      end)
+    shared_ofds;
+  if not new_pids then
+    k.Kernel.next_pid <- max k.Kernel.next_pid manifest.Serialize.next_pid;
+  let metadata_state = Duration.sub (Clock.now clock) meta_started in
+
+  (* --- phase 3: memory state ------------------------------------------ *)
+  let mem_started = Clock.now clock in
+  let obj_map : (int, Vmobject.t) Hashtbl.t = Hashtbl.create 32 in
+  let pages_resident = ref 0 and pages_lazy = ref 0 in
+  let prefetch_read = ref Duration.zero in
+  let rec materialize obj_oid =
+    match Hashtbl.find_opt obj_map obj_oid with
+    | Some obj -> obj
+    | None ->
+      let rec_ : Serialize.vmobj_rec = Hashtbl.find vmobj_recs obj_oid in
+      let obj =
+        match rec_.Serialize.shadow_oid with
+        | None -> Vmobject.create ~pool:k.Kernel.pool rec_.Serialize.kind
+        | Some backing_oid ->
+          let backing = materialize backing_oid in
+          let shadow = Vmobject.make_shadow backing in
+          (* make_shadow keeps a reference on the backing for the
+             shadow; the map's own working reference is dropped when
+             the chain owner (the entry) takes over. *)
+          shadow
+      in
+      Hashtbl.replace obj_map obj_oid obj;
+      let r, l, read_time =
+        restore_object_pages k store ~gen ~store_oid:(Oidspace.vmobj obj_oid) ~policy
+          ~hot:rec_.Serialize.hot_pages obj
+      in
+      pages_resident := !pages_resident + r;
+      pages_lazy := !pages_lazy + l;
+      prefetch_read := Duration.add !prefetch_read read_time;
+      obj
+  in
+  List.iter
+    (fun ((pr : Serialize.proc_rec), (p : Process.t)) ->
+      Kernel.charge k (discount Costmodel.vmspace_create);
+      List.iter
+        (fun (er : Serialize.vm_entry_rec) ->
+          Kernel.charge k (discount Costmodel.restore_vm_entry);
+          let obj = materialize er.Serialize.obj_oid in
+          let entry =
+            Vmmap.map_fixed p.Process.vm ~start_vpn:er.Serialize.start_vpn
+              ~inheritance:er.Serialize.inheritance ~writable:er.Serialize.writable ~obj
+              ~obj_offset:er.Serialize.obj_offset ~npages:er.Serialize.npages ()
+          in
+          entry.Vmmap.needs_copy <- er.Serialize.needs_copy;
+          entry.Vmmap.persisted <- er.Serialize.persisted;
+          entry.Vmmap.restore_policy <- er.Serialize.policy)
+        pr.Serialize.vm_entries)
+    procs;
+  (* Mapping recreation cost: batched PTE inserts over every page that
+     got a mapping-visible slot (resident or faultable). *)
+  Kernel.charge k
+    (discount (Costmodel.pte_map ~pages:(!pages_resident + !pages_lazy)));
+  (* Drop the creation references: entries now own the objects. *)
+  Hashtbl.iter (fun _ obj -> Vmobject.decref obj) obj_map;
+  (* Device time spent prefetching pages belongs to the object-store
+     read, not to address-space recreation. *)
+  let memory_state =
+    Duration.sub (Duration.sub (Clock.now clock) mem_started) !prefetch_read
+  in
+  let objstore_read = Duration.add objstore_read !prefetch_read in
+
+  (* Deferred shared-memory segments: link to the restored backing
+     objects (or materialize them if nothing mapped the segment). *)
+  let resolve_shm_obj obj_oid ~npages:_ =
+    let obj =
+      match Hashtbl.find_opt obj_map obj_oid with
+      | Some obj -> obj
+      | None -> materialize obj_oid
+    in
+    Vmobject.incref obj;
+    obj
+  in
+  List.iter
+    (fun (oid, data) ->
+      let kobj =
+        Registry.deserialize_kobj (Serial.reader data) ~restore_obj:resolve_shm_obj
+      in
+      Registry.remove k.Kernel.registry oid;
+      Registry.register k.Kernel.registry kobj)
+    (List.rev !deferred_shm);
+
+  let pids = List.map (fun (_, p) -> p.Process.pid) procs |> List.sort Int.compare in
+  let total_latency = Duration.sub (Clock.now clock) started in
+  Tracelog.recordf k.Kernel.trace ~subsystem:"restore"
+    "gen %d pgroup %d -> pids [%s] total=%.1fus" gen pgid
+    (String.concat ";" (List.map string_of_int pids))
+    (Duration.to_us total_latency);
+  ( pids,
+    {
+      Types.objstore_read;
+      memory_state;
+      metadata_state;
+      total_latency;
+      pages_restored = !pages_resident;
+      pages_lazy = !pages_lazy;
+      procs_restored = List.length procs;
+    } )

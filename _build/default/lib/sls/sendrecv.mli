@@ -1,0 +1,41 @@
+(** Checkpoint shipping: the machinery behind `sls send` / `sls recv`.
+
+    A checkpoint generation is exported as one self-contained byte
+    image — "all information required to recreate the application,
+    even across reboots and machines" — and imported into another
+    store as a fresh generation. Shipping it over a {!Netlink.t}
+    models live migration and remote persistence; writing it to a
+    file (the CLI's pipe mode) is the same bytes.
+
+    Incremental feeds simply export successive generations: the
+    receiving store's content-addressed deduplication collapses the
+    unchanged pages, so the wire is the only place the full image
+    costs anything (and a delta export against a base generation
+    avoids even that). *)
+
+open Aurora_simtime
+open Aurora_device
+open Aurora_objstore
+
+val export :
+  Store.t -> gen:Store.gen -> pgid:int -> ?base:Store.gen -> ?with_fs:bool -> unit -> string
+(** Serialize everything the group's checkpoint needs. With [base],
+    pages and blobs identical in the base generation are omitted (an
+    incremental shipment; the receiver must already hold the base).
+    [with_fs] defaults to true. Reads are charged to the clock (the
+    sender really reads its store). *)
+
+val import : Store.t -> string -> Store.gen * Duration.t
+(** Write an exported image into the store as a new generation; returns
+    it with its durability instant. *)
+
+val ship :
+  Netlink.t -> from_:Netlink.side -> Store.t -> gen:Store.gen -> pgid:int ->
+  ?base:Store.gen -> unit -> Duration.t
+(** Export and transmit; returns the arrival time at the peer. *)
+
+val receive : Netlink.t -> side:Netlink.side -> Store.t -> (Store.gen * Duration.t) option
+(** Import the next arrived image, if any. *)
+
+val image_bytes : string -> int
+(** Size accessor for benches (identity on the payload length). *)

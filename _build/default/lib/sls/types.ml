@@ -1,0 +1,87 @@
+open Aurora_simtime
+open Aurora_device
+open Aurora_proc
+open Aurora_objstore
+
+type backend =
+  | Local of { store : Store.t; kind : [ `Disk | `Memory | `Nvdimm ] }
+  | Remote of { link : Netlink.t; side : Netlink.side }
+
+type target = [ `Container of int | `Pids of int list ]
+
+type ckpt_breakdown = {
+  gen : Store.gen;
+  mode : [ `Full | `Incremental ];
+  metadata_copy : Duration.t;
+  lazy_data_copy : Duration.t;
+  stop_time : Duration.t;
+  pages_captured : int;
+  records_written : int;
+  barrier_at : Duration.t;
+  durable_at : Duration.t;
+}
+
+type restore_breakdown = {
+  objstore_read : Duration.t;
+  memory_state : Duration.t;
+  metadata_state : Duration.t;
+  total_latency : Duration.t;
+  pages_restored : int;
+  pages_lazy : int;
+  procs_restored : int;
+}
+
+type restore_policy = Eager | Lazy | Lazy_prefetch
+
+type pgroup = {
+  pgid : int;
+  mutable target : target;
+  mutable backends : backend list;
+  mutable interval : Duration.t;
+  mutable incremental : bool;
+  mutable last_gen : Store.gen option;
+  mutable last_barrier : Duration.t;
+  mutable next_ckpt_at : Duration.t;
+  mutable last_breakdown : ckpt_breakdown option;
+  mutable log_counts : (int * int) list;
+  stop_stats : Stats.t;
+}
+
+let make_pgroup ~pgid ~target ~interval =
+  { pgid; target; backends = []; interval; incremental = true; last_gen = None;
+    last_barrier = Duration.zero; next_ckpt_at = interval; last_breakdown = None;
+    log_counts = []; stop_stats = Stats.create () }
+
+let primary_store g =
+  List.find_map (function Local { store; _ } -> Some store | Remote _ -> None) g.backends
+
+let remotes g =
+  List.filter_map
+    (function Remote { link; side } -> Some (link, side) | Local _ -> None)
+    g.backends
+
+let member kernel g (p : Process.t) =
+  ignore kernel;
+  match g.target with
+  | `Container cid -> p.Process.container = cid
+  | `Pids pids -> List.mem p.Process.pid pids
+
+let member_pids kernel g =
+  Kernel.processes kernel
+  |> List.filter (fun p -> member kernel g p && not (Process.is_zombie p))
+  |> List.map (fun p -> p.Process.pid)
+
+let pp_ckpt_breakdown ppf b =
+  Format.fprintf ppf
+    "gen=%d %s metadata=%aus lazy-copy=%aus stop=%aus pages=%d records=%d"
+    b.gen
+    (match b.mode with `Full -> "full" | `Incremental -> "incr")
+    Duration.pp_us b.metadata_copy Duration.pp_us b.lazy_data_copy Duration.pp_us
+    b.stop_time b.pages_captured b.records_written
+
+let pp_restore_breakdown ppf b =
+  Format.fprintf ppf
+    "objstore=%aus memory=%aus metadata=%aus total=%aus resident=%d lazy=%d procs=%d"
+    Duration.pp_us b.objstore_read Duration.pp_us b.memory_state Duration.pp_us
+    b.metadata_state Duration.pp_us b.total_latency b.pages_restored b.pages_lazy
+    b.procs_restored

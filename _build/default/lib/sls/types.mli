@@ -1,0 +1,76 @@
+(** Shared SLS types: persistence groups, backends, breakdowns.
+
+    A persistence group is the unit of transparent persistence (§3:
+    "Aurora provides persistence for individual processes, process
+    trees or containers"); it carries one or more attached backends —
+    the paper's `sls attach` allows "attaching multiple backends at
+    the same time, e.g., sending an application's incremental
+    checkpoints to both a local disk and a remote machine". *)
+
+open Aurora_simtime
+open Aurora_device
+open Aurora_proc
+open Aurora_objstore
+
+type backend =
+  | Local of { store : Store.t; kind : [ `Disk | `Memory | `Nvdimm ] }
+      (** object store on a local device; the first Local backend of a
+          group is its primary (restore source) *)
+  | Remote of { link : Netlink.t; side : Netlink.side }
+      (** stream serialized checkpoints to a peer host *)
+
+type target = [ `Container of int | `Pids of int list ]
+
+(** Stop-time breakdown of one checkpoint, mirroring Table 3's rows. *)
+type ckpt_breakdown = {
+  gen : Store.gen;
+  mode : [ `Full | `Incremental ];
+  metadata_copy : Duration.t;
+  lazy_data_copy : Duration.t;  (** COW arming during the barrier *)
+  stop_time : Duration.t;
+  pages_captured : int;
+  records_written : int;
+  barrier_at : Duration.t;      (** when the barrier began *)
+  durable_at : Duration.t;      (** absolute durability time on the primary *)
+}
+
+(** Restore-time breakdown, mirroring Table 4's rows. *)
+type restore_breakdown = {
+  objstore_read : Duration.t;
+  memory_state : Duration.t;
+  metadata_state : Duration.t;
+  total_latency : Duration.t;
+  pages_restored : int;   (** made resident eagerly *)
+  pages_lazy : int;       (** left to fault from the image *)
+  procs_restored : int;
+}
+
+type restore_policy =
+  | Eager          (** bring every page in now *)
+  | Lazy           (** map nothing; fault everything from the image *)
+  | Lazy_prefetch  (** eagerly page in the checkpoint's hot set (§3's
+                       clock-driven optimization), fault the rest *)
+
+type pgroup = {
+  pgid : int;
+  mutable target : target;
+  mutable backends : backend list;
+  mutable interval : Duration.t;        (** default 10 ms: "100x per second" *)
+  mutable incremental : bool;
+  mutable last_gen : Store.gen option;
+  mutable last_barrier : Duration.t;
+  mutable next_ckpt_at : Duration.t;
+  mutable last_breakdown : ckpt_breakdown option;
+  mutable log_counts : (int * int) list; (** cached log lengths, by store oid *)
+  stop_stats : Stats.t;                 (** stop time per checkpoint, us *)
+}
+
+val make_pgroup : pgid:int -> target:target -> interval:Duration.t -> pgroup
+val primary_store : pgroup -> Store.t option
+val remotes : pgroup -> (Aurora_device.Netlink.t * Aurora_device.Netlink.side) list
+val member : Kernel.t -> pgroup -> Process.t -> bool
+val member_pids : Kernel.t -> pgroup -> int list
+(** Live pids in the group, ascending (zombies excluded). *)
+
+val pp_ckpt_breakdown : Format.formatter -> ckpt_breakdown -> unit
+val pp_restore_breakdown : Format.formatter -> restore_breakdown -> unit

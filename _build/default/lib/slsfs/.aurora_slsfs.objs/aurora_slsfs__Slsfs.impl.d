@@ -1,0 +1,1 @@
+lib/slsfs/slsfs.ml: Aurora_objstore Aurora_posix Aurora_vfs Bytes Fun Hashtbl Int List Memfs Printf Serial Store String Vnode

@@ -1,0 +1,1 @@
+lib/slsfs/slsfs.mli: Aurora_objstore Aurora_vfs Memfs Store

@@ -1,0 +1,1 @@
+lib/vfs/memfs.ml: Aurora_device Blockdev Bytes Format Hashtbl Int List Option String Vnode

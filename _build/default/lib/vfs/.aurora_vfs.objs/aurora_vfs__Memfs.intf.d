@@ -1,0 +1,1 @@
+lib/vfs/memfs.mli: Aurora_device Blockdev Vnode

@@ -1,0 +1,1 @@
+lib/vfs/vnode.ml: Aurora_simtime Bytes Duration Format Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/vfs/vnode.mli: Aurora_simtime Duration Format Hashtbl

@@ -1,0 +1,1 @@
+lib/vm/clockalg.ml: Array Frame Int List Vmobject

@@ -1,0 +1,1 @@
+lib/vm/clockalg.mli: Frame Vmobject

@@ -1,0 +1,1 @@
+lib/vm/content.ml: Bytes Format Int64

@@ -1,0 +1,1 @@
+lib/vm/frame.ml: Content Hashtbl Int List

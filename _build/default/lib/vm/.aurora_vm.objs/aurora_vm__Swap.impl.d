@@ -1,0 +1,1 @@
+lib/vm/swap.ml: Aurora_device Blockdev Clockalg Content Frame List Profile Vmobject

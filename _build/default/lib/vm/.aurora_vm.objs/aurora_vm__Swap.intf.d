@@ -1,0 +1,1 @@
+lib/vm/swap.mli: Aurora_device Blockdev Frame Vmobject

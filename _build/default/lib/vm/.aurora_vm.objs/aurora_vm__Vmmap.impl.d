@@ -1,0 +1,1 @@
+lib/vm/vmmap.ml: Aurora_device Aurora_simtime Blockdev Clock Content Costmodel Format Frame Hashtbl Int Int64 List Printf Vmobject

@@ -1,0 +1,1 @@
+lib/vm/vmmap.mli: Aurora_simtime Clock Content Format Frame Vmobject

@@ -1,0 +1,1 @@
+lib/vm/vmobject.ml: Aurora_simtime Content Duration Format Frame Hashtbl Int List Option Printf

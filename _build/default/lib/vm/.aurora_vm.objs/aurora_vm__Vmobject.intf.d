@@ -1,0 +1,1 @@
+lib/vm/vmobject.mli: Aurora_simtime Content Duration Format Frame

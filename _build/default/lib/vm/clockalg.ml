@@ -1,0 +1,69 @@
+type victim = { obj : Vmobject.t; pindex : int; frame : Frame.t }
+
+type t = { mutable hand : int }
+
+let create () = { hand = 0 }
+
+(* Resident, evictable (unshared) pages of the objects, in a stable
+   order: (object id, page index). *)
+let resident_pages objects =
+  let pages =
+    List.concat_map
+      (fun obj ->
+        Vmobject.fold_pages obj ~init:[] ~f:(fun acc pindex slot ->
+            match slot with
+            | Vmobject.Resident frame -> (obj, pindex, frame) :: acc
+            | Vmobject.Paged_out _ -> acc)
+        |> List.rev)
+      objects
+  in
+  Array.of_list pages
+
+let sweep t ~objects ~want =
+  if want < 0 then invalid_arg "Clockalg.sweep: negative want";
+  let pages = resident_pages objects in
+  let n = Array.length pages in
+  if n = 0 || want = 0 then []
+  else begin
+    let victims = ref [] in
+    let found = ref 0 in
+    let steps = ref 0 in
+    (* Two revolutions: the first clears accessed bits, the second can
+       then evict pages untouched since. *)
+    while !found < want && !steps < 2 * n do
+      let obj, pindex, frame = pages.(t.hand mod n) in
+      t.hand <- t.hand + 1;
+      incr steps;
+      if frame.Frame.refcount = 1 then begin
+        if frame.Frame.accessed then frame.Frame.accessed <- false
+        else begin
+          victims := { obj; pindex; frame } :: !victims;
+          incr found
+        end
+      end
+    done;
+    List.rev !victims
+  end
+
+let hot_set ~objects ~limit =
+  if limit < 0 then invalid_arg "Clockalg.hot_set: negative limit";
+  let scored =
+    List.concat_map
+      (fun obj ->
+        List.map (fun pindex -> (Vmobject.heat obj pindex, obj, pindex))
+          (Vmobject.hot_pages obj ~limit:max_int))
+      objects
+  in
+  let compare_hotness (ha, oa, pa) (hb, ob, pb) =
+    match Int.compare hb ha with
+    | 0 -> (
+      match Int.compare (Vmobject.oid oa) (Vmobject.oid ob) with
+      | 0 -> Int.compare pa pb
+      | c -> c)
+    | c -> c
+  in
+  List.sort compare_hotness scored
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map (fun (_, obj, pindex) -> (obj, pindex))
+
+let age ~objects = List.iter Vmobject.age_heat objects

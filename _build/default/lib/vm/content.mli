@@ -1,0 +1,37 @@
+(** Page contents, represented compactly.
+
+    A 4 KiB page's content is represented by a 64-bit seed rather than
+    by the bytes themselves, so simulating a 2 GiB working set costs
+    half a million small records instead of two gigabytes. The mapping
+    seed -> bytes is deterministic and injective-in-practice (a
+    SplitMix64 expansion), so content identity — which is what
+    copy-on-write, dirty tracking, and the object store's deduplication
+    actually depend on — is preserved: equal seeds mean equal pages.
+
+    [write] folds a (64-bit offset, value) store into the seed with a
+    mixing function, so distinct write sequences yield distinct
+    contents with overwhelming probability. *)
+
+type t
+
+val zero : t
+(** The all-zeroes page. *)
+
+val of_seed : int64 -> t
+val to_seed : t -> int64
+
+val write : t -> offset:int -> value:int64 -> t
+(** The content after storing [value] at byte [offset] (0 <= offset <
+    4096). Folding is order-sensitive, like real memory. *)
+
+val hash : t -> int64
+(** Content hash used by the object store's deduplication index. *)
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val to_bytes : t -> bytes
+(** Materialize the full 4 KiB deterministic expansion. Used only by
+    tests that need byte-level checks. *)
+
+val pp : Format.formatter -> t -> unit

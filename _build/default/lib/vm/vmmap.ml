@@ -1,0 +1,289 @@
+open Aurora_simtime
+open Aurora_device
+
+type restore_policy = [ `Lazy | `Eager | `Hot ]
+
+type entry = {
+  eid : int;
+  mutable start_vpn : int;
+  mutable npages : int;
+  mutable obj : Vmobject.t;
+  mutable obj_offset : int;
+  mutable writable : bool;
+  mutable inheritance : [ `Share | `Copy ];
+  mutable needs_copy : bool;
+  mutable persisted : bool;
+  mutable restore_policy : restore_policy;
+}
+
+type fault_counts = {
+  mutable zero_fill : int;
+  mutable fork_cow : int;
+  mutable ckpt_cow : int;
+  mutable major : int;
+}
+
+type t = {
+  asid : int;
+  clock : Clock.t;
+  pool : Frame.pool;
+  mutable entries : entry list; (* sorted by start_vpn *)
+  mutable next_vpn : int;
+  mutable next_eid : int;
+  faults : fault_counts;
+}
+
+let next_asid = ref 0
+
+let create ~clock ~pool () =
+  incr next_asid;
+  { asid = !next_asid; clock; pool; entries = []; next_vpn = 0x1000; next_eid = 0;
+    faults = { zero_fill = 0; fork_cow = 0; ckpt_cow = 0; major = 0 } }
+
+let asid t = t.asid
+let clock t = t.clock
+let pool t = t.pool
+let entries t = t.entries
+let faults t = t.faults
+
+let insert_entry t e =
+  t.entries <-
+    List.sort (fun a b -> Int.compare a.start_vpn b.start_vpn) (e :: t.entries)
+
+let fresh_eid t =
+  t.next_eid <- t.next_eid + 1;
+  t.next_eid
+
+let alloc_range t npages =
+  let start = t.next_vpn in
+  t.next_vpn <- t.next_vpn + npages + 16; (* guard gap *)
+  start
+
+let map_anonymous t ?(inheritance = `Copy) ?(writable = true) ~npages () =
+  if npages <= 0 then invalid_arg "Vmmap.map_anonymous: npages <= 0";
+  let obj = Vmobject.create ~pool:t.pool Vmobject.Anonymous in
+  let e =
+    { eid = fresh_eid t; start_vpn = alloc_range t npages; npages; obj;
+      obj_offset = 0; writable; inheritance; needs_copy = false;
+      persisted = true; restore_policy = `Hot }
+  in
+  insert_entry t e;
+  e
+
+let map_object t ?(inheritance = `Share) ?(writable = true) ~obj ~obj_offset ~npages () =
+  if npages <= 0 then invalid_arg "Vmmap.map_object: npages <= 0";
+  if obj_offset < 0 then invalid_arg "Vmmap.map_object: negative offset";
+  Vmobject.incref obj;
+  let e =
+    { eid = fresh_eid t; start_vpn = alloc_range t npages; npages; obj; obj_offset;
+      writable; inheritance; needs_copy = false; persisted = true;
+      restore_policy = `Hot }
+  in
+  insert_entry t e;
+  e
+
+let map_fixed t ~start_vpn ?(inheritance = `Share) ?(writable = true) ~obj ~obj_offset
+    ~npages () =
+  if npages <= 0 then invalid_arg "Vmmap.map_fixed: npages <= 0";
+  let overlaps e =
+    start_vpn < e.start_vpn + e.npages && e.start_vpn < start_vpn + npages
+  in
+  if List.exists overlaps t.entries then invalid_arg "Vmmap.map_fixed: range overlaps";
+  Vmobject.incref obj;
+  let e =
+    { eid = fresh_eid t; start_vpn; npages; obj; obj_offset; writable; inheritance;
+      needs_copy = false; persisted = true; restore_policy = `Hot }
+  in
+  insert_entry t e;
+  if start_vpn + npages + 16 > t.next_vpn then t.next_vpn <- start_vpn + npages + 16;
+  e
+
+let unmap t e =
+  if not (List.memq e t.entries) then invalid_arg "Vmmap.unmap: entry not in this map";
+  t.entries <- List.filter (fun x -> not (x == e)) t.entries;
+  Vmobject.decref e.obj
+
+let destroy t =
+  List.iter (fun e -> Vmobject.decref e.obj) t.entries;
+  t.entries <- []
+
+let entry_at t vpn =
+  List.find_opt (fun e -> vpn >= e.start_vpn && vpn < e.start_vpn + e.npages) t.entries
+
+exception Fault of string
+
+let require_entry t vpn =
+  match entry_at t vpn with
+  | Some e -> e
+  | None -> raise (Fault (Printf.sprintf "as#%d: unmapped vpn 0x%x" t.asid vpn))
+
+let pindex_of e vpn = e.obj_offset + (vpn - e.start_vpn)
+
+(* Demand fault on read: pull a paged-out page in, or observe zero.
+   Reads through the whole shadow chain. *)
+let read t ~vpn =
+  let e = require_entry t vpn in
+  let pindex = pindex_of e vpn in
+  match Vmobject.resolve e.obj pindex with
+  | Vmobject.Found { owner; slot = Vmobject.Resident f } ->
+    Vmobject.touch owner pindex;
+    f.Frame.content
+  | Vmobject.Found { owner; slot = Vmobject.Paged_out { content; read_cost } } ->
+    (* Major fault: bring the page in from its backing device. *)
+    t.faults.major <- t.faults.major + 1;
+    Clock.advance t.clock Costmodel.page_fault_trap;
+    Clock.advance t.clock read_cost;
+    let frame = Frame.alloc t.pool content in
+    Vmobject.page_in owner pindex frame;
+    Vmobject.touch owner pindex;
+    content
+  | Vmobject.Absent -> Content.zero
+
+let read_value t ~vpn ~offset =
+  if offset < 0 || offset >= Blockdev.block_size then
+    invalid_arg "Vmmap.read_value: offset outside page";
+  let content = read t ~vpn in
+  Int64.logxor (Content.hash content) (Int64.of_int offset)
+
+(* The write path: resolve the page, handling in order
+   (1) fork-COW shadowing, (2) major fault page-in, (3) checkpoint-COW
+   on armed pages, (4) copy-up from a backing object, (5) demand-zero. *)
+let write t ~vpn ~offset ~value =
+  let e = require_entry t vpn in
+  if not e.writable then
+    raise (Fault (Printf.sprintf "as#%d: write to read-only vpn 0x%x" t.asid vpn));
+  if e.needs_copy then begin
+    e.obj <- Vmobject.make_shadow e.obj;
+    (* make_shadow took a reference on the backing for the shadow;
+       the entry's own reference moves to the shadow, so drop the
+       entry's reference on the old object. *)
+    (match Vmobject.shadow_of e.obj with
+     | Some backing -> Vmobject.decref backing
+     | None -> assert false);
+    e.needs_copy <- false
+  end;
+  let pindex = pindex_of e vpn in
+  let apply frame =
+    frame.Frame.content <- Content.write frame.Frame.content ~offset ~value;
+    frame.Frame.accessed <- true
+  in
+  (match Vmobject.resolve e.obj pindex with
+   | Vmobject.Found { owner; slot } when owner == e.obj -> (
+     match slot with
+     | Vmobject.Resident f ->
+       if Vmobject.is_armed owner pindex then begin
+         (* Aurora checkpoint COW: new frame shared by all mappers. *)
+         t.faults.ckpt_cow <- t.faults.ckpt_cow + 1;
+         Clock.advance t.clock Costmodel.page_fault_trap;
+         Clock.advance t.clock Costmodel.cow_fault_service;
+         let fresh = Vmobject.disarm_for_write owner pindex in
+         apply fresh
+       end
+       else begin
+         Vmobject.mark_dirty owner pindex;
+         apply f
+       end
+     | Vmobject.Paged_out { content; read_cost } ->
+       t.faults.major <- t.faults.major + 1;
+       Clock.advance t.clock Costmodel.page_fault_trap;
+       Clock.advance t.clock read_cost;
+       let frame = Frame.alloc t.pool content in
+       Vmobject.page_in owner pindex frame;
+       (* Was armed while paged out? The image still holds the old
+          content, so writing the fresh resident copy is safe; it just
+          becomes dirty for the next checkpoint. *)
+       if Vmobject.is_armed owner pindex then begin
+         t.faults.ckpt_cow <- t.faults.ckpt_cow + 1;
+         Clock.advance t.clock Costmodel.cow_fault_service;
+         let fresh = Vmobject.disarm_for_write owner pindex in
+         apply fresh
+       end
+       else begin
+         Vmobject.mark_dirty owner pindex;
+         apply frame
+       end)
+   | Vmobject.Found { owner = _; slot } ->
+     (* Page lives in a backing object: fork-COW copy-up into e.obj. *)
+     t.faults.fork_cow <- t.faults.fork_cow + 1;
+     Clock.advance t.clock Costmodel.page_fault_trap;
+     Clock.advance t.clock Costmodel.cow_fault_service;
+     let content =
+       match slot with
+       | Vmobject.Resident f -> f.Frame.content
+       | Vmobject.Paged_out { content; read_cost } ->
+         t.faults.major <- t.faults.major + 1;
+         Clock.advance t.clock read_cost;
+         content
+     in
+     let frame = Frame.alloc t.pool content in
+     Vmobject.install e.obj pindex frame;
+     Vmobject.mark_dirty e.obj pindex;
+     apply frame
+   | Vmobject.Absent ->
+     t.faults.zero_fill <- t.faults.zero_fill + 1;
+     Clock.advance t.clock Costmodel.page_fault_trap;
+     Clock.advance t.clock Costmodel.zero_fill_fault;
+     let frame = Frame.alloc t.pool Content.zero in
+     Vmobject.install e.obj pindex frame;
+     Vmobject.mark_dirty e.obj pindex;
+     apply frame);
+  Vmobject.touch e.obj pindex
+
+let load_page t ~vpn content =
+  (* Route through the write path for the fault taxonomy, then replace
+     the whole contents, paying one in-memory page copy. *)
+  write t ~vpn ~offset:0 ~value:0L;
+  let e = require_entry t vpn in
+  let pindex = pindex_of e vpn in
+  (match Vmobject.resolve e.obj pindex with
+   | Vmobject.Found { owner; slot = Vmobject.Resident f } when owner == e.obj ->
+     f.Frame.content <- content
+   | _ -> assert false);
+  Clock.advance t.clock (Costmodel.page_copy ~pages:1)
+
+let fork t =
+  let child = create ~clock:t.clock ~pool:t.pool () in
+  child.next_vpn <- t.next_vpn;
+  let clone_entry e =
+    (match e.inheritance with
+     | `Share -> Vmobject.incref e.obj
+     | `Copy ->
+       Vmobject.incref e.obj;
+       (* Both sides must now copy before writing into the shared
+          backing object. *)
+       e.needs_copy <- true);
+    { e with
+      eid = fresh_eid child;
+      needs_copy = (match e.inheritance with `Share -> false | `Copy -> true);
+    }
+  in
+  child.entries <- List.map clone_entry t.entries;
+  child
+
+let distinct_objects t =
+  let seen = Hashtbl.create 16 in
+  let add acc obj =
+    let id = Vmobject.oid obj in
+    if Hashtbl.mem seen id then acc
+    else begin
+      Hashtbl.replace seen id ();
+      obj :: acc
+    end
+  in
+  let rec add_chain acc obj =
+    let acc = add acc obj in
+    match Vmobject.shadow_of obj with
+    | Some backing when not (Hashtbl.mem seen (Vmobject.oid backing)) ->
+      add_chain acc backing
+    | Some _ | None -> acc
+  in
+  List.rev (List.fold_left (fun acc e -> add_chain acc e.obj) [] t.entries)
+
+let resident_pages t =
+  List.fold_left (fun acc obj -> acc + Vmobject.resident_count obj) 0 (distinct_objects t)
+
+let total_pages t = List.fold_left (fun acc e -> acc + e.npages) 0 t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "as#%d(%d entries, %d pages mapped, %d resident)"
+    t.asid (List.length t.entries) (total_pages t) (resident_pages t)

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Aurora_cli Buffer Bytes Filename Fun String Sys Unix

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Aurora_device Aurora_simtime Blockdev Clock Costmodel Duration Format Gen Hashtbl Int64 List Netlink Profile QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_objstore.ml: Alcotest Alloc Aurora_device Aurora_objstore Aurora_simtime Blockdev Btree Clock Duration Fun Gen Hashtbl Int Int64 List Printf Profile QCheck QCheck_alcotest Store String

@@ -1,0 +1,1 @@
+test/test_simtime.ml: Alcotest Array Aurora_simtime Clock Duration Float Format Gen Int64 List Prng QCheck QCheck_alcotest Stats Tracelog

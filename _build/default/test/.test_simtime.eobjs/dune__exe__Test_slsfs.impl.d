@@ -1,0 +1,1 @@
+test/test_slsfs.ml: Alcotest Aurora_device Aurora_objstore Aurora_simtime Aurora_slsfs Aurora_vfs Blockdev Bytes Clock List Memfs Option Profile Slsfs Store String Vnode

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Aurora_device Aurora_simtime Aurora_vfs Blockdev Bytes Char Clock Duration Gen Memfs Profile QCheck QCheck_alcotest String Vnode

@@ -1,0 +1,123 @@
+(* End-to-end tests of the `sls` command line over a universe file:
+   every Table 1 command, including the app surviving a power failure
+   between CLI invocations, and image export/import between
+   universes. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let sls args =
+  Aurora_cli.Cli.run ~argv:(Array.of_list ("sls" :: args))
+
+let with_universe name f =
+  let path = tmp name in
+  if Sys.file_exists path then Sys.remove path;
+  check_int "init ok" 0 (sls [ "init"; "-u"; path ]);
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* Capture what a command prints (the CLI talks on stdout). *)
+let capture f =
+  let old = Unix.dup Unix.stdout in
+  let read_fd, write_fd = Unix.pipe () in
+  Unix.dup2 write_fd Unix.stdout;
+  let result = f () in
+  flush stdout;
+  Unix.close write_fd;
+  Unix.dup2 old Unix.stdout;
+  Unix.close old;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    let n = Unix.read read_fd chunk 0 4096 in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    end
+  in
+  (try drain () with End_of_file -> ());
+  Unix.close read_fd;
+  (result, Buffer.contents buf)
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_lifecycle () =
+  with_universe "cli-life.universe" (fun u ->
+      check_int "spawn" 0 (sls [ "spawn"; "myapp"; "--app"; "counter"; "-u"; u ]);
+      check_int "run" 0 (sls [ "run"; "--ms"; "40"; "-u"; u ]);
+      let rc, out = capture (fun () -> sls [ "ps"; "-u"; u ]) in
+      check_int "ps" 0 rc;
+      check_bool "app listed" true (contains out "myapp");
+      check_bool "group listed with a generation" true (contains out "PGID");
+      check_int "checkpoint" 0 (sls [ "checkpoint"; "--name"; "m1"; "-u"; u ]);
+      let rc, out = capture (fun () -> sls [ "fsck"; "-u"; u ]) in
+      check_int "fsck" 0 rc;
+      check_bool "store healthy" true (contains out "healthy");
+      let rc, out = capture (fun () -> sls [ "gens"; "-u"; u ]) in
+      check_int "gens" 0 rc;
+      check_bool "named checkpoint listed" true (contains out "m1"))
+
+let test_crash_survival () =
+  with_universe "cli-crash.universe" (fun u ->
+      check_int "spawn" 0 (sls [ "spawn"; "survivor"; "--app"; "counter"; "-u"; u ]);
+      check_int "run" 0 (sls [ "run"; "--ms"; "30"; "-u"; u ]);
+      check_int "crash" 0 (sls [ "crash"; "-u"; u ]);
+      (* The next invocation boots from the device and the app is
+         back, running. *)
+      let rc, out = capture (fun () -> sls [ "ps"; "-u"; u ]) in
+      check_int "ps after crash" 0 rc;
+      check_bool "app resurrected" true (contains out "survivor");
+      check_bool "and runnable" true (contains out "run"))
+
+let test_send_recv_between_universes () =
+  with_universe "cli-a.universe" (fun ua ->
+      with_universe "cli-b.universe" (fun ub ->
+          let image = tmp "cli-image.bin" in
+          Fun.protect
+            ~finally:(fun () -> if Sys.file_exists image then Sys.remove image)
+            (fun () ->
+              check_int "spawn" 0
+                (sls [ "spawn"; "traveller"; "--app"; "counter"; "-u"; ua ]);
+              check_int "run" 0 (sls [ "run"; "--ms"; "25"; "-u"; ua ]);
+              check_int "send" 0 (sls [ "send"; image; "-u"; ua ]);
+              check_bool "image written" true (Sys.file_exists image);
+              check_int "recv into the other universe" 0
+                (sls [ "recv"; image; "-u"; ub ]))))
+
+let test_attach_detach () =
+  with_universe "cli-attach.universe" (fun u ->
+      check_int "spawn" 0 (sls [ "spawn"; "app"; "--app"; "counter"; "-u"; u ]);
+      let rc, out = capture (fun () -> sls [ "attach"; "-u"; u ]) in
+      check_int "attach" 0 rc;
+      check_bool "memory backend listed" true (contains out "memory");
+      let rc, out = capture (fun () -> sls [ "detach"; "-u"; u ]) in
+      check_int "detach" 0 rc;
+      check_bool "memory backend gone" true (not (contains out "memory")))
+
+let test_errors () =
+  check_bool "missing universe is an error" true
+    (sls [ "ps"; "-u"; tmp "does-not-exist.universe" ] <> 0);
+  with_universe "cli-err.universe" (fun u ->
+      check_bool "unknown app kind rejected" true
+        (sls [ "spawn"; "x"; "--app"; "nonsense"; "-u"; u ] <> 0);
+      check_bool "send without checkpoint rejected" true
+        (sls [ "send"; tmp "never.bin"; "-u"; u ] <> 0))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "sls",
+        [
+          Alcotest.test_case "init/spawn/run/ps/checkpoint/gens" `Quick test_lifecycle;
+          Alcotest.test_case "apps survive power failure" `Quick test_crash_survival;
+          Alcotest.test_case "send/recv between universes" `Quick
+            test_send_recv_between_universes;
+          Alcotest.test_case "attach/detach" `Quick test_attach_detach;
+          Alcotest.test_case "error paths" `Quick test_errors;
+        ] );
+    ]

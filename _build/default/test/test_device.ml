@@ -1,0 +1,307 @@
+(* Tests for the device layer: profiles/cost model, block devices with
+   write-cache crash semantics, async submission, and network links. *)
+
+open Aurora_simtime
+open Aurora_device
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let duration_t : Duration.t Alcotest.testable =
+  Alcotest.testable Duration.pp Duration.equal
+
+let content_t : Blockdev.content Alcotest.testable =
+  let pp ppf = function
+    | Blockdev.Data s -> Format.fprintf ppf "Data(%S)" s
+    | Blockdev.Seed s -> Format.fprintf ppf "Seed(%Ld)" s
+    | Blockdev.Zero -> Format.pp_print_string ppf "Zero"
+  in
+  Alcotest.testable pp ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Profiles and transfer costs                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_transfer_cost_linear () =
+  (* Cost of a 1 MiB read on Optane: 10us latency + 1MiB/2.5GiB/s. *)
+  let cost = Profile.transfer_cost Profile.optane_900p ~op:`Read ~bytes:(1024 * 1024) in
+  let expected_us = 10.0 +. (1024. *. 1024. /. (2.5 *. 1024. *. 1024. *. 1024.) *. 1e6) in
+  Alcotest.(check (float 1.0)) "1MiB optane read us" expected_us (Duration.to_us cost)
+
+let test_transfer_cost_zero_bytes () =
+  let cost = Profile.transfer_cost Profile.optane_900p ~op:`Write ~bytes:0 in
+  Alcotest.check duration_t "latency only" Profile.optane_900p.Profile.write_latency cost
+
+let test_profile_ordering () =
+  (* The paper's argument: flash latency now within two orders of
+     magnitude of memory, spinning disk hopelessly behind. *)
+  let lat p = Duration.to_ns p.Profile.read_latency in
+  check_bool "dram < nvdimm" true (lat Profile.dram < lat Profile.nvdimm);
+  check_bool "nvdimm < optane" true (lat Profile.nvdimm < lat Profile.optane_900p);
+  check_bool "optane < nand" true (lat Profile.optane_900p < lat Profile.nand_ssd);
+  check_bool "nand << disk" true (lat Profile.nand_ssd * 10 < lat Profile.spinning_disk);
+  check_bool "optane within 2 orders of dram+slack" true
+    (lat Profile.optane_900p <= lat Profile.dram * 150)
+
+let test_costmodel_calibration () =
+  (* Full-checkpoint COW arming of a 2 GiB working set should land in
+     the ~5 ms regime the paper reports. *)
+  let pages = 2 * 1024 * 1024 * 1024 / Blockdev.block_size in
+  let arm = Costmodel.cow_arm ~pages in
+  check_bool "cow arm ~5ms" true
+    Duration.(arm > Duration.milliseconds 4 && arm < Duration.milliseconds 7);
+  let map = Costmodel.pte_map ~pages in
+  check_bool "pte map ~0.4ms" true
+    Duration.(map > Duration.microseconds 200 && map < Duration.microseconds 600)
+
+(* ------------------------------------------------------------------ *)
+(* Blockdev                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mkdev ?capacity_blocks ?(profile = Profile.optane_900p) () =
+  let clock = Clock.create () in
+  (clock, Blockdev.create ?capacity_blocks ~clock ~profile "dev0")
+
+let test_blockdev_read_write () =
+  let _, dev = mkdev () in
+  Blockdev.write dev 3 (Blockdev.Data "hello");
+  Blockdev.write dev 9 (Blockdev.Seed 42L);
+  Alcotest.check content_t "data" (Blockdev.Data "hello") (Blockdev.read dev 3);
+  Alcotest.check content_t "seed" (Blockdev.Seed 42L) (Blockdev.read dev 9);
+  Alcotest.check content_t "unwritten" Blockdev.Zero (Blockdev.read dev 100)
+
+let test_blockdev_charges_clock () =
+  let clock, dev = mkdev () in
+  Blockdev.write dev 0 (Blockdev.Seed 1L);
+  let after_write = Clock.now clock in
+  check_bool "write cost >= latency" true
+    Duration.(after_write >= Profile.optane_900p.Profile.write_latency);
+  ignore (Blockdev.read dev 0);
+  check_bool "read advanced further" true Duration.(Clock.now clock > after_write)
+
+let test_blockdev_batched_cheaper () =
+  (* One 64-block command pays latency once; 64 single commands pay it
+     64 times. *)
+  let clock1, dev1 = mkdev () in
+  let writes = List.init 64 (fun i -> (i, Blockdev.Seed (Int64.of_int i))) in
+  Blockdev.write_many dev1 writes;
+  let batched = Clock.now clock1 in
+  let clock2, dev2 = mkdev () in
+  List.iter (fun (i, c) -> Blockdev.write dev2 i c) writes;
+  check_bool "batch faster" true Duration.(batched < Clock.now clock2)
+
+let test_blockdev_capacity () =
+  let _, dev = mkdev ~capacity_blocks:10 () in
+  Blockdev.write dev 9 (Blockdev.Seed 1L);
+  check_bool "over capacity rejected" true
+    (try
+       Blockdev.write dev 10 (Blockdev.Seed 1L);
+       false
+     with Invalid_argument _ -> true)
+
+let test_blockdev_oversized_data () =
+  let _, dev = mkdev () in
+  check_bool "oversized rejected" true
+    (try
+       Blockdev.write dev 0 (Blockdev.Data (String.make 5000 'x'));
+       false
+     with Invalid_argument _ -> true)
+
+let test_crash_volatile_cache () =
+  (* NAND profile: unflushed writes vanish on crash. *)
+  let _, dev = mkdev ~profile:Profile.nand_ssd () in
+  Blockdev.write dev 0 (Blockdev.Data "durable");
+  Blockdev.flush dev;
+  Blockdev.write dev 0 (Blockdev.Data "lost");
+  Blockdev.write dev 1 (Blockdev.Data "also lost");
+  Blockdev.crash dev;
+  Alcotest.check content_t "reverted" (Blockdev.Data "durable") (Blockdev.read dev 0);
+  Alcotest.check content_t "never durable" Blockdev.Zero (Blockdev.read dev 1)
+
+let test_crash_nonvolatile_cache () =
+  (* Optane: completed writes survive without an explicit flush. *)
+  let _, dev = mkdev ~profile:Profile.optane_900p () in
+  Blockdev.write dev 0 (Blockdev.Data "survives");
+  Blockdev.crash dev;
+  Alcotest.check content_t "survived" (Blockdev.Data "survives") (Blockdev.read dev 0)
+
+let test_async_write_completion () =
+  let clock, dev = mkdev () in
+  let completion = Blockdev.write_async dev [ (0, Blockdev.Seed 7L) ] in
+  check_bool "async does not advance clock" true
+    Duration.(Clock.now clock < completion);
+  Blockdev.await dev completion;
+  Alcotest.check duration_t "await advanced to completion" completion (Clock.now clock);
+  Alcotest.check content_t "content visible" (Blockdev.Seed 7L) (Blockdev.read dev 0)
+
+let test_async_crash_before_completion () =
+  (* Even on a power-loss-protected device, a write that has not
+     reached the device by crash time is gone. *)
+  let _, dev = mkdev ~profile:Profile.optane_900p () in
+  Blockdev.write dev 0 (Blockdev.Data "old");
+  let _completion = Blockdev.write_async dev [ (0, Blockdev.Data "new") ] in
+  Blockdev.crash dev; (* clock never advanced: write still in flight *)
+  Alcotest.check content_t "in-flight dropped" (Blockdev.Data "old") (Blockdev.read dev 0)
+
+let test_async_crash_after_completion () =
+  let _, dev = mkdev ~profile:Profile.optane_900p () in
+  let completion = Blockdev.write_async dev [ (0, Blockdev.Data "new") ] in
+  Blockdev.await dev completion;
+  Blockdev.crash dev;
+  Alcotest.check content_t "completed write durable on optane"
+    (Blockdev.Data "new") (Blockdev.read dev 0)
+
+let test_flush_makes_durable () =
+  let _, dev = mkdev ~profile:Profile.nand_ssd () in
+  ignore (Blockdev.write_async dev [ (0, Blockdev.Data "x") ]);
+  Blockdev.flush dev;
+  Blockdev.crash dev;
+  Alcotest.check content_t "flushed write survives" (Blockdev.Data "x") (Blockdev.read dev 0)
+
+let test_stats_counting () =
+  let _, dev = mkdev () in
+  Blockdev.write_many dev [ (0, Blockdev.Seed 1L); (1, Blockdev.Seed 2L) ];
+  ignore (Blockdev.read dev 0);
+  ignore (Blockdev.read_many dev [ 0; 1 ]);
+  let st = Blockdev.stats dev in
+  check_int "write cmds" 1 st.Blockdev.writes;
+  check_int "blocks written" 2 st.Blockdev.blocks_written;
+  check_int "read cmds" 2 st.Blockdev.reads;
+  check_int "blocks read" 3 st.Blockdev.blocks_read;
+  check_int "used blocks" 2 (Blockdev.used_blocks dev);
+  Blockdev.reset_stats dev;
+  check_int "reset" 0 (Blockdev.stats dev).Blockdev.writes
+
+let prop_blockdev_read_back =
+  QCheck.Test.make ~name:"blockdev reads back last write"
+    QCheck.(list_of_size Gen.(int_range 1 30) (pair (int_bound 50) int64))
+    (fun writes ->
+      let _, dev = mkdev () in
+      List.iter (fun (i, s) -> Blockdev.write dev i (Blockdev.Seed s)) writes;
+      (* last write to each index wins *)
+      let final = Hashtbl.create 16 in
+      List.iter (fun (i, s) -> Hashtbl.replace final i s) writes;
+      Hashtbl.fold
+        (fun i s acc -> acc && Blockdev.read dev i = Blockdev.Seed s)
+        final true)
+
+let prop_crash_preserves_durable =
+  QCheck.Test.make ~name:"crash never corrupts flushed data"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 20) (pair (int_bound 20) int64))
+        (list_of_size Gen.(int_range 0 20) (pair (int_bound 20) int64)))
+    (fun (before_flush, after_flush) ->
+      let _, dev = mkdev ~profile:Profile.nand_ssd () in
+      List.iter (fun (i, s) -> Blockdev.write dev i (Blockdev.Seed s)) before_flush;
+      Blockdev.flush dev;
+      let durable = Hashtbl.create 16 in
+      List.iter (fun (i, s) -> Hashtbl.replace durable i s) before_flush;
+      List.iter (fun (i, s) -> Blockdev.write dev i (Blockdev.Seed s)) after_flush;
+      Blockdev.crash dev;
+      Hashtbl.fold
+        (fun i s acc -> acc && Blockdev.read dev i = Blockdev.Seed s)
+        durable true)
+
+
+let prop_async_completions_monotone =
+  QCheck.Test.make ~name:"async completions are fifo-monotone"
+    QCheck.(list_of_size Gen.(int_range 1 20) (int_range 1 50))
+    (fun batch_sizes ->
+      let _, dev = mkdev () in
+      let completions =
+        List.mapi
+          (fun bi n ->
+            Blockdev.write_async dev
+              (List.init n (fun i -> (100 + (bi * 64) + i, Blockdev.Seed 1L))))
+          batch_sizes
+      in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> Duration.(a <= b) && monotone rest
+        | _ -> true
+      in
+      monotone completions)
+
+(* ------------------------------------------------------------------ *)
+(* Netlink                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mklink () =
+  let clock = Clock.create () in
+  (clock, Netlink.create ~clock ~profile:Profile.net_10gbe ())
+
+let test_netlink_delivery () =
+  let clock, link = mklink () in
+  let arrival = Netlink.send link ~from_:`A "ping" in
+  check_bool "not yet arrived" true (Netlink.recv link ~side:`B = None);
+  Clock.advance_to clock arrival;
+  Alcotest.(check (option string)) "arrived" (Some "ping") (Netlink.recv link ~side:`B);
+  Alcotest.(check (option string)) "queue drained" None (Netlink.recv link ~side:`B)
+
+let test_netlink_blocking_recv () =
+  let clock, link = mklink () in
+  let arrival = Netlink.send link ~from_:`A "data" in
+  Alcotest.(check (option string)) "blocking recv" (Some "data")
+    (Netlink.recv_blocking link ~side:`B);
+  Alcotest.check duration_t "clock advanced to arrival" arrival (Clock.now clock);
+  Alcotest.(check (option string)) "empty" None (Netlink.recv_blocking link ~side:`B)
+
+let test_netlink_ordering_and_bandwidth () =
+  let _, link = mklink () in
+  let big = String.make 1_000_000 'x' in
+  let a1 = Netlink.send link ~from_:`A big in
+  let a2 = Netlink.send link ~from_:`A "tail" in
+  (* Second message serializes behind the first on the wire. *)
+  check_bool "fifo arrival order" true Duration.(a1 < a2);
+  check_int "pending" 2 (Netlink.pending link ~side:`B);
+  check_int "bytes" (1_000_000 + 4) (Netlink.bytes_sent link)
+
+let test_netlink_directions_independent () =
+  let clock, link = mklink () in
+  let a = Netlink.send link ~from_:`A "to-b" in
+  let b = Netlink.send link ~from_:`B "to-a" in
+  Clock.advance_to clock (Duration.max a b);
+  Alcotest.(check (option string)) "b got" (Some "to-b") (Netlink.recv link ~side:`B);
+  Alcotest.(check (option string)) "a got" (Some "to-a") (Netlink.recv link ~side:`A)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "linear transfer cost" `Quick test_transfer_cost_linear;
+          Alcotest.test_case "zero bytes" `Quick test_transfer_cost_zero_bytes;
+          Alcotest.test_case "latency ordering" `Quick test_profile_ordering;
+          Alcotest.test_case "cost model calibration" `Quick test_costmodel_calibration;
+        ] );
+      ( "blockdev",
+        [
+          Alcotest.test_case "read/write" `Quick test_blockdev_read_write;
+          Alcotest.test_case "charges clock" `Quick test_blockdev_charges_clock;
+          Alcotest.test_case "batching amortizes latency" `Quick test_blockdev_batched_cheaper;
+          Alcotest.test_case "capacity enforced" `Quick test_blockdev_capacity;
+          Alcotest.test_case "oversized data rejected" `Quick test_blockdev_oversized_data;
+          Alcotest.test_case "crash drops volatile cache" `Quick test_crash_volatile_cache;
+          Alcotest.test_case "crash keeps nonvolatile cache" `Quick test_crash_nonvolatile_cache;
+          Alcotest.test_case "async completion" `Quick test_async_write_completion;
+          Alcotest.test_case "crash drops in-flight async" `Quick
+            test_async_crash_before_completion;
+          Alcotest.test_case "completed async durable" `Quick
+            test_async_crash_after_completion;
+          Alcotest.test_case "flush makes durable" `Quick test_flush_makes_durable;
+          Alcotest.test_case "stats" `Quick test_stats_counting;
+          qt prop_blockdev_read_back;
+          qt prop_crash_preserves_durable;
+          qt prop_async_completions_monotone;
+        ] );
+      ( "netlink",
+        [
+          Alcotest.test_case "delivery respects latency" `Quick test_netlink_delivery;
+          Alcotest.test_case "blocking recv" `Quick test_netlink_blocking_recv;
+          Alcotest.test_case "fifo + bandwidth" `Quick test_netlink_ordering_and_bandwidth;
+          Alcotest.test_case "directions independent" `Quick
+            test_netlink_directions_independent;
+        ] );
+    ]

@@ -1,0 +1,410 @@
+(* Model-based fuzzing of transparent persistence: arbitrary syscall
+   histories (memory, pipes, sockets, files, message queues,
+   semaphores) are applied to a process; the machine is checkpointed,
+   crashed and restored; then the complete observable state — page
+   contents, buffered pipe/socket bytes, file contents and offsets,
+   queued messages, semaphore values — must match a reference machine
+   that executed the same history without ever being interrupted.
+
+   This is the paper's core promise quantified over random programs:
+   the application "continues executing oblivious to the
+   interruption". *)
+
+open Aurora_vm
+open Aurora_posix
+open Aurora_proc
+open Aurora_objstore
+open Aurora_sls
+
+let () =
+  Program.register ~name:"fuzz/parked" (fun _ _ _ -> Program.Block Thread.Wait_forever)
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Mmap of int                      (* pages, 1-6 *)
+  | Mem_write of int * int * int64   (* region idx, page idx, value *)
+  | Pipe_create
+  | Pipe_write of int * string
+  | Pipe_read of int * int
+  | Sock_pair
+  | Sock_send of int * bool * string (* pair idx, from-first-end, data *)
+  | Sock_recv of int * bool * int
+  | File_open of int                 (* name id, 0-3 *)
+  | File_write of int * string       (* file handle idx *)
+  | File_seek of int * int
+  | Msg_send of int * string         (* mtype 1-4 *)
+  | Msg_recv
+  | Sem_post
+  | Sem_trywait
+
+let op_gen =
+  let open QCheck.Gen in
+  let small_str = string_size ~gen:(char_range 'a' 'z') (int_range 1 24) in
+  frequency
+    [
+      (2, map (fun n -> Mmap (1 + (n mod 6))) small_nat);
+      (6, map3 (fun r p v -> Mem_write (r, p, v)) small_nat (int_bound 5) int64);
+      (1, return Pipe_create);
+      (3, map2 (fun i s -> Pipe_write (i, s)) small_nat small_str);
+      (2, map2 (fun i n -> Pipe_read (i, 1 + (n mod 16))) small_nat small_nat);
+      (1, return Sock_pair);
+      (3, map3 (fun i b s -> Sock_send (i, b, s)) small_nat bool small_str);
+      (2, map3 (fun i b n -> Sock_recv (i, b, 1 + (n mod 16))) small_nat bool small_nat);
+      (1, map (fun n -> File_open (n mod 4)) small_nat);
+      (3, map2 (fun i s -> File_write (i, s)) small_nat small_str);
+      (1, map2 (fun i n -> File_seek (i, n mod 64)) small_nat small_nat);
+      (2, map2 (fun t s -> Msg_send (1 + (t mod 4), s)) small_nat small_str);
+      (1, return Msg_recv);
+      (1, return Sem_post);
+      (1, return Sem_trywait);
+    ]
+
+let pp_op = function
+  | Mmap n -> Printf.sprintf "Mmap %d" n
+  | Mem_write (r, p, v) -> Printf.sprintf "Mem_write (%d,%d,%Ld)" r p v
+  | Pipe_create -> "Pipe_create"
+  | Pipe_write (i, s) -> Printf.sprintf "Pipe_write (%d,%S)" i s
+  | Pipe_read (i, n) -> Printf.sprintf "Pipe_read (%d,%d)" i n
+  | Sock_pair -> "Sock_pair"
+  | Sock_send (i, b, s) -> Printf.sprintf "Sock_send (%d,%b,%S)" i b s
+  | Sock_recv (i, b, n) -> Printf.sprintf "Sock_recv (%d,%b,%d)" i b n
+  | File_open n -> Printf.sprintf "File_open %d" n
+  | File_write (i, s) -> Printf.sprintf "File_write (%d,%S)" i s
+  | File_seek (i, n) -> Printf.sprintf "File_seek (%d,%d)" i n
+  | Msg_send (t, s) -> Printf.sprintf "Msg_send (%d,%S)" t s
+  | Msg_recv -> "Msg_recv"
+  | Sem_post -> "Sem_post"
+  | Sem_trywait -> "Sem_trywait"
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 5 60) op_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  m : Machine.t;
+  p : Process.t;
+  cid : int;
+  mutable regions : Vmmap.entry list;
+  mutable pipes : (int * int) list; (* (rfd, wfd) *)
+  mutable socks : (int * int) list;
+  mutable files : int list;
+  msgq : int;
+  sem : int;
+}
+
+let fresh_session () =
+  let m = Machine.create () in
+  let k = m.Machine.kernel in
+  let c = Kernel.new_container k ~name:"fuzz" in
+  let p = Kernel.spawn k ~container:c.Container.cid ~name:"subject"
+      ~program:"fuzz/parked" () in
+  Syscall.mkdir k p "/fz";
+  let msgq = Syscall.msgq_open k p ~key:"fuzz-q" in
+  let sem = Syscall.sem_open k p ~name:"/fuzz-sem" ~value:0 in
+  { m; p; cid = c.Container.cid; regions = []; pipes = []; socks = []; files = [];
+    msgq; sem }
+
+let nth_mod xs i = if xs = [] then None else Some (List.nth xs (i mod List.length xs))
+
+let apply_op s op =
+  let k = s.m.Machine.kernel in
+  match op with
+  | Mmap n -> s.regions <- s.regions @ [ Syscall.mmap_anon k s.p ~npages:n ]
+  | Mem_write (r, page, v) -> (
+    match nth_mod s.regions r with
+    | Some e ->
+      Syscall.mem_write k s.p ~vpn:(e.Vmmap.start_vpn + (page mod e.Vmmap.npages))
+        ~offset:0 ~value:v
+    | None -> ())
+  | Pipe_create -> s.pipes <- s.pipes @ [ Syscall.pipe k s.p ]
+  | Pipe_write (i, data) -> (
+    match nth_mod s.pipes i with
+    | Some (_, wfd) -> (
+      match Syscall.write k s.p wfd data with
+      | `Written _ | `Would_block | `Broken -> ())
+    | None -> ())
+  | Pipe_read (i, n) -> (
+    match nth_mod s.pipes i with
+    | Some (rfd, _) -> (
+      match Syscall.read k s.p rfd ~len:n with `Data _ | `Eof | `Would_block -> ())
+    | None -> ())
+  | Sock_pair -> s.socks <- s.socks @ [ Syscall.socketpair k s.p ]
+  | Sock_send (i, first, data) -> (
+    match nth_mod s.socks i with
+    | Some (a, b) -> (
+      match Syscall.write k s.p (if first then a else b) data with
+      | `Written _ | `Would_block | `Broken -> ())
+    | None -> ())
+  | Sock_recv (i, first, n) -> (
+    match nth_mod s.socks i with
+    | Some (a, b) -> (
+      match Syscall.read k s.p (if first then a else b) ~len:n with
+      | `Data _ | `Eof | `Would_block -> ())
+    | None -> ())
+  | File_open n ->
+    let path = Printf.sprintf "/fz/file%d" n in
+    s.files <- s.files @ [ Syscall.open_file k s.p ~create:true path ]
+  | File_write (i, data) -> (
+    match nth_mod s.files i with
+    | Some fd -> ignore (Syscall.write k s.p fd data)
+    | None -> ())
+  | File_seek (i, pos) -> (
+    match nth_mod s.files i with
+    | Some fd -> Syscall.lseek k s.p fd pos
+    | None -> ())
+  | Msg_send (mtype, data) -> (
+    match Syscall.msgq_send k s.p s.msgq ~mtype data with `Ok | `Would_block -> ())
+  | Msg_recv -> (
+    match Syscall.msgq_recv k s.p s.msgq () with `Msg _ | `Would_block -> ())
+  | Sem_post -> Syscall.sem_post k s.p s.sem
+  | Sem_trywait -> (match Syscall.sem_wait k s.p s.sem with `Ok | `Would_block -> ())
+
+(* The complete observable state, as a string. Draining reads are
+   destructive, so digesting ends the session. *)
+let digest s =
+  let k = s.m.Machine.kernel in
+  let buf = Buffer.create 256 in
+  let p = s.p in
+  List.iteri
+    (fun ri e ->
+      for i = 0 to e.Vmmap.npages - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "R%d.%d=%Lx;" ri i
+             (Content.to_seed (Vmmap.read p.Process.vm ~vpn:(e.Vmmap.start_vpn + i))))
+      done)
+    s.regions;
+  let drain tag fd =
+    let rec go () =
+      match Syscall.read k p fd ~len:64 with
+      | `Data d ->
+        Buffer.add_string buf d;
+        go ()
+      | `Eof | `Would_block -> Buffer.add_string buf (Printf.sprintf "|%s;" tag)
+    in
+    go ()
+  in
+  List.iteri (fun i (rfd, _) -> drain (Printf.sprintf "P%d" i) rfd) s.pipes;
+  List.iteri
+    (fun i (a, b) ->
+      drain (Printf.sprintf "Sa%d" i) a;
+      drain (Printf.sprintf "Sb%d" i) b)
+    s.socks;
+  List.iteri
+    (fun i fd ->
+      let size = Syscall.file_size k p fd in
+      let off = (Option.get (Fd.get p.Process.fdtable fd)).Fd.offset in
+      Buffer.add_string buf (Printf.sprintf "F%d@%d#%d:" i off size);
+      Syscall.lseek k p fd 0;
+      drain (Printf.sprintf "F%d" i) fd)
+    s.files;
+  let rec drain_q () =
+    match Syscall.msgq_recv k p s.msgq () with
+    | `Msg (t, d) ->
+      Buffer.add_string buf (Printf.sprintf "M%d:%s;" t d);
+      drain_q ()
+    | `Would_block -> ()
+  in
+  drain_q ();
+  let rec drain_sem n =
+    match Syscall.sem_wait k p s.sem with
+    | `Ok -> drain_sem (n + 1)
+    | `Would_block -> Buffer.add_string buf (Printf.sprintf "SEM=%d;" n)
+  in
+  drain_sem 0;
+  Buffer.contents buf
+
+(* Rebind the session's handles to the restored process. Descriptor
+   numbers and vpns are preserved by restore, so the handles stay
+   valid; only the process pointer changes. *)
+let rebind s p' = { s with p = p' }
+
+let prop_random_history_survives_crash =
+  QCheck.Test.make ~name:"random syscall histories survive checkpoint+crash+restore"
+    ~count:40 ops_arbitrary (fun ops ->
+      (* Reference execution: never interrupted. *)
+      let ref_s = fresh_session () in
+      List.iter (apply_op ref_s) ops;
+      let expected = digest ref_s in
+      (* Subject execution: same ops, then checkpoint, power failure,
+         recovery, restore. *)
+      let s = fresh_session () in
+      List.iter (apply_op s) ops;
+      let g = Machine.persist s.m (`Container s.cid) in
+      let b = Machine.checkpoint_now s.m g () in
+      Store.wait_durable s.m.Machine.disk_store b.Types.durable_at;
+      Machine.crash s.m;
+      let m' = Machine.recover s.m in
+      let g' = Machine.persist m' (`Container s.cid) in
+      let pids, _ = Machine.restore_group m' g' ~gen:b.Types.gen () in
+      let p' = Kernel.proc_exn m'.Machine.kernel (List.hd pids) in
+      let s' = rebind { s with m = m' } p' in
+      let actual = digest s' in
+      if String.equal expected actual then true
+      else
+        QCheck.Test.fail_reportf "state diverged:@.expected %s@.actual   %s" expected
+          actual)
+
+let prop_random_history_survives_rollback_replay =
+  QCheck.Test.make
+    ~name:"rollback + deterministic re-execution reproduces the same state" ~count:20
+    QCheck.(
+      pair ops_arbitrary
+        (QCheck.make QCheck.Gen.(list_size (int_range 1 20) op_gen)
+           ~print:(fun ops -> String.concat "; " (List.map pp_op ops))))
+    (fun (prefix, suffix) ->
+      (* Run prefix, checkpoint, run suffix; digest. Then roll back to
+         the checkpoint and re-run the suffix: same digest. *)
+      let s = fresh_session () in
+      List.iter (apply_op s) prefix;
+      let g = Machine.persist s.m (`Container s.cid) in
+      ignore (Machine.checkpoint_now s.m g ());
+      (* Handles snapshot: suffix must not create new resources, or
+         the rollback would forget them... it may: the re-execution
+         recreates them identically because the interpreter is
+         deterministic. But fd numbers allocated after the rollback
+         could differ if the registry state differs — so we compare
+         digests, which are handle-agnostic. *)
+      let s_after = { s with regions = s.regions; pipes = s.pipes } in
+      List.iter (apply_op s_after) suffix;
+      let regions1 = s_after.regions and pipes1 = s_after.pipes
+      and socks1 = s_after.socks and files1 = s_after.files in
+      let expected =
+        digest { s_after with regions = regions1; pipes = pipes1; socks = socks1;
+                 files = files1 }
+      in
+      (* Roll back and replay. *)
+      let pids = Api.sls_rollback s.m g in
+      let p' = Kernel.proc_exn s.m.Machine.kernel (List.hd pids) in
+      let s2 =
+        { s with p = p';
+          regions = List.filteri (fun i _ -> i < List.length s.regions) s.regions;
+          pipes = s.pipes; socks = s.socks; files = s.files }
+      in
+      List.iter (apply_op s2) suffix;
+      let actual = digest s2 in
+      if String.equal expected actual then true
+      else
+        QCheck.Test.fail_reportf "rollback replay diverged:@.expected %s@.actual   %s"
+          expected actual)
+
+
+(* ------------------------------------------------------------------ *)
+(* Crash-timing fuzz                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A self-mutating program whose state digest we can compute at any
+   instant: writes (step) into page (step mod 8). *)
+let () =
+  Program.register ~name:"fuzz/mutator" (fun k p th ->
+      let ctx = th.Thread.context in
+      if ctx.Context.pc = 0 then begin
+        let e = Syscall.mmap_anon k p ~npages:8 in
+        Context.set_reg_int ctx 1 e.Vmmap.start_vpn;
+        ctx.Context.pc <- 1;
+        Program.Continue
+      end
+      else begin
+        let step = Context.reg_int ctx 2 + 1 in
+        Context.set_reg_int ctx 2 step;
+        Syscall.mem_write k p ~vpn:(Context.reg_int ctx 1 + (step mod 8)) ~offset:0
+          ~value:(Int64.of_int step);
+        Program.Continue
+      end)
+
+let mutator_digest (p : Process.t) =
+  let ctx = (Process.main_thread p).Thread.context in
+  let base = Context.reg_int ctx 1 in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int (Context.reg_int ctx 2));
+  for i = 0 to 7 do
+    Buffer.add_string buf
+      (Printf.sprintf ":%Lx" (Content.to_seed (Vmmap.read p.Process.vm ~vpn:(base + i))))
+  done;
+  Buffer.contents buf
+
+let prop_crash_at_random_instant_recovers_a_checkpoint =
+  (* Run under periodic checkpoints; crash at an arbitrary instant
+     with the device queue in an arbitrary state; recovery must yield
+     a store that passes fsck and restores to EXACTLY the state one of
+     the committed checkpoints captured — never a torn hybrid. *)
+  QCheck.Test.make ~name:"random-instant crashes recover exactly one checkpoint's state"
+    ~count:30
+    QCheck.(pair (int_range 1 40) (int_range 0 2_000))
+    (fun (run_ms_tenths, extra_us) ->
+      let m = Machine.create () in
+      let k = m.Machine.kernel in
+      let c = Kernel.new_container k ~name:"crashy" in
+      let p = Kernel.spawn k ~container:c.Container.cid ~name:"mutator"
+          ~program:"fuzz/mutator" () in
+      let _g = Machine.persist m
+          ~interval:(Aurora_simtime.Duration.milliseconds 1)
+          (`Container c.Container.cid) in
+      Machine.run m
+        (Aurora_simtime.Duration.add
+           (Aurora_simtime.Duration.microseconds (run_ms_tenths * 100))
+           (Aurora_simtime.Duration.microseconds extra_us));
+      ignore p;
+      (* Crash NOW: no draining, whatever is in flight is lost. *)
+      Machine.crash m;
+      let m' = Machine.recover m in
+      let store = m'.Machine.disk_store in
+      (match Store.fsck store with
+       | Ok () -> ()
+       | Error ps ->
+         QCheck.Test.fail_reportf "fsck after random crash: %s"
+           (String.concat "; " ps));
+      match Store.latest store with
+      | None -> true (* crashed before anything became durable *)
+      | Some gen ->
+        (* Restore the recovered checkpoint, then independently rebuild
+           the expected state by restoring on a scratch machine twice:
+           determinism makes the digests comparable. *)
+        let g' = Machine.persist m' (`Container c.Container.cid) in
+        let pids, _ = Machine.restore_group m' g' ~gen () in
+        let p' = Kernel.proc_exn m'.Machine.kernel (List.hd pids) in
+        let restored = mutator_digest p' in
+        (* The restored step count must be consistent with its pages:
+           page (step mod 8) holds a content whose history ends at
+           step. Verify internal consistency by replaying from scratch
+           to the same step count. *)
+        let steps = Context.reg_int (Process.main_thread p').Thread.context 2 in
+        let scratch = Machine.create () in
+        let sk = scratch.Machine.kernel in
+        let sc = Kernel.new_container sk ~name:"scratch" in
+        let sp = Kernel.spawn sk ~container:sc.Container.cid ~name:"mutator"
+            ~program:"fuzz/mutator" () in
+        let guard = ref 0 in
+        while
+          Context.reg_int (Process.main_thread sp).Thread.context 2 < steps
+          && !guard < 2_000_000
+        do
+          ignore (Scheduler.step_all sk);
+          incr guard
+        done;
+        let expected = mutator_digest sp in
+        if String.equal restored expected then true
+        else
+          QCheck.Test.fail_reportf
+            "torn state after crash at t=%d00+%dus:@.restored %s@.expected %s"
+            run_ms_tenths extra_us restored expected)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "transparent-persistence",
+        [ qt prop_random_history_survives_crash ] );
+      ( "rollback-replay",
+        [ qt prop_random_history_survives_rollback_replay ] );
+      ( "crash-timing",
+        [ qt prop_crash_at_random_instant_recovers_a_checkpoint ] );
+    ]

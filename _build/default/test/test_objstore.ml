@@ -1,0 +1,699 @@
+(* Tests for the object store: reference-counted allocation, the COW
+   B+tree (sharing across snapshots, release cascades), content
+   deduplication, generation commit/readback, crash recovery through
+   the dual superblocks, and in-place GC. *)
+
+open Aurora_simtime
+open Aurora_device
+open Aurora_objstore
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mkdev ?(profile = Profile.optane_900p) () =
+  let clock = Clock.create () in
+  (clock, Blockdev.create ~clock ~profile "store0")
+
+(* ------------------------------------------------------------------ *)
+(* Alloc                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_alloc_reuse () =
+  let a = Alloc.create ~first_block:2 () in
+  let b1 = Alloc.alloc a in
+  let b2 = Alloc.alloc a in
+  check_bool "skips reserved" true (b1 >= 2 && b2 >= 2 && b1 <> b2);
+  Alloc.decref a b1;
+  check_int "freed block reused" b1 (Alloc.alloc a);
+  check_int "live" 2 (Alloc.live_blocks a)
+
+let test_alloc_refcounting () =
+  let a = Alloc.create ~first_block:0 () in
+  let b = Alloc.alloc a in
+  Alloc.incref a b;
+  Alloc.decref a b;
+  check_int "still live" 1 (Alloc.refcount a b);
+  let freed = ref [] in
+  Alloc.add_on_free a (fun blk -> freed := blk :: !freed);
+  Alloc.decref a b;
+  Alcotest.(check (list int)) "hook fired" [ b ] !freed;
+  check_bool "double free rejected" true
+    (try
+       Alloc.decref a b;
+       false
+     with Invalid_argument _ -> true)
+
+let test_alloc_capacity () =
+  let a = Alloc.create ~first_block:0 ~capacity_blocks:2 () in
+  ignore (Alloc.alloc a);
+  ignore (Alloc.alloc a);
+  check_bool "full" true
+    (try
+       ignore (Alloc.alloc a);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Btree                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mktree () =
+  let _, dev = mkdev () in
+  let alloc = Alloc.create ~first_block:2 () in
+  (dev, alloc, Btree.create ~dev ~alloc)
+
+let test_btree_insert_find () =
+  let _, _, t = mktree () in
+  Btree.begin_epoch t 1;
+  let root = ref (Btree.empty_root t) in
+  for i = 0 to 999 do
+    root := Btree.insert t ~root:!root ~key:(Int64.of_int (i * 7)) (Btree.Imm (Int64.of_int i))
+  done;
+  for i = 0 to 999 do
+    match Btree.find t ~root:!root (Int64.of_int (i * 7)) with
+    | Some (Btree.Imm v) -> check_bool "value" true (Int64.to_int v = i)
+    | _ -> Alcotest.failf "missing key %d" (i * 7)
+  done;
+  check_bool "absent key" true (Btree.find t ~root:!root 3L = None);
+  check_bool "tree grew levels" true (Btree.node_depth t ~root:!root >= 2)
+
+let test_btree_replace () =
+  let _, alloc, t = mktree () in
+  Btree.begin_epoch t 1;
+  let root = ref (Btree.empty_root t) in
+  let b1 = Alloc.alloc alloc in
+  root := Btree.insert t ~root:!root ~key:5L (Btree.Ptr b1);
+  let b2 = Alloc.alloc alloc in
+  root := Btree.insert t ~root:!root ~key:5L (Btree.Ptr b2);
+  check_int "replaced ptr freed" 0 (Alloc.refcount alloc b1);
+  (match Btree.find t ~root:!root 5L with
+   | Some (Btree.Ptr b) -> check_int "new value" b2 b
+   | _ -> Alcotest.fail "lost key")
+
+let test_btree_snapshot_isolation () =
+  (* A committed root must keep answering with old values after new
+     epochs modify the tree. *)
+  let _, _, t = mktree () in
+  Btree.begin_epoch t 1;
+  let root1 = ref (Btree.empty_root t) in
+  for i = 0 to 499 do
+    root1 := Btree.insert t ~root:!root1 ~key:(Int64.of_int i) (Btree.Imm (Int64.of_int i))
+  done;
+  let snapshot = !root1 in
+  Btree.retain_root t snapshot;
+  Btree.begin_epoch t 2;
+  let root2 = ref snapshot in
+  Btree.retain_root t !root2;
+  for i = 0 to 499 do
+    if i mod 2 = 0 then
+      root2 :=
+        Btree.insert t ~root:!root2 ~key:(Int64.of_int i)
+          (Btree.Imm (Int64.of_int (i + 1000)))
+  done;
+  (* Old snapshot unchanged. *)
+  (match Btree.find t ~root:snapshot 10L with
+   | Some (Btree.Imm v) -> check_bool "old value" true (Int64.equal v 10L)
+   | _ -> Alcotest.fail "snapshot lost key");
+  (* New root updated. *)
+  (match Btree.find t ~root:!root2 10L with
+   | Some (Btree.Imm v) -> check_bool "new value" true (Int64.equal v 1010L)
+   | _ -> Alcotest.fail "new root lost key");
+  (match Btree.find t ~root:!root2 11L with
+   | Some (Btree.Imm v) -> check_bool "shared value" true (Int64.equal v 11L)
+   | _ -> Alcotest.fail "shared key lost")
+
+let test_btree_release_frees_all () =
+  let _, alloc, t = mktree () in
+  Btree.begin_epoch t 1;
+  let root = ref (Btree.empty_root t) in
+  for i = 0 to 2000 do
+    root := Btree.insert t ~root:!root ~key:(Int64.of_int i) (Btree.Imm 0L)
+  done;
+  check_bool "many blocks live" true (Alloc.live_blocks alloc > 10);
+  Btree.release_root t !root;
+  check_int "everything freed" 0 (Alloc.live_blocks alloc)
+
+let test_btree_release_preserves_shared () =
+  let _, alloc, t = mktree () in
+  Btree.begin_epoch t 1;
+  let root1 = ref (Btree.empty_root t) in
+  for i = 0 to 1000 do
+    root1 := Btree.insert t ~root:!root1 ~key:(Int64.of_int i) (Btree.Imm (Int64.of_int i))
+  done;
+  let snap = !root1 in
+  Btree.retain_root t snap;
+  Btree.begin_epoch t 2;
+  let root2 = ref snap in
+  Btree.retain_root t !root2;
+  for i = 0 to 20 do
+    root2 := Btree.insert t ~root:!root2 ~key:(Int64.of_int i) (Btree.Imm 99L)
+  done;
+  (* Release the new tree: the snapshot must stay fully readable. *)
+  Btree.release_root t !root2;
+  for i = 0 to 1000 do
+    match Btree.find t ~root:snap (Int64.of_int i) with
+    | Some (Btree.Imm v) -> check_bool "intact" true (Int64.to_int v = i)
+    | _ -> Alcotest.failf "snapshot lost key %d after release" i
+  done;
+  (* And releasing the snapshot (twice: its own ref + the retained
+     one) frees everything. *)
+  Btree.release_root t snap;
+  Btree.release_root t snap;
+  check_int "all freed" 0 (Alloc.live_blocks alloc)
+
+let test_btree_persist_and_reread () =
+  let _, dev = mkdev () in
+  let alloc = Alloc.create ~first_block:2 () in
+  let t = Btree.create ~dev ~alloc in
+  Btree.begin_epoch t 1;
+  let root = ref (Btree.empty_root t) in
+  for i = 0 to 500 do
+    root := Btree.insert t ~root:!root ~key:(Int64.of_int i) (Btree.Imm (Int64.of_int (2 * i)))
+  done;
+  let done_at = Btree.flush_dirty t in
+  Blockdev.await dev done_at;
+  Btree.drop_cache t;
+  check_int "cache empty" 0 (Btree.cached_count t);
+  (* Reads now hit the device and still return the data. *)
+  (match Btree.find t ~root:!root 321L with
+   | Some (Btree.Imm v) -> check_bool "persisted value" true (Int64.equal v 642L)
+   | _ -> Alcotest.fail "lost after reread");
+  check_bool "device reads happened" true ((Blockdev.stats dev).Blockdev.reads > 0)
+
+let test_btree_fold_range () =
+  let _, _, t = mktree () in
+  Btree.begin_epoch t 1;
+  let root = ref (Btree.empty_root t) in
+  for i = 0 to 299 do
+    root := Btree.insert t ~root:!root ~key:(Int64.of_int i) (Btree.Imm (Int64.of_int i))
+  done;
+  let keys =
+    Btree.fold_range t ~root:!root ~lo:100L ~hi:110L ~init:[] ~f:(fun acc k _ -> k :: acc)
+  in
+  Alcotest.(check (list int))
+    "range keys in order"
+    [ 100; 101; 102; 103; 104; 105; 106; 107; 108; 109; 110 ]
+    (List.rev_map Int64.to_int keys)
+
+let prop_btree_matches_hashtable =
+  QCheck.Test.make ~name:"btree agrees with a model hashtable" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 400) (pair (int_bound 150) small_int))
+    (fun ops ->
+      let _, _, t = mktree () in
+      Btree.begin_epoch t 1;
+      let root = ref (Btree.empty_root t) in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace model k v;
+          root :=
+            Btree.insert t ~root:!root ~key:(Int64.of_int k) (Btree.Imm (Int64.of_int v)))
+        ops;
+      Hashtbl.fold
+        (fun k v acc ->
+          acc
+          &&
+          match Btree.find t ~root:!root (Int64.of_int k) with
+          | Some (Btree.Imm x) -> Int64.to_int x = v
+          | _ -> false)
+        model true)
+
+
+let prop_btree_fold_range_matches_model =
+  QCheck.Test.make ~name:"fold_range returns exactly the model's keys in order" ~count:50
+    QCheck.(triple
+              (list_of_size Gen.(int_range 1 300) (int_bound 500))
+              (int_bound 500) (int_bound 500))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let _, _, t = mktree () in
+      Btree.begin_epoch t 1;
+      let root = ref (Btree.empty_root t) in
+      List.iter
+        (fun k ->
+          root := Btree.insert t ~root:!root ~key:(Int64.of_int k)
+              (Btree.Imm (Int64.of_int k)))
+        keys;
+      let expected =
+        List.sort_uniq Int.compare keys
+        |> List.filter (fun k -> k >= lo && k <= hi)
+      in
+      let got =
+        Btree.fold_range t ~root:!root ~lo:(Int64.of_int lo) ~hi:(Int64.of_int hi)
+          ~init:[] ~f:(fun acc k _ -> Int64.to_int k :: acc)
+        |> List.rev
+      in
+      got = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Store: generations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_record_roundtrip () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  let g = Store.begin_generation s () in
+  Store.put_record s ~oid:7 "metadata for object seven";
+  Store.put_record s ~oid:9 (String.make 10_000 'x'); (* multi-chunk *)
+  let g', durable = Store.commit s () in
+  check_int "same generation" g g';
+  Store.wait_durable s durable;
+  Alcotest.(check (option string)) "small record" (Some "metadata for object seven")
+    (Store.read_record s g ~oid:7);
+  (match Store.read_record s g ~oid:9 with
+   | Some data -> check_int "multi-chunk length" 10_000 (String.length data)
+   | None -> Alcotest.fail "large record lost");
+  Alcotest.(check (option string)) "absent oid" None (Store.read_record s g ~oid:99);
+  Alcotest.(check (list int)) "oids listed" [ 7; 9 ] (Store.oids s g)
+
+let test_store_record_shrink () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  let g1 = Store.begin_generation s () in
+  Store.put_record s ~oid:1 (String.make 9_000 'a');
+  ignore (Store.commit s ());
+  let g2 = Store.begin_generation s () in
+  Store.put_record s ~oid:1 "tiny";
+  ignore (Store.commit s ());
+  Alcotest.(check (option string)) "shrunk readback" (Some "tiny")
+    (Store.read_record s g2 ~oid:1);
+  (match Store.read_record s g1 ~oid:1 with
+   | Some d -> check_int "old gen intact" 9_000 (String.length d)
+   | None -> Alcotest.fail "old generation lost record")
+
+let test_store_pages_and_incremental () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  let g1 = Store.begin_generation s () in
+  for i = 0 to 99 do
+    Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int (1000 + i))
+  done;
+  ignore (Store.commit s ());
+  let blocks_full = (Store.stats s).Store.live_blocks in
+  (* Incremental: only 5 pages change. *)
+  let g2 = Store.begin_generation s () in
+  for i = 0 to 4 do
+    Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int (2000 + i))
+  done;
+  ignore (Store.commit s ());
+  let blocks_incr = (Store.stats s).Store.live_blocks in
+  (* The increment costs far fewer blocks than the full image. *)
+  check_bool "incremental is small" true (blocks_incr - blocks_full < 20);
+  (* Both generations read correctly. *)
+  (match Store.read_page s g1 ~oid:1 ~pindex:2 with
+   | Some seed -> check_bool "old page" true (Int64.equal seed 1002L)
+   | None -> Alcotest.fail "g1 page lost");
+  (match Store.read_page s g2 ~oid:1 ~pindex:2 with
+   | Some seed -> check_bool "new page" true (Int64.equal seed 2002L)
+   | None -> Alcotest.fail "g2 page lost");
+  (match Store.read_page s g2 ~oid:1 ~pindex:50 with
+   | Some seed -> check_bool "inherited page" true (Int64.equal seed 1050L)
+   | None -> Alcotest.fail "inherited page lost");
+  check_int "page count g2" 100 (Store.page_count s g2 ~oid:1)
+
+let test_store_dedup () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  let g = Store.begin_generation s () in
+  (* 50 distinct oids all storing identical page content. *)
+  for oid = 1 to 50 do
+    Store.put_page s ~oid ~pindex:0 ~seed:42L
+  done;
+  ignore (Store.commit s ());
+  ignore g;
+  let st = Store.stats s in
+  check_int "one content entry" 1 st.Store.dedup_entries;
+  check_int "49 dedup hits" 49 st.Store.dedup_hits;
+  (* Store-wide: a later generation hits the same content. *)
+  ignore (Store.begin_generation s ());
+  Store.put_page s ~oid:99 ~pindex:7 ~seed:42L;
+  ignore (Store.commit s ());
+  check_int "cross-generation hit" 50 (Store.stats s).Store.dedup_hits
+
+let test_store_gc_in_place () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  let gens =
+    List.init 5 (fun round ->
+        let g = Store.begin_generation s () in
+        for i = 0 to 49 do
+          Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int ((round * 1000) + i))
+        done;
+        ignore (Store.commit s ());
+        g)
+  in
+  let keep = [ List.nth gens 4 ] in
+  let freed = Store.gc s ~keep in
+  check_bool "freed blocks in place" true (freed > 0);
+  Alcotest.(check (list int)) "only kept generation remains" keep (Store.generations s);
+  (* The survivor is fully readable. *)
+  for i = 0 to 49 do
+    match Store.read_page s (List.nth gens 4) ~oid:1 ~pindex:i with
+    | Some seed -> check_bool "survivor intact" true (Int64.equal seed (Int64.of_int (4000 + i)))
+    | None -> Alcotest.failf "survivor lost page %d" i
+  done
+
+let test_store_gc_all_then_reuse () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  ignore (Store.begin_generation s ());
+  for i = 0 to 199 do
+    Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int i)
+  done;
+  ignore (Store.commit s ());
+  let live_before = (Store.stats s).Store.live_blocks in
+  ignore (Store.gc s ~keep:[]);
+  let live_after = (Store.stats s).Store.live_blocks in
+  check_bool "near-empty after full gc" true (live_after < live_before / 10);
+  (* The store keeps working after a full GC. *)
+  let g = Store.begin_generation s () in
+  Store.put_record s ~oid:3 "fresh start";
+  ignore (Store.commit s ());
+  Alcotest.(check (option string)) "reusable" (Some "fresh start")
+    (Store.read_record s g ~oid:3)
+
+let test_store_named_checkpoints () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  ignore (Store.begin_generation s ());
+  Store.put_record s ~oid:1 "v1";
+  let g1, _ = Store.commit s ~name:"before-upgrade" () in
+  ignore (Store.begin_generation s ());
+  Store.put_record s ~oid:1 "v2";
+  ignore (Store.commit s ());
+  Alcotest.(check (option int)) "found by name" (Some g1)
+    (Store.find_named s "before-upgrade");
+  Alcotest.(check (option string)) "named content" (Some "v1")
+    (Store.read_record s g1 ~oid:1)
+
+(* ------------------------------------------------------------------ *)
+(* Store: crash recovery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_recovery_roundtrip () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  let g1 = Store.begin_generation s () in
+  Store.put_record s ~oid:5 "object five";
+  for i = 0 to 30 do
+    Store.put_page s ~oid:5 ~pindex:i ~seed:(Int64.of_int (500 + i))
+  done;
+  let _, durable = Store.commit s ~name:"snap" () in
+  Store.wait_durable s durable;
+  Blockdev.crash dev;
+  let s' = Store.open_ ~dev in
+  Alcotest.(check (list int)) "generation survived" [ g1 ] (Store.generations s');
+  Alcotest.(check (option int)) "name survived" (Some g1) (Store.find_named s' "snap");
+  Alcotest.(check (option string)) "record survived" (Some "object five")
+    (Store.read_record s' g1 ~oid:5);
+  (match Store.read_page s' g1 ~oid:5 ~pindex:30 with
+   | Some seed -> check_bool "page survived" true (Int64.equal seed 530L)
+   | None -> Alcotest.fail "page lost in recovery");
+  (* Refcounts rebuilt: a new commit + gc still works. *)
+  ignore (Store.begin_generation s' ());
+  Store.put_record s' ~oid:6 "six";
+  let g2, d2 = Store.commit s' () in
+  Store.wait_durable s' d2;
+  ignore (Store.gc s' ~keep:[ g2 ]);
+  Alcotest.(check (option string)) "post-recovery write" (Some "six")
+    (Store.read_record s' g2 ~oid:6)
+
+let test_store_crash_mid_commit_keeps_old () =
+  (* A crash before the commit completes must recover the previous
+     generation exactly. *)
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  let g1 = Store.begin_generation s () in
+  Store.put_record s ~oid:1 "stable";
+  let _, durable = Store.commit s () in
+  Store.wait_durable s durable;
+  (* Second generation committed but the device never reaches its
+     completion time: all its async writes are in flight. *)
+  ignore (Store.begin_generation s ());
+  Store.put_record s ~oid:1 "torn";
+  let _, _not_awaited = Store.commit s () in
+  Blockdev.crash dev;
+  let s' = Store.open_ ~dev in
+  Alcotest.(check (list int)) "old generation recovered" [ g1 ] (Store.generations s');
+  Alcotest.(check (option string)) "old content" (Some "stable")
+    (Store.read_record s' g1 ~oid:1)
+
+let test_store_dedup_rebuilt_after_recovery () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  ignore (Store.begin_generation s ());
+  Store.put_page s ~oid:1 ~pindex:0 ~seed:7L;
+  let _, durable = Store.commit s () in
+  Store.wait_durable s durable;
+  let s' = Store.open_ ~dev in
+  ignore (Store.begin_generation s' ());
+  Store.put_page s' ~oid:2 ~pindex:0 ~seed:7L;
+  ignore (Store.commit s' ());
+  check_bool "dedup hit after recovery" true ((Store.stats s').Store.dedup_hits >= 1)
+
+let test_store_volatile_cache_commit_flushes () =
+  (* On NAND (volatile cache) the commit path flushes synchronously:
+     after commit returns, a crash must not lose the generation. *)
+  let _, dev = mkdev ~profile:Profile.nand_ssd () in
+  let s = Store.format ~dev () in
+  let g = Store.begin_generation s () in
+  Store.put_record s ~oid:1 "durable on nand";
+  ignore (Store.commit s ());
+  Blockdev.crash dev;
+  let s' = Store.open_ ~dev in
+  Alcotest.(check (option string)) "survived" (Some "durable on nand")
+    (Store.read_record s' g ~oid:1)
+
+let test_store_cold_read_charges_device () =
+  let clock, dev = mkdev () in
+  let s = Store.format ~dev () in
+  let g = Store.begin_generation s () in
+  for i = 0 to 200 do
+    Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int i)
+  done;
+  Store.put_record s ~oid:1 "meta";
+  let _, durable = Store.commit s () in
+  Store.wait_durable s durable;
+  Store.drop_caches s;
+  Blockdev.reset_stats dev;
+  let before = Clock.now clock in
+  ignore (Store.read_record s g ~oid:1);
+  ignore (Store.read_page s g ~oid:1 ~pindex:100);
+  let elapsed = Duration.sub (Clock.now clock) before in
+  check_bool "cold reads hit device" true ((Blockdev.stats dev).Blockdev.reads > 0);
+  check_bool "cold reads cost time" true
+    Duration.(elapsed >= Profile.optane_900p.Profile.read_latency)
+
+let prop_store_generations_independent =
+  QCheck.Test.make ~name:"every generation reads back its own version" ~count:25
+    QCheck.(list_of_size Gen.(int_range 1 6) (list_of_size Gen.(int_range 1 30) (pair (int_bound 40) small_int)))
+    (fun rounds ->
+      let _, dev = mkdev () in
+      let s = Store.format ~dev () in
+      let model = Hashtbl.create 64 in
+      let committed =
+        List.map
+          (fun writes ->
+            let g = Store.begin_generation s () in
+            List.iter
+              (fun (pindex, v) ->
+                Hashtbl.replace model (g, pindex) (Int64.of_int v);
+                Store.put_page s ~oid:1 ~pindex ~seed:(Int64.of_int v))
+              writes;
+            ignore (Store.commit s ());
+            g)
+          rounds
+      in
+      (* Later generations inherit earlier pages unless overwritten. *)
+      let expected g pindex =
+        let rec search gen =
+          if gen < 1 then None
+          else if not (List.mem gen committed) then search (gen - 1)
+          else
+            match Hashtbl.find_opt model (gen, pindex) with
+            | Some v -> Some v
+            | None -> search (gen - 1)
+        in
+        search g
+      in
+      List.for_all
+        (fun g ->
+          List.for_all
+            (fun pindex -> Store.read_page s g ~oid:1 ~pindex = expected g pindex)
+            (List.init 41 Fun.id))
+        committed)
+
+
+(* ------------------------------------------------------------------ *)
+(* fsck + property over random store histories                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fsck_clean_store () =
+  let _, dev = mkdev () in
+  let s = Store.format ~dev () in
+  ignore (Store.begin_generation s ());
+  Store.put_record s ~oid:1 "record";
+  for i = 0 to 50 do
+    Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int i)
+  done;
+  let _, d = Store.commit s () in
+  Store.wait_durable s d;
+  (match Store.fsck s with
+   | Ok () -> ()
+   | Error ps -> Alcotest.failf "fsck: %s" (String.concat "; " ps))
+
+type store_op =
+  | S_commit of (int * int64) list  (* pages for oid 1 *)
+  | S_record of string
+  | S_gc_keep_last of int
+  | S_crash_recover
+
+let store_op_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (5, map (fun ps -> S_commit ps)
+           (list_size (int_range 1 25) (pair (int_bound 40) int64)));
+      (2, map (fun s -> S_record s) (string_size ~gen:printable (int_range 0 6000)));
+      (2, map (fun n -> S_gc_keep_last (1 + (n mod 4))) small_nat);
+      (2, return S_crash_recover);
+    ]
+
+let pp_store_op = function
+  | S_commit ps -> Printf.sprintf "commit(%d pages)" (List.length ps)
+  | S_record s -> Printf.sprintf "record(%d bytes)" (String.length s)
+  | S_gc_keep_last n -> Printf.sprintf "gc(keep %d)" n
+  | S_crash_recover -> "crash+recover"
+
+let prop_store_history_invariants =
+  QCheck.Test.make ~name:"random store histories keep fsck clean and data readable"
+    ~count:30
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map pp_store_op ops))
+       QCheck.Gen.(list_size (int_range 1 25) store_op_gen))
+    (fun ops ->
+      let _, dev = mkdev () in
+      let store = ref (Store.format ~dev ()) in
+      (* The model: for every committed generation, the latest value of
+         each page/record at commit time. *)
+      let committed : (int, (int * int64) list * string option) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let cur_pages : (int, int64) Hashtbl.t = Hashtbl.create 16 in
+      let cur_record = ref None in
+      let ok = ref true in
+      let fail_with msg = ok := false; QCheck.Test.fail_report msg in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | S_commit pages ->
+              ignore (Store.begin_generation !store ());
+              List.iter
+                (fun (pindex, seed) ->
+                  Hashtbl.replace cur_pages pindex seed;
+                  Store.put_page !store ~oid:1 ~pindex ~seed)
+                pages;
+              let g, d = Store.commit !store () in
+              Store.wait_durable !store d;
+              Hashtbl.replace committed g
+                ( Hashtbl.fold (fun k v acc -> (k, v) :: acc) cur_pages [],
+                  !cur_record )
+            | S_record data ->
+              ignore (Store.begin_generation !store ());
+              cur_record := Some data;
+              Store.put_record !store ~oid:7 data;
+              let g, d = Store.commit !store () in
+              Store.wait_durable !store d;
+              Hashtbl.replace committed g
+                ( Hashtbl.fold (fun k v acc -> (k, v) :: acc) cur_pages [],
+                  !cur_record )
+            | S_gc_keep_last n ->
+              let gens = Store.generations !store in
+              let keep =
+                List.filteri (fun i _ -> i >= List.length gens - n) gens
+              in
+              ignore (Store.gc !store ~keep);
+              Hashtbl.iter
+                (fun g _ -> if not (List.mem g keep) then Hashtbl.remove committed g)
+                (Hashtbl.copy committed)
+            | S_crash_recover ->
+              Blockdev.crash dev;
+              store := Store.open_ ~dev)
+        ops;
+      if !ok then begin
+        (match Store.fsck !store with
+         | Ok () -> ()
+         | Error ps -> fail_with ("fsck: " ^ String.concat "; " ps));
+        (* Every surviving generation reads back its model state. *)
+        Hashtbl.iter
+          (fun g (pages, record) ->
+            if List.mem g (Store.generations !store) then begin
+              List.iter
+                (fun (pindex, seed) ->
+                  if Store.read_page !store g ~oid:1 ~pindex <> Some seed then
+                    fail_with
+                      (Printf.sprintf "gen %d page %d diverged" g pindex))
+                pages;
+              match record with
+              | Some data ->
+                if Store.read_record !store g ~oid:7 <> Some data then
+                  fail_with (Printf.sprintf "gen %d record diverged" g)
+              | None -> ()
+            end)
+          committed
+      end;
+      !ok)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "objstore"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "alloc/free/reuse" `Quick test_alloc_reuse;
+          Alcotest.test_case "refcounting + hooks" `Quick test_alloc_refcounting;
+          Alcotest.test_case "capacity" `Quick test_alloc_capacity;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "insert/find at scale" `Quick test_btree_insert_find;
+          Alcotest.test_case "replace frees old pointer" `Quick test_btree_replace;
+          Alcotest.test_case "snapshot isolation" `Quick test_btree_snapshot_isolation;
+          Alcotest.test_case "release frees everything" `Quick test_btree_release_frees_all;
+          Alcotest.test_case "release preserves shared snapshot" `Quick
+            test_btree_release_preserves_shared;
+          Alcotest.test_case "persist + cold reread" `Quick test_btree_persist_and_reread;
+          Alcotest.test_case "fold_range" `Quick test_btree_fold_range;
+          qt prop_btree_matches_hashtable;
+          qt prop_btree_fold_range_matches_model;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "record roundtrip" `Quick test_store_record_roundtrip;
+          Alcotest.test_case "record shrink across gens" `Quick test_store_record_shrink;
+          Alcotest.test_case "incremental pages" `Quick test_store_pages_and_incremental;
+          Alcotest.test_case "content dedup" `Quick test_store_dedup;
+          Alcotest.test_case "in-place gc" `Quick test_store_gc_in_place;
+          Alcotest.test_case "full gc then reuse" `Quick test_store_gc_all_then_reuse;
+          Alcotest.test_case "named checkpoints" `Quick test_store_named_checkpoints;
+          qt prop_store_generations_independent;
+        ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "clean store" `Quick test_fsck_clean_store;
+          qt prop_store_history_invariants;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "recovery roundtrip" `Quick test_store_recovery_roundtrip;
+          Alcotest.test_case "torn commit keeps old generation" `Quick
+            test_store_crash_mid_commit_keeps_old;
+          Alcotest.test_case "dedup rebuilt" `Quick test_store_dedup_rebuilt_after_recovery;
+          Alcotest.test_case "volatile cache flushes synchronously" `Quick
+            test_store_volatile_cache_commit_flushes;
+          Alcotest.test_case "cold reads charge the device" `Quick
+            test_store_cold_read_charges_device;
+        ] );
+    ]

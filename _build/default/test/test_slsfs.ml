@@ -1,0 +1,153 @@
+(* Tests for the Aurora file system layer: whole-FS checkpoint/restore
+   through the object store, anonymous-file resurrection via the
+   persistent open count, zero-copy snapshots and clones. *)
+
+open Aurora_simtime
+open Aurora_device
+open Aurora_vfs
+open Aurora_objstore
+open Aurora_slsfs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let b = Bytes.of_string
+let s = Bytes.to_string
+
+let mkstore () =
+  let clock = Clock.create () in
+  let dev = Blockdev.create ~clock ~profile:Profile.optane_900p "nvme0" in
+  Store.format ~dev ()
+
+let checkpoint_into store fs ?(popen = fun _ -> 0) () =
+  ignore (Store.begin_generation store ());
+  Slsfs.checkpoint_fs store fs ~popen_of_vid:popen;
+  let gen, durable = Store.commit store () in
+  Store.wait_durable store durable;
+  gen
+
+let build_sample_fs () =
+  let fs = Memfs.create () in
+  ignore (Memfs.mkdir fs "/etc");
+  ignore (Memfs.mkdir fs "/var");
+  ignore (Memfs.mkdir fs "/var/log");
+  let passwd = Memfs.create_file fs "/etc/passwd" in
+  Vnode.write passwd ~off:0 (b "root:x:0:0");
+  let log = Memfs.create_file fs "/var/log/app.log" in
+  Vnode.write log ~off:0 (b (String.concat "\n" (List.init 300 string_of_int)));
+  fs
+
+let test_fs_roundtrip () =
+  let store = mkstore () in
+  let fs = build_sample_fs () in
+  let gen = checkpoint_into store fs () in
+  let fs' = Slsfs.restore_fs store gen in
+  check_str "file content" "root:x:0:0"
+    (s (Vnode.read (Memfs.lookup fs' "/etc/passwd") ~off:0 ~len:100));
+  let log = Memfs.lookup fs "/var/log/app.log" in
+  let log' = Memfs.lookup fs' "/var/log/app.log" in
+  check_bool "multi-chunk file identical" true (Vnode.equal_data log log');
+  check_int "same vid preserved" log.Vnode.vid log'.Vnode.vid;
+  Alcotest.(check (list string)) "namespace preserved" [ "etc"; "var" ]
+    (Memfs.readdir fs' "/")
+
+let test_fs_hard_links_restore () =
+  let store = mkstore () in
+  let fs = build_sample_fs () in
+  Memfs.link fs ~existing:"/etc/passwd" ~path:"/etc/alias";
+  let gen = checkpoint_into store fs () in
+  let fs' = Slsfs.restore_fs store gen in
+  let a = Memfs.lookup fs' "/etc/passwd" in
+  let b' = Memfs.lookup fs' "/etc/alias" in
+  check_bool "hard link restored as same vnode" true (a == b');
+  check_int "nlink" 2 a.Vnode.nlink
+
+let test_anonymous_file_resurrection () =
+  (* The §3 edge case: an unlinked-but-open file must survive the
+     checkpoint/restore cycle through its persistent open count. *)
+  let store = mkstore () in
+  let fs = build_sample_fs () in
+  let anon = Memfs.create_file fs "/var/tmpfile" in
+  Memfs.open_vnode fs anon;
+  Vnode.write anon ~off:0 (b "scratch data the app still needs");
+  Memfs.unlink fs "/var/tmpfile";
+  check_bool "alive and unlinked" true (anon.Vnode.nlink = 0);
+  let gen =
+    checkpoint_into store fs
+      ~popen:(fun vid -> if vid = anon.Vnode.vid then 1 else 0)
+      ()
+  in
+  let fs' = Slsfs.restore_fs store gen in
+  (match Memfs.vnode_by_id fs' anon.Vnode.vid with
+   | None -> Alcotest.fail "anonymous file lost across restore"
+   | Some v ->
+     check_str "contents intact" "scratch data the app still needs"
+       (s (Vnode.read v ~off:0 ~len:100));
+     check_int "pinned by persistent open count" 1 v.Vnode.persistent_open;
+     check_bool "still nameless" true (Memfs.path_of_vid fs' v.Vnode.vid = None));
+  (* And a conventional-FS crash on the restored fs keeps it pinned. *)
+  Memfs.crash fs';
+  check_bool "survives crash via pin" true
+    (Memfs.vnode_by_id fs' anon.Vnode.vid <> None)
+
+let test_incremental_fs_checkpoints_dedup () =
+  let store = mkstore () in
+  let fs = build_sample_fs () in
+  ignore (checkpoint_into store fs ());
+  let blocks_after_first = (Store.stats store).Store.live_blocks in
+  (* Touch one file, checkpoint again: the unchanged blobs dedup. *)
+  Vnode.write (Memfs.lookup fs "/etc/passwd") ~off:0 (b "bin:x:1:1");
+  ignore (checkpoint_into store fs ());
+  let blocks_after_second = (Store.stats store).Store.live_blocks in
+  check_bool "second checkpoint nearly free" true
+    (blocks_after_second - blocks_after_first < 12)
+
+let test_snapshot_and_clone () =
+  let store = mkstore () in
+  let fs = build_sample_fs () in
+  ignore (checkpoint_into store fs ());
+  (match Slsfs.snapshot store ~name:"golden" with
+   | None -> Alcotest.fail "snapshot failed"
+   | Some g -> check_bool "named" true (Store.find_named store "golden" = Some g));
+  (* Mutate the original, then clone the snapshot: the clone sees the
+     old state, fully independent of the original. *)
+  Vnode.write (Memfs.lookup fs "/etc/passwd") ~off:0 (b "MUTATED!!!");
+  let clone = Slsfs.clone_fs store (Option.get (Store.find_named store "golden")) in
+  check_str "clone has pre-mutation content" "root:x:0:0"
+    (s (Vnode.read (Memfs.lookup clone "/etc/passwd") ~off:0 ~len:100));
+  Vnode.write (Memfs.lookup clone "/etc/passwd") ~off:0 (b "clone-side");
+  check_str "original unaffected by clone writes" "MUTATED!!!"
+    (s (Vnode.read (Memfs.lookup fs "/etc/passwd") ~off:0 ~len:10))
+
+let test_restore_from_recovered_store () =
+  (* FS checkpoint -> device crash -> store recovery -> FS restore. *)
+  let clock = Clock.create () in
+  let dev = Blockdev.create ~clock ~profile:Profile.optane_900p "nvme0" in
+  let store = Store.format ~dev () in
+  let fs = build_sample_fs () in
+  let gen = checkpoint_into store fs () in
+  Blockdev.crash dev;
+  let store' = Store.open_ ~dev in
+  let fs' = Slsfs.restore_fs store' gen in
+  check_bool "files intact after device recovery" true
+    (Vnode.equal_data
+       (Memfs.lookup fs "/var/log/app.log")
+       (Memfs.lookup fs' "/var/log/app.log"))
+
+let () =
+  Alcotest.run "slsfs"
+    [
+      ( "checkpoint-restore",
+        [
+          Alcotest.test_case "fs roundtrip" `Quick test_fs_roundtrip;
+          Alcotest.test_case "hard links" `Quick test_fs_hard_links_restore;
+          Alcotest.test_case "anonymous file resurrection" `Quick
+            test_anonymous_file_resurrection;
+          Alcotest.test_case "incremental dedup" `Quick
+            test_incremental_fs_checkpoints_dedup;
+          Alcotest.test_case "restore from recovered store" `Quick
+            test_restore_from_recovered_store;
+        ] );
+      ( "snapshot-clone",
+        [ Alcotest.test_case "zero-copy snapshot + clone" `Quick test_snapshot_and_clone ] );
+    ]

@@ -1,0 +1,276 @@
+(* Tests for the VFS: vnode data operations, namespace operations,
+   fsync durability, crash semantics, and the anonymous-file edge case
+   Aurora's on-disk open reference count fixes. *)
+
+open Aurora_simtime
+open Aurora_device
+open Aurora_vfs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let b = Bytes.of_string
+let s = Bytes.to_string
+
+(* ------------------------------------------------------------------ *)
+(* Vnode                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_vnode_rw () =
+  let v = Vnode.create Vnode.Reg in
+  Vnode.write v ~off:0 (b "hello world");
+  check_str "read back" "hello world" (s (Vnode.read v ~off:0 ~len:100));
+  check_str "partial" "world" (s (Vnode.read v ~off:6 ~len:5));
+  check_int "size" 11 v.Vnode.size
+
+let test_vnode_holes () =
+  let v = Vnode.create Vnode.Reg in
+  Vnode.write v ~off:10000 (b "far");
+  check_int "sparse size" 10003 v.Vnode.size;
+  let hole = Vnode.read v ~off:0 ~len:10 in
+  check_bool "holes read as zero" true (Bytes.for_all (fun c -> c = '\000') hole);
+  check_str "data present" "far" (s (Vnode.read v ~off:10000 ~len:3))
+
+let test_vnode_cross_chunk () =
+  let v = Vnode.create Vnode.Reg in
+  let data = String.init 10000 (fun i -> Char.chr (i mod 256)) in
+  Vnode.write v ~off:100 (b data);
+  check_str "cross-chunk roundtrip" data (s (Vnode.read v ~off:100 ~len:10000))
+
+let test_vnode_append_truncate () =
+  let v = Vnode.create Vnode.Reg in
+  Vnode.append v (b "abc");
+  Vnode.append v (b "def");
+  check_str "appended" "abcdef" (s (Vnode.read v ~off:0 ~len:10));
+  Vnode.truncate v 4;
+  check_int "shrunk" 4 v.Vnode.size;
+  check_str "tail gone" "abcd" (s (Vnode.read v ~off:0 ~len:10));
+  (* Re-extend: the truncated tail must read as zeroes. *)
+  Vnode.truncate v 6;
+  let tail = Vnode.read v ~off:4 ~len:2 in
+  check_bool "zero after re-extend" true (Bytes.for_all (fun c -> c = '\000') tail)
+
+let test_vnode_dirty_tracking () =
+  let v = Vnode.create Vnode.Reg in
+  Vnode.write v ~off:0 (b "x");
+  Vnode.write v ~off:5000 (b "y");
+  Alcotest.(check (list int)) "two dirty chunks" [ 0; 1 ] (Vnode.dirty_chunks v);
+  Vnode.clear_dirty v;
+  Alcotest.(check (list int)) "cleared" [] (Vnode.dirty_chunks v);
+  Vnode.write v ~off:4096 (b "z");
+  Alcotest.(check (list int)) "only touched chunk" [ 1 ] (Vnode.dirty_chunks v)
+
+let test_vnode_dir_rejects_io () =
+  let v = Vnode.create Vnode.Dir in
+  check_bool "dir read rejected" true
+    (try
+       ignore (Vnode.read v ~off:0 ~len:1);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_vnode_write_read =
+  QCheck.Test.make ~name:"vnode write/read roundtrip at any offset"
+    QCheck.(pair (int_bound 20000) (string_of_size Gen.(int_range 1 500)))
+    (fun (off, data) ->
+      let v = Vnode.create Vnode.Reg in
+      Vnode.write v ~off (Bytes.of_string data);
+      String.equal data (Bytes.to_string (Vnode.read v ~off ~len:(String.length data))))
+
+(* ------------------------------------------------------------------ *)
+(* Memfs namespace                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_memfs_create_lookup () =
+  let fs = Memfs.create () in
+  ignore (Memfs.mkdir fs "/etc");
+  let v = Memfs.create_file fs "/etc/passwd" in
+  check_bool "lookup finds it" true (Memfs.lookup fs "/etc/passwd" == v);
+  check_bool "missing raises" true
+    (try
+       ignore (Memfs.lookup fs "/etc/shadow");
+       false
+     with Memfs.Error _ -> true);
+  check_bool "duplicate rejected" true
+    (try
+       ignore (Memfs.create_file fs "/etc/passwd");
+       false
+     with Memfs.Error _ -> true)
+
+let test_memfs_readdir () =
+  let fs = Memfs.create () in
+  ignore (Memfs.mkdir fs "/d");
+  ignore (Memfs.create_file fs "/d/b");
+  ignore (Memfs.create_file fs "/d/a");
+  Alcotest.(check (list string)) "sorted entries" [ "a"; "b" ] (Memfs.readdir fs "/d")
+
+let test_memfs_link_unlink () =
+  let fs = Memfs.create () in
+  let v = Memfs.create_file fs "/f" in
+  Memfs.link fs ~existing:"/f" ~path:"/g";
+  check_int "two links" 2 v.Vnode.nlink;
+  Memfs.unlink fs "/f";
+  check_bool "still reachable via g" true (Memfs.lookup fs "/g" == v);
+  Memfs.unlink fs "/g";
+  check_bool "vnode reclaimed" true (Memfs.vnode_by_id fs v.Vnode.vid = None)
+
+let test_memfs_rename_replaces () =
+  let fs = Memfs.create () in
+  let src = Memfs.create_file fs "/new" in
+  Vnode.write src ~off:0 (b "fresh");
+  let old = Memfs.create_file fs "/current" in
+  Vnode.write old ~off:0 (b "stale");
+  Memfs.rename fs ~src:"/new" ~dst:"/current";
+  check_bool "dst now src vnode" true (Memfs.lookup fs "/current" == src);
+  check_bool "src name gone" true (Memfs.lookup_opt fs "/new" = None);
+  check_bool "old vnode reclaimed" true (Memfs.vnode_by_id fs old.Vnode.vid = None)
+
+let test_memfs_anonymous_file_lifecycle () =
+  let fs = Memfs.create () in
+  let v = Memfs.create_file fs "/tmpfile" in
+  Memfs.open_vnode fs v;
+  Memfs.unlink fs "/tmpfile";
+  (* Unlinked but open: still alive and writable. *)
+  check_bool "alive while open" true (Memfs.vnode_by_id fs v.Vnode.vid <> None);
+  Vnode.write v ~off:0 (b "scratch");
+  Memfs.close_vnode fs v;
+  check_bool "reclaimed on close" true (Memfs.vnode_by_id fs v.Vnode.vid = None)
+
+let test_memfs_path_of_vid () =
+  let fs = Memfs.create () in
+  ignore (Memfs.mkdir fs "/a");
+  ignore (Memfs.mkdir fs "/a/b");
+  let v = Memfs.create_file fs "/a/b/c" in
+  Alcotest.(check (option string)) "path found" (Some "/a/b/c")
+    (Memfs.path_of_vid fs v.Vnode.vid);
+  Alcotest.(check (option string)) "root" (Some "/")
+    (Memfs.path_of_vid fs (Memfs.root fs).Vnode.vid)
+
+(* ------------------------------------------------------------------ *)
+(* Durability: fsync and crash                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mkfs_with_disk () =
+  let clock = Clock.create () in
+  let dev = Blockdev.create ~clock ~profile:Profile.nand_ssd "disk0" in
+  (clock, dev, Memfs.create ~backing:dev ())
+
+let test_fsync_durability () =
+  let _, _, fs = mkfs_with_disk () in
+  ignore (Memfs.mkdir fs "/db");
+  let v = Memfs.create_file fs "/db/wal" in
+  Vnode.write v ~off:0 (b "record-1|record-2|");
+  Memfs.fsync fs v;
+  Vnode.write v ~off:18 (b "record-3|");
+  (* record-3 not synced *)
+  Memfs.crash fs;
+  let v' = Memfs.lookup fs "/db/wal" in
+  check_str "synced data survives" "record-1|record-2|"
+    (s (Vnode.read v' ~off:0 ~len:v'.Vnode.size));
+  check_int "size reverted to fsync point" 18 v'.Vnode.size
+
+let test_crash_without_fsync_loses_data () =
+  let _, _, fs = mkfs_with_disk () in
+  let v = Memfs.create_file fs "/data" in
+  Vnode.write v ~off:0 (b "never synced");
+  Memfs.crash fs;
+  let v' = Memfs.lookup fs "/data" in
+  check_int "contents lost" 0 v'.Vnode.size
+
+let test_fsync_charges_device_time () =
+  let clock, _, fs = mkfs_with_disk () in
+  let v = Memfs.create_file fs "/f" in
+  Vnode.write v ~off:0 (Bytes.make 40960 'x'); (* 10 chunks *)
+  let before = Clock.now clock in
+  Memfs.fsync fs v;
+  let elapsed = Duration.sub (Clock.now clock) before in
+  (* At least the device's write latency + flush latency. *)
+  check_bool "fsync took device time" true
+    Duration.(elapsed >= Profile.nand_ssd.Profile.flush_latency)
+
+let test_fsync_only_dirty_chunks () =
+  let _, dev, fs = mkfs_with_disk () in
+  let v = Memfs.create_file fs "/f" in
+  Vnode.write v ~off:0 (Bytes.make 40960 'x');
+  Memfs.fsync fs v;
+  let after_first = (Blockdev.stats dev).Blockdev.blocks_written in
+  Vnode.write v ~off:0 (b "y"); (* one chunk dirty *)
+  Memfs.fsync fs v;
+  let after_second = (Blockdev.stats dev).Blockdev.blocks_written in
+  check_int "second fsync wrote one block" 1 (after_second - after_first)
+
+let test_crash_reclaims_anonymous_files () =
+  (* The POSIX behaviour Aurora must work around. *)
+  let _, _, fs = mkfs_with_disk () in
+  let v = Memfs.create_file fs "/anon" in
+  Memfs.open_vnode fs v;
+  Vnode.write v ~off:0 (b "data");
+  Memfs.fsync fs v;
+  Memfs.unlink fs "/anon";
+  Memfs.crash fs;
+  check_bool "anonymous file gone after crash" true
+    (Memfs.vnode_by_id fs v.Vnode.vid = None)
+
+let test_persistent_open_pins_anonymous_file () =
+  (* Aurora's fix: the on-disk open reference count keeps the vnode. *)
+  let _, _, fs = mkfs_with_disk () in
+  let v = Memfs.create_file fs "/anon" in
+  Memfs.open_vnode fs v;
+  Vnode.write v ~off:0 (b "precious");
+  Memfs.fsync fs v;
+  v.Vnode.persistent_open <- 1;
+  Memfs.unlink fs "/anon";
+  Memfs.crash fs;
+  (match Memfs.vnode_by_id fs v.Vnode.vid with
+   | None -> Alcotest.fail "anonymous file lost despite persistent open count"
+   | Some v' ->
+     check_str "contents recovered" "precious" (s (Vnode.read v' ~off:0 ~len:8)))
+
+let test_ramdisk_crash_loses_all () =
+  let fs = Memfs.create () in
+  let v = Memfs.create_file fs "/f" in
+  Vnode.write v ~off:0 (b "volatile");
+  Memfs.crash fs;
+  let v' = Memfs.lookup fs "/f" in
+  check_int "ram disk empty after crash" 0 v'.Vnode.size
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "vfs"
+    [
+      ( "vnode",
+        [
+          Alcotest.test_case "read/write" `Quick test_vnode_rw;
+          Alcotest.test_case "sparse holes" `Quick test_vnode_holes;
+          Alcotest.test_case "cross-chunk io" `Quick test_vnode_cross_chunk;
+          Alcotest.test_case "append/truncate" `Quick test_vnode_append_truncate;
+          Alcotest.test_case "dirty tracking" `Quick test_vnode_dirty_tracking;
+          Alcotest.test_case "directories reject io" `Quick test_vnode_dir_rejects_io;
+          qt prop_vnode_write_read;
+        ] );
+      ( "namespace",
+        [
+          Alcotest.test_case "create/lookup" `Quick test_memfs_create_lookup;
+          Alcotest.test_case "readdir" `Quick test_memfs_readdir;
+          Alcotest.test_case "link/unlink" `Quick test_memfs_link_unlink;
+          Alcotest.test_case "rename replaces atomically" `Quick test_memfs_rename_replaces;
+          Alcotest.test_case "anonymous file lifecycle" `Quick
+            test_memfs_anonymous_file_lifecycle;
+          Alcotest.test_case "path_of_vid" `Quick test_memfs_path_of_vid;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "fsync survives crash" `Quick test_fsync_durability;
+          Alcotest.test_case "unsynced data lost" `Quick test_crash_without_fsync_loses_data;
+          Alcotest.test_case "fsync charges device time" `Quick
+            test_fsync_charges_device_time;
+          Alcotest.test_case "fsync writes only dirty chunks" `Quick
+            test_fsync_only_dirty_chunks;
+          Alcotest.test_case "crash reclaims anonymous files" `Quick
+            test_crash_reclaims_anonymous_files;
+          Alcotest.test_case "persistent open pins anonymous file" `Quick
+            test_persistent_open_pins_anonymous_file;
+          Alcotest.test_case "ram disk crash" `Quick test_ramdisk_crash_loses_all;
+        ] );
+    ]
