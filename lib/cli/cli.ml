@@ -18,7 +18,7 @@ type app_entry = {
 }
 
 type universe_file = {
-  uf_nvme : Blockdev.t;
+  uf_nvme : Devarray.t;
   uf_apps : app_entry list;
 }
 

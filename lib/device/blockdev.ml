@@ -7,7 +7,7 @@ type content =
   | Seed of int64
   | Zero
 
-type slot = { mutable current : content; mutable durable : content; mutable is_durable : bool }
+type slot = { mutable current : content; mutable durable : content }
 
 type stats = {
   reads : int;
@@ -17,6 +17,11 @@ type stats = {
   flushes : int;
 }
 
+(* An async submission in flight: the writes become durable (on
+   power-loss-protected caches) once the simulated clock passes
+   [done_at]; a crash before that drops them. *)
+type batch = { done_at : Duration.t; writes : (int * content) list }
+
 type t = {
   name : string;
   clock : Clock.t;
@@ -24,7 +29,7 @@ type t = {
   capacity_blocks : int option;
   slots : (int, slot) Hashtbl.t;
   mutable busy_until : Duration.t;     (* device queue drains at this time *)
-  mutable pending : (int * content) list list; (* async batches not yet completed *)
+  mutable pending : batch list;        (* in-flight batches, newest first *)
   mutable st : stats;
 }
 
@@ -51,7 +56,7 @@ let slot t i =
   match Hashtbl.find_opt t.slots i with
   | Some s -> s
   | None ->
-    let s = { current = Zero; durable = Zero; is_durable = true } in
+    let s = { current = Zero; durable = Zero } in
     Hashtbl.replace t.slots i s;
     s
 
@@ -71,11 +76,25 @@ let read t i =
 
 let peek t i = (slot t i).current
 
-let read_many t indices =
+let read_many_async t indices =
   let n = List.length indices in
-  if n > 0 then charge_sync t ~op:`Read ~blocks:n;
-  t.st <- { t.st with reads = t.st.reads + 1; blocks_read = t.st.blocks_read + n };
-  List.map (fun i -> (slot t i).current) indices
+  let completion =
+    if n = 0 then Duration.max (Clock.now t.clock) t.busy_until
+    else begin
+      let cost = Profile.transfer_cost t.profile ~op:`Read ~bytes:(n * block_size) in
+      let start = Duration.max (Clock.now t.clock) t.busy_until in
+      let completion = Duration.add start cost in
+      t.busy_until <- completion;
+      t.st <- { t.st with reads = t.st.reads + 1; blocks_read = t.st.blocks_read + n };
+      completion
+    end
+  in
+  (List.map (fun i -> (slot t i).current) indices, completion)
+
+let read_many t indices =
+  let contents, completion = read_many_async t indices in
+  Clock.advance_to t.clock completion;
+  contents
 
 let store_block t ~completed (i, c) =
   (match c with
@@ -84,11 +103,7 @@ let store_block t ~completed (i, c) =
    | Data _ | Seed _ | Zero -> ());
   let s = slot t i in
   s.current <- c;
-  if completed && not t.profile.Profile.volatile_cache then begin
-    s.durable <- c;
-    s.is_durable <- true
-  end
-  else s.is_durable <- false
+  if completed && not t.profile.Profile.volatile_cache then s.durable <- c
 
 let write_many t writes =
   let n = List.length writes in
@@ -98,36 +113,59 @@ let write_many t writes =
 
 let write t i c = write_many t [ (i, c) ]
 
-let write_async t writes =
-  let n = List.length writes in
-  let cost = Profile.transfer_cost t.profile ~op:`Write ~bytes:(n * block_size) in
+(* Queue one transfer per extent (latency charged per extent, bandwidth
+   per block); the whole submission completes — and, on non-volatile
+   caches, becomes durable — at the time the last extent drains. *)
+let write_extents ?not_before t extents =
+  let extents = List.filter (fun e -> e <> []) extents in
+  let nblocks = List.fold_left (fun acc e -> acc + List.length e) 0 extents
+  and nextents = List.length extents in
   let start = Duration.max (Clock.now t.clock) t.busy_until in
-  let completion = Duration.add start cost in
-  t.busy_until <- completion;
-  t.st <- { t.st with writes = t.st.writes + 1; blocks_written = t.st.blocks_written + n };
-  (* Content is visible immediately (the store serializes access), but
-     the batch is remembered as in-flight so a crash before completion
-     can drop it; completion also gates durability on non-volatile
-     caches. *)
-  List.iter (store_block t ~completed:false) writes;
-  t.pending <- writes :: t.pending;
-  completion
+  let start = match not_before with
+    | Some at -> Duration.max start at
+    | None -> start
+  in
+  if nextents = 0 then start
+  else begin
+    let cost =
+      List.fold_left
+        (fun acc e ->
+          Duration.add acc
+            (Profile.transfer_cost t.profile ~op:`Write
+               ~bytes:(List.length e * block_size)))
+        Duration.zero extents
+    in
+    let completion = Duration.add start cost in
+    t.busy_until <- completion;
+    t.st <- { t.st with writes = t.st.writes + nextents;
+                        blocks_written = t.st.blocks_written + nblocks };
+    (* Content is visible immediately (the store serializes access),
+       but the batch is remembered as in-flight so a crash before
+       completion can drop it; completion also gates durability on
+       non-volatile caches. *)
+    let writes = List.concat extents in
+    List.iter (store_block t ~completed:false) writes;
+    t.pending <- { done_at = completion; writes } :: t.pending;
+    completion
+  end
+
+let write_async ?not_before t writes = write_extents ?not_before t [ writes ]
 
 let settle_pending t =
-  (* All queued batches complete once the clock reaches busy_until. *)
-  if Duration.(Clock.now t.clock >= t.busy_until) then begin
-    if not t.profile.Profile.volatile_cache then
-      List.iter
-        (fun batch ->
-          List.iter
-            (fun (i, _) ->
-              let s = slot t i in
-              s.durable <- s.current;
-              s.is_durable <- true)
-            batch)
-        t.pending;
-    t.pending <- []
-  end
+  (* Batches whose completion time has passed are done: their writes
+     are durable (unless the cache is volatile). Oldest first, so a
+     block rewritten by a later batch keeps the later content. *)
+  let now = Clock.now t.clock in
+  let still, done_ =
+    List.partition (fun b -> Duration.(b.done_at > now)) t.pending
+  in
+  if not t.profile.Profile.volatile_cache then
+    List.iter
+      (fun batch -> List.iter (fun (i, c) -> (slot t i).durable <- c) batch.writes)
+      (List.rev done_);
+  t.pending <- still
+
+let settle t = settle_pending t
 
 let await t completion =
   Clock.advance_to t.clock completion;
@@ -138,30 +176,15 @@ let flush t =
   Clock.advance t.clock t.profile.Profile.flush_latency;
   t.pending <- [];
   t.st <- { t.st with flushes = t.st.flushes + 1 };
-  Hashtbl.iter
-    (fun _ s ->
-      if not s.is_durable then begin
-        s.durable <- s.current;
-        s.is_durable <- true
-      end)
-    t.slots
+  Hashtbl.iter (fun _ s -> s.durable <- s.current) t.slots
 
 let crash t =
-  (* Queued-but-incomplete async batches never happened. *)
+  (* Batches that completed (in simulated time) before the failure are
+     durable; queued-but-incomplete ones never happened. *)
   settle_pending t;
-  let dropped = Hashtbl.create 16 in
-  List.iter
-    (fun batch -> List.iter (fun (i, _) -> Hashtbl.replace dropped i ()) batch)
-    t.pending;
   t.pending <- [];
   t.busy_until <- Clock.now t.clock;
-  Hashtbl.iter
-    (fun i s ->
-      if Hashtbl.mem dropped i || not s.is_durable then begin
-        s.current <- s.durable;
-        s.is_durable <- true
-      end)
-    t.slots
+  Hashtbl.iter (fun _ s -> s.current <- s.durable) t.slots
 
 let stats t = t.st
 let reset_stats t = t.st <- zero_stats

@@ -43,6 +43,12 @@ val read : t -> int -> content
 val read_many : t -> int list -> content list
 (** One command: latency charged once, bandwidth per block. *)
 
+val read_many_async : t -> int list -> content list * Duration.t
+(** Queue one read command and return the contents together with the
+    absolute completion time {e without} advancing the clock. The
+    device array uses this to issue reads on several devices at the
+    same simulated instant and then wait for the slowest. *)
+
 val peek : t -> int -> content
 (** Read without charging the clock or the stats counters. For
     simulator-internal use only: precomputing what a future fault will
@@ -56,14 +62,31 @@ val write : t -> int -> content -> unit
 
 val write_many : t -> (int * content) list -> unit
 
-val write_async : t -> (int * content) list -> Duration.t
+val write_async : ?not_before:Duration.t -> t -> (int * content) list -> Duration.t
 (** Queue the writes on the device timeline; returns the absolute
     simulated time at which they complete (and, for non-volatile
-    caches, become durable). Does not advance the clock. *)
+    caches, become durable). Does not advance the clock.
+    [not_before] delays the transfer's start past the given absolute
+    time even if the queue drains earlier — the commit barrier: a
+    superblock write ordered after in-flight data on {e other}
+    devices of an array. *)
+
+val write_extents : ?not_before:Duration.t -> t -> (int * content) list list -> Duration.t
+(** Like {!write_async}, but each inner list is one contiguous extent
+    and is charged as its own transfer (latency per extent, bandwidth
+    per block). Durability semantics are per-submission: all extents
+    complete together at the returned time. Empty extents are
+    ignored. *)
 
 val await : t -> Duration.t -> unit
 (** Advance the clock to the given absolute completion time if it is in
     the future — i.e. block on an async write. *)
+
+val settle : t -> unit
+(** Mark async batches whose completion time has passed durable
+    (non-volatile caches) without advancing the clock. {!await} and
+    {!crash} call this implicitly; a device array calls it after
+    advancing the shared clock itself. *)
 
 val busy_until : t -> Duration.t
 (** The absolute time at which the device's queue drains. *)
@@ -74,7 +97,9 @@ val flush : t -> unit
 
 val crash : t -> unit
 (** Power failure: every block whose latest write was not durable
-    reverts to its last durable content; queued async writes are
+    reverts to its last durable content. Async batches whose
+    completion time already passed in simulated time did finish and
+    survive (on non-volatile caches); still-queued batches are
     dropped. *)
 
 (** Operation counters, for bandwidth/volume reporting in benches. *)

@@ -1,0 +1,167 @@
+open Aurora_simtime
+
+type t = {
+  name : string;
+  stripes : int;
+  devs : Blockdev.t array;
+}
+
+let create ?stripes ?capacity_blocks ~clock ~profile name =
+  let stripes =
+    match stripes with Some n -> n | None -> profile.Profile.stripes
+  in
+  if stripes < 1 then invalid_arg "Devarray.create: stripe count must be >= 1";
+  let per_dev_capacity =
+    Option.map (fun cap -> (cap + stripes - 1) / stripes) capacity_blocks
+  in
+  let devs =
+    Array.init stripes (fun i ->
+        Blockdev.create ?capacity_blocks:per_dev_capacity ~clock ~profile
+          (Printf.sprintf "%s.%d" name i))
+  in
+  { name; stripes; devs }
+
+let stripes t = t.stripes
+let devices t = t.devs
+let name t = t.name
+let profile t = Blockdev.profile t.devs.(0)
+let clock t = Blockdev.clock t.devs.(0)
+
+let locate t b =
+  if b < 0 then invalid_arg "Devarray: negative block index";
+  (b mod t.stripes, b / t.stripes)
+
+let logical t ~dev ~phys =
+  if dev < 0 || dev >= t.stripes then invalid_arg "Devarray.logical: bad device";
+  if phys < 0 then invalid_arg "Devarray.logical: negative block";
+  (phys * t.stripes) + dev
+
+(* Partition logical writes into per-device (phys, content) lists,
+   preserving submission order within each device. *)
+let partition t writes =
+  let per_dev = Array.make t.stripes [] in
+  List.iter
+    (fun (b, c) ->
+      let d, phys = locate t b in
+      per_dev.(d) <- (phys, c) :: per_dev.(d))
+    writes;
+  Array.map List.rev per_dev
+
+(* Coalesce a device's writes into extents of contiguous physical
+   blocks. A stable sort keeps rewrite order for duplicate blocks. *)
+let extents_of writes =
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) writes in
+  let flush_run run acc = if run = [] then acc else List.rev run :: acc in
+  let rec go acc run prev = function
+    | [] -> List.rev (flush_run run acc)
+    | (phys, c) :: rest ->
+      if prev >= 0 && phys <= prev + 1 then go acc ((phys, c) :: run) phys rest
+      else go (flush_run run acc) [ (phys, c) ] phys rest
+  in
+  go [] [] (-1) sorted
+
+(* --- synchronous I/O ------------------------------------------------ *)
+
+let read t b =
+  let d, phys = locate t b in
+  Blockdev.read t.devs.(d)  phys
+
+let peek t b =
+  let d, phys = locate t b in
+  Blockdev.peek t.devs.(d) phys
+
+let read_many t indices =
+  (* Issue one command per device touched, all starting now; the
+     caller waits for the slowest. Results keep request order. *)
+  let n = List.length indices in
+  let per_dev = Array.make t.stripes [] in
+  List.iteri
+    (fun pos b ->
+      let d, phys = locate t b in
+      per_dev.(d) <- (pos, phys) :: per_dev.(d))
+    indices;
+  let results = Array.make n Blockdev.Zero in
+  let completion = ref Duration.zero in
+  Array.iteri
+    (fun d reqs ->
+      match List.rev reqs with
+      | [] -> ()
+      | reqs ->
+        let contents, done_at =
+          Blockdev.read_many_async t.devs.(d) (List.map snd reqs)
+        in
+        completion := Duration.max !completion done_at;
+        List.iter2 (fun (pos, _) c -> results.(pos) <- c) reqs contents)
+    per_dev;
+  if n > 0 then begin
+    Clock.advance_to (clock t) !completion;
+    Array.iter Blockdev.settle t.devs
+  end;
+  Array.to_list results
+
+(* --- asynchronous I/O ----------------------------------------------- *)
+
+let submit ?not_before t writes =
+  let per_dev = partition t writes in
+  let completion = ref Duration.zero in
+  Array.iteri
+    (fun d dev_writes ->
+      if dev_writes <> [] then
+        let done_at =
+          Blockdev.write_extents ?not_before t.devs.(d) (extents_of dev_writes)
+        in
+        completion := Duration.max !completion done_at)
+    per_dev;
+  !completion
+
+let busy_until t =
+  Array.fold_left
+    (fun acc dev -> Duration.max acc (Blockdev.busy_until dev))
+    Duration.zero t.devs
+
+let write_async ?not_before t writes =
+  let completion = submit ?not_before t writes in
+  if Duration.equal completion Duration.zero then
+    Duration.max (Clock.now (clock t)) (busy_until t)
+  else completion
+
+let write_barrier t writes = write_async ~not_before:(busy_until t) t writes
+
+let await t completion =
+  Clock.advance_to (clock t) completion;
+  Array.iter Blockdev.settle t.devs
+
+let write_many t writes = await t (write_async t writes)
+
+let write t b c = write_many t [ (b, c) ]
+
+let flush t =
+  (* Drain every queue first so the per-device flush barriers overlap
+     the drain instead of serializing behind each other. *)
+  Clock.advance_to (clock t) (busy_until t);
+  Array.iter Blockdev.flush t.devs
+
+let crash t = Array.iter Blockdev.crash t.devs
+
+(* --- stats ---------------------------------------------------------- *)
+
+let device_stats t = Array.map Blockdev.stats t.devs
+
+let stats t =
+  Array.fold_left
+    (fun acc (s : Blockdev.stats) ->
+      Blockdev.
+        {
+          reads = acc.reads + s.reads;
+          writes = acc.writes + s.writes;
+          blocks_read = acc.blocks_read + s.blocks_read;
+          blocks_written = acc.blocks_written + s.blocks_written;
+          flushes = acc.flushes + s.flushes;
+        })
+    Blockdev.{ reads = 0; writes = 0; blocks_read = 0; blocks_written = 0; flushes = 0 }
+    (device_stats t)
+
+let reset_stats t = Array.iter Blockdev.reset_stats t.devs
+
+let used_blocks t =
+  Array.fold_left (fun acc dev -> acc + Blockdev.used_blocks dev) 0 t.devs

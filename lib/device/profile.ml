@@ -8,7 +8,12 @@ type t = {
   write_bw : float;
   flush_latency : Duration.t;
   volatile_cache : bool;
+  stripes : int;
 }
+
+let striped t n =
+  if n < 1 then invalid_arg "Profile.striped: stripe count must be >= 1";
+  { t with stripes = n }
 
 let gib = 1024. *. 1024. *. 1024.
 
@@ -23,6 +28,7 @@ let optane_900p = {
   write_bw = 2.0 *. gib;
   flush_latency = Duration.microseconds 2;
   volatile_cache = false;
+  stripes = 1;
 }
 
 let nand_ssd = {
@@ -33,6 +39,7 @@ let nand_ssd = {
   write_bw = 1.5 *. gib;
   flush_latency = Duration.microseconds 500;
   volatile_cache = true;
+  stripes = 1;
 }
 
 let nvdimm = {
@@ -43,6 +50,7 @@ let nvdimm = {
   write_bw = 2.0 *. gib;
   flush_latency = Duration.nanoseconds 500;
   volatile_cache = false;
+  stripes = 1;
 }
 
 let dram = {
@@ -53,6 +61,7 @@ let dram = {
   write_bw = 20.0 *. gib;
   flush_latency = Duration.zero;
   volatile_cache = true; (* DRAM contents never survive a crash *)
+  stripes = 1;
 }
 
 let spinning_disk = {
@@ -63,6 +72,7 @@ let spinning_disk = {
   write_bw = 120. *. 1024. *. 1024.;
   flush_latency = Duration.milliseconds 10;
   volatile_cache = true;
+  stripes = 1;
 }
 
 let net_10gbe = {
@@ -73,6 +83,7 @@ let net_10gbe = {
   write_bw = 1.25 *. gib;
   flush_latency = Duration.zero;
   volatile_cache = true;
+  stripes = 1;
 }
 
 let transfer_cost t ~op ~bytes =

@@ -18,7 +18,14 @@ type t = {
   write_bw : float;            (** bytes per second, streaming writes *)
   flush_latency : Duration.t;  (** cost of a cache-flush barrier *)
   volatile_cache : bool;       (** completed writes lost on crash until flushed *)
+  stripes : int;               (** independent drives a {!Devarray} built on this
+                                   profile stripes across (the paper's testbed
+                                   uses four Optane 900Ps); 1 = a single device *)
 }
+
+val striped : t -> int -> t
+(** [striped p n] is [p] with its default stripe count set to [n].
+    Raises [Invalid_argument] when [n < 1]. *)
 
 val optane_900p : t
 (** Intel Optane 900P (the paper's testbed): ~10 us latency,

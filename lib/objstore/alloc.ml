@@ -1,6 +1,7 @@
 type t = {
   first_block : int;
   capacity_blocks : int option;
+  stripes : int;
   refs : (int, int) Hashtbl.t;
   mutable free_list : int list;
   mutable next_fresh : int;
@@ -8,10 +9,13 @@ type t = {
   mutable on_free : (int -> unit) list;
 }
 
-let create ~first_block ?capacity_blocks () =
+let create ~first_block ?capacity_blocks ?(stripes = 1) () =
   if first_block < 0 then invalid_arg "Alloc.create: negative first_block";
-  { first_block; capacity_blocks; refs = Hashtbl.create 4096; free_list = [];
-    next_fresh = first_block; live = 0; on_free = [] }
+  if stripes < 1 then invalid_arg "Alloc.create: stripe count must be >= 1";
+  { first_block; capacity_blocks; stripes; refs = Hashtbl.create 4096;
+    free_list = []; next_fresh = first_block; live = 0; on_free = [] }
+
+let stripes t = t.stripes
 
 let add_on_free t f = t.on_free <- t.on_free @ [ f ]
 
@@ -32,6 +36,40 @@ let alloc t =
   Hashtbl.replace t.refs block 1;
   t.live <- t.live + 1;
   block
+
+(* A stripe-aware extent: [n] fresh {e contiguous} logical blocks.
+   Under the device array's round-robin striping a contiguous logical
+   run fans out across every stripe while staying physically
+   contiguous on each device — the flush then needs one transfer per
+   device instead of one per block. Extents larger than one stripe
+   round are aligned to a stripe boundary so every device's share
+   starts at the same physical offset. *)
+let alloc_extent t n =
+  if n < 0 then invalid_arg "Alloc.alloc_extent: negative size";
+  if n = 0 then [||]
+  else begin
+    let start =
+      if n < t.stripes || t.next_fresh mod t.stripes = 0 then t.next_fresh
+      else begin
+        let aligned = (t.next_fresh / t.stripes + 1) * t.stripes in
+        (* The skipped tail of the partial stripe round is not lost:
+           singleton allocations drain it from the free list. *)
+        for b = aligned - 1 downto t.next_fresh do
+          t.free_list <- b :: t.free_list
+        done;
+        aligned
+      end
+    in
+    (match t.capacity_blocks with
+     | Some cap when start + n > cap -> failwith "Alloc: device full"
+     | _ -> ());
+    t.next_fresh <- start + n;
+    t.live <- t.live + n;
+    Array.init n (fun i ->
+        let b = start + i in
+        Hashtbl.replace t.refs b 1;
+        b)
+  end
 
 let refcount t block = Option.value ~default:0 (Hashtbl.find_opt t.refs block)
 

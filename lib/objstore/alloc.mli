@@ -15,12 +15,22 @@
 
 type t
 
-val create : first_block:int -> ?capacity_blocks:int -> unit -> t
-(** Blocks below [first_block] are reserved (superblocks). *)
+val create : first_block:int -> ?capacity_blocks:int -> ?stripes:int -> unit -> t
+(** Blocks below [first_block] are reserved (superblocks). [stripes]
+    (default 1) is the backing device array's stripe count; extents
+    are aligned to it. *)
 
 val alloc : t -> int
 (** A free block, refcount 1. Raises [Failure] when a capacity is set
     and exhausted. *)
+
+val alloc_extent : t -> int -> int array
+(** [alloc_extent t n]: [n] fresh contiguous logical blocks, each with
+    refcount 1, stripe-aligned when [n] spans a full stripe round.
+    Contiguity makes the run one physical extent per device under
+    round-robin striping. Raises [Failure] on capacity exhaustion. *)
+
+val stripes : t -> int
 
 val incref : t -> int -> unit
 val decref : t -> int -> unit

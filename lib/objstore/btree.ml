@@ -15,7 +15,7 @@ type node =
 type cached = { mutable node : node; mutable epoch : int; mutable dirty : bool }
 
 type t = {
-  dev : Blockdev.t;
+  dev : Devarray.t;
   alloc : Alloc.t;
   cache : (int, cached) Hashtbl.t;
   mutable current_epoch : int;
@@ -84,7 +84,7 @@ let read_cached t block =
   | Some c -> c
   | None ->
     let node =
-      match Blockdev.read t.dev block with
+      match Devarray.read t.dev block with
       | Blockdev.Data s -> decode_node s
       | Blockdev.Seed _ | Blockdev.Zero ->
         raise (Serial.Corrupt (Printf.sprintf "Btree: block %d is not a node" block))
@@ -295,8 +295,8 @@ let flush_dirty t =
   let dirty = List.sort (fun (a, _) (b, _) -> Int.compare a b) dirty in
   let writes = List.map (fun (b, c) -> (b, Blockdev.Data (encode_node c.node))) dirty in
   List.iter (fun (_, c) -> c.dirty <- false) dirty;
-  if writes = [] then Clock.now (Blockdev.clock t.dev)
-  else Blockdev.write_async t.dev writes
+  if writes = [] then Clock.now (Devarray.clock t.dev)
+  else Devarray.write_async t.dev writes
 
 let dirty_count t = Hashtbl.fold (fun _ c n -> if c.dirty then n + 1 else n) t.cache 0
 let cached_count t = Hashtbl.length t.cache

@@ -1,4 +1,4 @@
-(** Copy-on-write B+tree over a block device.
+(** Copy-on-write B+tree over a (striped) block device array.
 
     This is the object store's index structure and the source of its
     two headline properties (§3): checkpoints at hundreds per second
@@ -31,7 +31,7 @@ type value = Imm of int64 | Ptr of int
 
 type t
 
-val create : dev:Blockdev.t -> alloc:Alloc.t -> t
+val create : dev:Devarray.t -> alloc:Alloc.t -> t
 val empty_root : t -> int
 (** A fresh empty leaf, owned by the caller (refcount 1). *)
 

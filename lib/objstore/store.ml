@@ -11,7 +11,7 @@ let superblock_slots = 2 (* blocks 0 and 1 *)
 type gen_entry = { root : int; name : string option }
 
 type t = {
-  dev : Blockdev.t;
+  dev : Devarray.t;
   alloc : Alloc.t;
   tree : Btree.t;
   dedup : Dedup.t;
@@ -20,6 +20,11 @@ type t = {
   mutable commit_seq : int;          (* superblock alternation counter *)
   mutable next_gen : gen;
   mutable gentable_blocks : int list; (* blocks holding the current gen table *)
+  mutable prev_gentable_blocks : int list;
+  (* The table referenced by the *other* superblock slot. Kept
+     allocated until that slot is overwritten: if the crash drops the
+     newest superblock, recovery falls back to the other slot, whose
+     table must still be intact on disk. *)
   mutable open_gen : (gen * int) option; (* generation being built, working root *)
   mutable pending_pages : (int * Blockdev.content) list; (* data block writes *)
 }
@@ -54,12 +59,15 @@ let key ~oid ~kind ~index =
 (* --- construction --------------------------------------------------- *)
 
 let make ?(dedup = true) dev =
-  let alloc = Alloc.create ~first_block:superblock_slots () in
+  let alloc =
+    Alloc.create ~first_block:superblock_slots ~stripes:(Devarray.stripes dev) ()
+  in
   let tree = Btree.create ~dev ~alloc in
   let dedup_index = Dedup.create ~alloc in
   { dev; alloc; tree; dedup = dedup_index; dedup_enabled = dedup;
     gens = Hashtbl.create 16; commit_seq = 0; next_gen = 1;
-    gentable_blocks = []; open_gen = None; pending_pages = [] }
+    gentable_blocks = []; prev_gentable_blocks = []; open_gen = None;
+    pending_pages = [] }
 
 let encode_superblock t =
   let w = Serial.writer () in
@@ -93,8 +101,8 @@ let decode_gentable data =
 let format ?dedup ~dev () =
   let t = make ?dedup dev in
   (* Empty gen table: superblock alone describes the store. *)
-  Blockdev.write dev 0 (Blockdev.Data (encode_superblock t));
-  Blockdev.flush dev;
+  Devarray.write dev 0 (Blockdev.Data (encode_superblock t));
+  Devarray.flush dev;
   t
 
 let device t = t.dev
@@ -194,6 +202,72 @@ let put_page t ~oid ~pindex ~seed =
   in
   tree_insert t (key ~oid ~kind:kind_page ~index:pindex) (Btree.Ptr block)
 
+(* Batched page ingest: dedup hits resolve to existing blocks; the
+   distinct misses share one stripe-aware extent of fresh contiguous
+   logical blocks, so the background flush fans the batch out as one
+   contiguous physical run per device instead of scattered singleton
+   writes. *)
+let put_pages t ~oid pages =
+  let _ = require_open t in
+  let n = Array.length pages in
+  if n > 0 then begin
+    let hit = Array.make n (-1) in       (* resolved dedup-hit block, or -1 *)
+    let slot_of = Array.make n (-1) in   (* index into the fresh extent *)
+    let fresh_slots = Hashtbl.create 16 in
+    let fresh_seeds = ref [] in
+    let nmiss = ref 0 in
+    let miss seed =
+      let s = !nmiss in
+      fresh_seeds := seed :: !fresh_seeds;
+      incr nmiss;
+      s
+    in
+    Array.iteri
+      (fun i (_, seed) ->
+        if not t.dedup_enabled then slot_of.(i) <- miss seed
+        else begin
+          let hash = Content.hash (Content.of_seed seed) in
+          match Dedup.find t.dedup ~hash with
+          | Some block ->
+            Alloc.incref t.alloc block;
+            hit.(i) <- block
+          | None -> (
+            match Hashtbl.find_opt fresh_slots hash with
+            | Some s -> slot_of.(i) <- s
+            | None ->
+              let s = miss seed in
+              Hashtbl.replace fresh_slots hash s;
+              slot_of.(i) <- s)
+        end)
+      pages;
+    let ext = Alloc.alloc_extent t.alloc !nmiss in
+    let seeds = Array.of_list (List.rev !fresh_seeds) in
+    Array.iteri
+      (fun s seed ->
+        let block = ext.(s) in
+        t.pending_pages <- (block, Blockdev.Seed seed) :: t.pending_pages;
+        if t.dedup_enabled then
+          Dedup.add t.dedup ~hash:(Content.hash (Content.of_seed seed)) ~block)
+      seeds;
+    (* The first reference to a fresh block consumes the allocation's
+       refcount; intra-batch duplicates add their own. *)
+    let extent_used = Array.make !nmiss false in
+    Array.iteri
+      (fun i (pindex, _) ->
+        let block =
+          if hit.(i) >= 0 then hit.(i)
+          else begin
+            let s = slot_of.(i) in
+            let b = ext.(s) in
+            if extent_used.(s) then Alloc.incref t.alloc b
+            else extent_used.(s) <- true;
+            b
+          end
+        in
+        tree_insert t (key ~oid ~kind:kind_page ~index:pindex) (Btree.Ptr block))
+      pages
+  end
+
 let put_blob t ~oid ~index data =
   let _ = require_open t in
   if String.length data > Blockdev.block_size then
@@ -213,41 +287,51 @@ let put_blob t ~oid ~index data =
   tree_insert t (key ~oid ~kind:kind_blob ~index) (Btree.Ptr block)
 
 let write_superblock t =
-  (* Free the previous generation-table blocks and write the new table
-     plus the superblock, all on the device queue (FIFO order makes
-     the superblock land last). *)
-  List.iter (fun b -> Alloc.decref t.alloc b) t.gentable_blocks;
+  (* Free the generation table referenced by the superblock slot this
+     write is about to overwrite (two commits old — the other slot
+     still points at [t.gentable_blocks], which therefore must not be
+     reused yet), queue the new table on the striped array, then write
+     the superblock behind a commit barrier: it starts only after
+     every device's in-flight writes complete, so a durable superblock
+     implies durable contents even when the stripes drain at different
+     times, and a dropped superblock leaves the other slot's table
+     untouched on disk. *)
+  List.iter (fun b -> Alloc.decref t.alloc b) t.prev_gentable_blocks;
   let table = encode_gentable t in
   let blocks =
     List.map (fun chunk -> (Alloc.alloc t.alloc, chunk)) (chunk_string table)
   in
+  t.prev_gentable_blocks <- t.gentable_blocks;
   t.gentable_blocks <- List.map fst blocks;
   t.commit_seq <- t.commit_seq + 1;
   let slot = t.commit_seq mod superblock_slots in
-  let writes =
-    List.map (fun (b, chunk) -> (b, Blockdev.Data chunk)) blocks
-    @ [ (slot, Blockdev.Data (encode_superblock t)) ]
-  in
-  Blockdev.write_async t.dev writes
+  ignore
+    (Devarray.write_async t.dev
+       (List.map (fun (b, chunk) -> (b, Blockdev.Data chunk)) blocks));
+  Devarray.write_barrier t.dev [ (slot, Blockdev.Data (encode_superblock t)) ]
 
 let commit t ?name () =
   let g, root = require_open t in
   t.open_gen <- None;
   Hashtbl.replace t.gens g { root; name };
+  (* Data pages fan out across all stripes (per-device extents,
+     overlapping in simulated time); tree nodes follow on whichever
+     stripes their blocks map to; the superblock waits on the max of
+     the per-device completion times. *)
   let data_batch = List.rev t.pending_pages in
   t.pending_pages <- [];
-  if data_batch <> [] then ignore (Blockdev.write_async t.dev data_batch);
+  if data_batch <> [] then ignore (Devarray.write_async t.dev data_batch);
   ignore (Btree.flush_dirty t.tree);
   let durable_at = write_superblock t in
-  if (Blockdev.profile t.dev).Profile.volatile_cache then begin
+  if (Devarray.profile t.dev).Profile.volatile_cache then begin
     (* No power-loss protection: a synchronous flush is the only way
        to durability, and the application pays for it. *)
-    Blockdev.flush t.dev;
-    (g, Clock.now (Blockdev.clock t.dev))
+    Devarray.flush t.dev;
+    (g, Clock.now (Devarray.clock t.dev))
   end
   else (g, durable_at)
 
-let wait_durable t at = Blockdev.await t.dev at
+let wait_durable t at = Devarray.await t.dev at
 
 (* --- reading --------------------------------------------------------- *)
 
@@ -262,7 +346,7 @@ let gen_root t g =
     | _ -> None)
 
 let read_block_data t block =
-  match Blockdev.read t.dev block with
+  match Devarray.read t.dev block with
   | Blockdev.Data s -> s
   | Blockdev.Seed _ | Blockdev.Zero ->
     raise (Serial.Corrupt (Printf.sprintf "Store: block %d is not a data block" block))
@@ -299,7 +383,7 @@ let read_page t g ~oid ~pindex =
   | Some root -> (
     match Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindex) with
     | Some (Btree.Ptr block) -> (
-      match Blockdev.read t.dev block with
+      match Devarray.read t.dev block with
       | Blockdev.Seed s -> Some s
       | Blockdev.Zero -> Some 0L
       | Blockdev.Data _ ->
@@ -318,7 +402,7 @@ let read_pages_batch t g ~oid ~pindexes =
           | Some (Btree.Imm _) | None -> None)
         pindexes
     in
-    let contents = Blockdev.read_many t.dev (List.map snd located) in
+    let contents = Devarray.read_many t.dev (List.map snd located) in
     List.map2
       (fun (pindex, block) content ->
         match content with
@@ -334,7 +418,7 @@ let peek_page t g ~oid ~pindex =
   | Some root -> (
     match Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindex) with
     | Some (Btree.Ptr block) -> (
-      match Blockdev.peek t.dev block with
+      match Devarray.peek t.dev block with
       | Blockdev.Seed s -> Some s
       | Blockdev.Zero -> Some 0L
       | Blockdev.Data _ ->
@@ -363,7 +447,7 @@ let fold_pages t g ~oid ~init ~f =
         | Btree.Ptr block ->
           let pindex = Int64.to_int (Int64.logand k 0xFFFF_FFFFL) in
           let seed =
-            match Blockdev.read t.dev block with
+            match Devarray.read t.dev block with
             | Blockdev.Seed s -> s
             | Blockdev.Zero -> 0L
             | Blockdev.Data _ ->
@@ -425,8 +509,8 @@ let name_generation t g name =
   | Some e ->
     Hashtbl.replace t.gens g { e with name = Some name };
     let durable = write_superblock t in
-    if (Blockdev.profile t.dev).Profile.volatile_cache then Blockdev.flush t.dev
-    else Blockdev.await t.dev durable
+    if (Devarray.profile t.dev).Profile.volatile_cache then Devarray.flush t.dev
+    else Devarray.await t.dev durable
 
 let gc t ~keep =
   require_closed t;
@@ -444,8 +528,8 @@ let gc t ~keep =
     victims;
   if victims <> [] then begin
     let durable = write_superblock t in
-    if (Blockdev.profile t.dev).Profile.volatile_cache then Blockdev.flush t.dev
-    else Blockdev.await t.dev durable
+    if (Devarray.profile t.dev).Profile.volatile_cache then Devarray.flush t.dev
+    else Devarray.await t.dev durable
   end;
   before - Alloc.live_blocks t.alloc
 
@@ -490,7 +574,7 @@ let recover_refcounts t =
                   if Dedup.find t.dedup ~hash = None then
                     Dedup.add t.dedup ~hash ~block:data_block
                 in
-                match Blockdev.read t.dev data_block with
+                match Devarray.read t.dev data_block with
                 | Blockdev.Seed s -> add_if_absent (Content.hash (Content.of_seed s))
                 | Blockdev.Data d -> add_if_absent (hash_string d)
                 | Blockdev.Zero -> ()
@@ -503,7 +587,7 @@ let recover_refcounts t =
 
 let open_ ~dev =
   let read_slot slot =
-    match Blockdev.read dev slot with
+    match Devarray.read dev slot with
     | Blockdev.Data s -> ( try decode_superblock s with Serial.Corrupt _ -> None)
     | Blockdev.Seed _ | Blockdev.Zero -> None
   in
@@ -521,7 +605,7 @@ let open_ ~dev =
         String.concat ""
           (List.map
              (fun b ->
-               match Blockdev.read dev b with
+               match Devarray.read dev b with
                | Blockdev.Data s -> s
                | Blockdev.Seed _ | Blockdev.Zero ->
                  raise (Serial.Corrupt "Store: bad generation table block"))
@@ -561,6 +645,7 @@ let fsck t =
   let edges : (int, int) Hashtbl.t = Hashtbl.create 4096 in
   let edge b = Hashtbl.replace edges b (1 + Option.value ~default:0 (Hashtbl.find_opt edges b)) in
   List.iter edge t.gentable_blocks;
+  List.iter edge t.prev_gentable_blocks;
   let visited = Hashtbl.create 4096 in
   let rec walk block =
     edge block;

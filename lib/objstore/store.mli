@@ -17,8 +17,12 @@
     never a torn generation.
 
     Write ordering guarantees the superblock never points at
-    unwritten blocks: the device queue is FIFO and the superblock is
-    queued last.
+    unwritten blocks: each device queue is FIFO, data fans out across
+    the array's stripes in parallel, and the superblock is written
+    behind a commit barrier that waits on the max of the per-device
+    completion times. A crash that catches only some stripes durable
+    therefore also catches the superblock undurable, and recovery
+    falls back to the previous generation.
 
     Garbage collection is in place: {!gc} releases dropped
     generations' roots; reference counts free exactly the blocks no
@@ -30,19 +34,19 @@ open Aurora_device
 type t
 type gen = int
 
-val format : ?dedup:bool -> dev:Blockdev.t -> unit -> t
-(** Initialize a fresh store on the device (writes superblock 0).
+val format : ?dedup:bool -> dev:Devarray.t -> unit -> t
+(** Initialize a fresh store on the device array (writes superblock 0).
     [dedup] (default true) enables content-addressed page/blob
     deduplication; disabling it exists for the ablation bench. *)
 
-val open_ : dev:Blockdev.t -> t
+val open_ : dev:Devarray.t -> t
 (** Recover from the newest valid superblock: re-reads the generation
     table and walks every generation's tree to rebuild reference
     counts and the deduplication index. Device reads are charged to
     the simulated clock (recovery is not free). Raises
     [Failure] when no valid superblock exists. *)
 
-val device : t -> Blockdev.t
+val device : t -> Devarray.t
 
 (* --- building a generation ----------------------------------------- *)
 
@@ -60,6 +64,13 @@ val put_record : t -> oid:int -> string -> unit
 val put_page : t -> oid:int -> pindex:int -> seed:int64 -> unit
 (** Store/replace a page. Content (identified by its seed) is
     deduplicated store-wide. *)
+
+val put_pages : t -> oid:int -> (int * int64) array -> unit
+(** Batched {!put_page}: [(pindex, seed)] pairs. Deduplication applies
+    per page (including within the batch); the distinct misses are
+    allocated as one stripe-aware extent of contiguous logical blocks,
+    so the checkpoint flush issues one transfer per device instead of
+    scattered per-page writes. The flush path uses this. *)
 
 val put_blob : t -> oid:int -> index:int -> string -> unit
 (** Store/replace a byte blob of at most one block (file-data chunks).

@@ -52,16 +52,18 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
   let arm_started = Clock.now clock in
   let arm_mode = match mode with `Full -> `Full | `Incremental -> `Dirty_only in
   let captures =
+    (* Arrays with the count computed once: the capture set is walked
+       three more times below (charge, flush, release) and a busy
+       checkpoint holds tens of thousands of pages. *)
     List.map
       (fun (obj, store_oid) ->
-        let items = Vmobject.arm_for_checkpoint obj ~mode:arm_mode in
-        Kernel.charge k (Costmodel.cow_arm ~pages:(List.length items));
-        (store_oid, items))
+        let items = Array.of_list (Vmobject.arm_for_checkpoint obj ~mode:arm_mode) in
+        let npages = Array.length items in
+        Kernel.charge k (Costmodel.cow_arm ~pages:npages);
+        (store_oid, items, npages))
       records.Serialize.vm_objects
   in
-  let pages_captured =
-    List.fold_left (fun acc (_, items) -> acc + List.length items) 0 captures
-  in
+  let pages_captured = List.fold_left (fun acc (_, _, n) -> acc + n) 0 captures in
   let lazy_data_copy = Duration.sub (Clock.now clock) arm_started in
   let stop_time = Duration.sub (Clock.now clock) barrier_at in
   g.Types.last_barrier <- barrier_at;
@@ -75,12 +77,15 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
   List.iter (fun (oid, record) -> Store.put_record store ~oid record)
     records.Serialize.items;
   List.iter
-    (fun (store_oid, items) ->
-      List.iter
-        (fun item ->
-          Store.put_page store ~oid:store_oid ~pindex:item.Vmobject.pindex
-            ~seed:(Content.to_seed item.Vmobject.content))
-        items)
+    (fun (store_oid, items, _) ->
+      (* One batched put per object: distinct pages land in a single
+         stripe-aware extent, so the device array sees one transfer
+         per stripe instead of one command per page. *)
+      Store.put_pages store ~oid:store_oid
+        (Array.map
+           (fun item ->
+             (item.Vmobject.pindex, Content.to_seed item.Vmobject.content))
+           items))
     captures;
   if with_fs then
     Aurora_slsfs.Slsfs.checkpoint_fs store k.Kernel.fs
@@ -89,8 +94,8 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
   assert (gen = gen');
   (* The flush has the data now; release the held frames. *)
   List.iter
-    (fun (_, items) ->
-      List.iter (Vmobject.release_flush_item ~pool:k.Kernel.pool) items)
+    (fun (_, items, _) ->
+      Array.iter (Vmobject.release_flush_item ~pool:k.Kernel.pool) items)
     captures;
   g.Types.last_gen <- Some gen;
   let breakdown =

@@ -7,8 +7,8 @@ open Aurora_objstore
 
 type t = {
   kernel : Kernel.t;
-  nvme : Blockdev.t;
-  memdev : Blockdev.t;
+  nvme : Devarray.t;
+  memdev : Devarray.t;
   swap : Swap.t;
   disk_store : Store.t;
   mem_store : Store.t;
@@ -21,7 +21,7 @@ type t = {
 
 let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
   let swap_dev =
-    Blockdev.create ~clock:kernel.Kernel.clock ~profile:(Blockdev.profile nvme) "swap0"
+    Blockdev.create ~clock:kernel.Kernel.clock ~profile:(Devarray.profile nvme) "swap0"
   in
   let swap = Swap.create ~dev:swap_dev ~pool:kernel.Kernel.pool in
   let rec t =
@@ -37,7 +37,7 @@ let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
   in
   Lazy.force t
 
-let create ?(storage_profile = Profile.optane_900p) ?capacity_pages
+let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
     ?(fs_with_disk = false) ?dedup () =
   let kernel0 = Kernel.create ?capacity_pages () in
   let clock = kernel0.Kernel.clock in
@@ -47,8 +47,8 @@ let create ?(storage_profile = Profile.optane_900p) ?capacity_pages
     else Memfs.create ()
   in
   kernel0.Kernel.fs <- fs;
-  let nvme = Blockdev.create ~clock ~profile:storage_profile "nvme0" in
-  let memdev = Blockdev.create ~clock ~profile:Profile.dram "memdev0" in
+  let nvme = Devarray.create ?stripes ~clock ~profile:storage_profile "nvme" in
+  let memdev = Devarray.create ~stripes:1 ~clock ~profile:Profile.dram "memdev" in
   let disk_store = Store.format ?dedup ~dev:nvme () in
   let mem_store = Store.format ~dev:memdev () in
   build_on ~kernel:kernel0 ~nvme ~memdev ~disk_store ~mem_store
@@ -84,8 +84,8 @@ let detach _t g backend =
 let drain_storage t =
   (* Advance time without scheduling the applications (they would keep
      producing work); everything already queued becomes durable. *)
-  Blockdev.await t.nvme (Blockdev.busy_until t.nvme);
-  Blockdev.await t.memdev (Blockdev.busy_until t.memdev)
+  Devarray.await t.nvme (Devarray.busy_until t.nvme);
+  Devarray.await t.memdev (Devarray.busy_until t.memdev)
 
 let gc_history t =
   let keep_named = List.map snd (Store.named t.disk_store) in
@@ -344,15 +344,15 @@ let ps t =
 (* --- failure ----------------------------------------------------------- *)
 
 let crash t =
-  Blockdev.crash t.nvme;
-  Blockdev.crash t.memdev;
+  Devarray.crash t.nvme;
+  Devarray.crash t.memdev;
   Memfs.crash t.kernel.Kernel.fs;
   Extconsist.uninstall t.extcons
 
 let boot ~nvme =
   (* Boot: a fresh kernel on existing hardware, sharing wall time with
      the device. *)
-  let kernel = Kernel.create ~clock:(Blockdev.clock nvme) () in
+  let kernel = Kernel.create ~clock:(Devarray.clock nvme) () in
   let disk_store = Store.open_ ~dev:nvme in
   (* The conventional in-memory file system is rebuilt from the last
      durable generation (the SLS file system view of the world) — if a
@@ -363,7 +363,8 @@ let boot ~nvme =
      kernel.Kernel.fs <- Aurora_slsfs.Slsfs.restore_fs disk_store gen
    | Some _ | None -> ());
   let memdev =
-    Blockdev.create ~clock:(Blockdev.clock nvme) ~profile:Profile.dram "memdev0"
+    Devarray.create ~stripes:1 ~clock:(Devarray.clock nvme) ~profile:Profile.dram
+      "memdev"
   in
   let mem_store = Store.format ~dev:memdev () in
   build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store

@@ -20,8 +20,8 @@ open Aurora_objstore
 
 type t = {
   kernel : Kernel.t;
-  nvme : Blockdev.t;
-  memdev : Blockdev.t;
+  nvme : Devarray.t;
+  memdev : Devarray.t;
   swap : Aurora_vm.Swap.t;
   disk_store : Store.t;
   mem_store : Store.t;
@@ -34,16 +34,20 @@ type t = {
 
 val create :
   ?storage_profile:Profile.t ->
+  ?stripes:int ->
   ?capacity_pages:int ->
   ?fs_with_disk:bool ->
   ?dedup:bool ->
   unit ->
   t
 (** A fresh machine. [storage_profile] (default Optane 900P) is the
-    disk store's device. [fs_with_disk] (default false) gives the
-    conventional file system its own backing device — used by the
-    database baselines that fsync. [dedup] (default true) controls the
-    object store's content deduplication (ablation bench). *)
+    disk store's device. [stripes] (default the profile's, normally 1)
+    stripes the disk store over that many independent device queues —
+    the paper's four-drive testbed. [fs_with_disk] (default false)
+    gives the conventional file system its own backing device — used
+    by the database baselines that fsync. [dedup] (default true)
+    controls the object store's content deduplication (ablation
+    bench). *)
 
 val clock : t -> Clock.t
 val now : t -> Duration.t
@@ -118,7 +122,7 @@ val crash : t -> unit
     lost. The machine object must not be used afterwards except as the
     argument of {!recover}. *)
 
-val boot : nvme:Blockdev.t -> t
+val boot : nvme:Devarray.t -> t
 (** Boot a fresh machine on an existing storage device (recover its
     object store; restore the file system from the latest generation
     when one exists). The CLI uses this to resume a universe whose

@@ -22,7 +22,7 @@ let kill_group (k : Kernel.t) (g : Types.pgroup) =
 let restore_object_pages (k : Kernel.t) store ~gen ~store_oid ~policy ~hot obj =
   let dev = Store.device store in
   let fault_cost =
-    Profile.transfer_cost (Blockdev.profile dev) ~op:`Read ~bytes:Blockdev.block_size
+    Profile.transfer_cost (Devarray.profile dev) ~op:`Read ~bytes:Blockdev.block_size
   in
   let hot_tbl = Hashtbl.create 16 in
   List.iter (fun p -> Hashtbl.replace hot_tbl p ()) hot;
@@ -73,7 +73,7 @@ let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?fr
   let from_disk =
     match from_disk with
     | Some b -> b
-    | None -> (Blockdev.profile dev).Profile.name <> Profile.dram.Profile.name
+    | None -> (Devarray.profile dev).Profile.name <> Profile.dram.Profile.name
   in
   let discount d =
     if from_disk then Duration.scale_float d Costmodel.implicit_restore_discount else d

@@ -223,6 +223,97 @@ let prop_async_completions_monotone =
       monotone completions)
 
 (* ------------------------------------------------------------------ *)
+(* Devarray                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mkarr ?(stripes = 4) ?(profile = Profile.optane_900p) () =
+  let clock = Clock.create () in
+  (clock, Devarray.create ~stripes ~clock ~profile "arr")
+
+let test_devarray_mapping_bijection () =
+  let _, arr = mkarr ~stripes:4 () in
+  let seen = Hashtbl.create 1024 in
+  for b = 0 to 1023 do
+    let d, phys = Devarray.locate arr b in
+    check_bool "device in range" true (d >= 0 && d < 4);
+    check_int "roundtrip" b (Devarray.logical arr ~dev:d ~phys);
+    Hashtbl.replace seen (d, phys) ()
+  done;
+  check_int "no collisions" 1024 (Hashtbl.length seen)
+
+let test_devarray_single_stripe_identity () =
+  let _, arr = mkarr ~stripes:1 () in
+  for b = 0 to 100 do
+    Alcotest.(check (pair int int)) "identity" (0, b) (Devarray.locate arr b)
+  done
+
+let test_devarray_read_write_roundtrip () =
+  let _, arr = mkarr ~stripes:4 () in
+  for b = 0 to 63 do
+    Devarray.write arr b (Blockdev.Seed (Int64.of_int (b * 3)))
+  done;
+  for b = 0 to 63 do
+    Alcotest.check content_t "readback"
+      (Blockdev.Seed (Int64.of_int (b * 3)))
+      (Devarray.read arr b)
+  done
+
+let test_devarray_stats_sum () =
+  let _, arr = mkarr ~stripes:4 () in
+  Devarray.write_many arr (List.init 64 (fun i -> (i, Blockdev.Seed 1L)));
+  ignore (Devarray.read_many arr (List.init 10 Fun.id));
+  let agg = Devarray.stats arr in
+  let per = Devarray.device_stats arr in
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 per in
+  check_int "writes sum" agg.Blockdev.writes (sum (fun s -> s.Blockdev.writes));
+  check_int "blocks_written sum" agg.Blockdev.blocks_written
+    (sum (fun s -> s.Blockdev.blocks_written));
+  check_int "reads sum" agg.Blockdev.reads (sum (fun s -> s.Blockdev.reads));
+  check_int "blocks_read sum" agg.Blockdev.blocks_read
+    (sum (fun s -> s.Blockdev.blocks_read));
+  check_int "all 64 blocks landed" 64 agg.Blockdev.blocks_written;
+  (* Round-robin spreads a contiguous run evenly. *)
+  Array.iter (fun st -> check_int "balanced" 16 st.Blockdev.blocks_written) per
+
+let test_devarray_flush_scales () =
+  (* A contiguous 4096-block extent: the 4-stripe array drains in ~1/4
+     the single-device simulated time (one extent per device, the
+     transfer is bandwidth-dominated). *)
+  let flush_time stripes =
+    let clock = Clock.create () in
+    let arr = Devarray.create ~stripes ~clock ~profile:Profile.optane_900p "arr" in
+    let writes = List.init 4096 (fun i -> (i, Blockdev.Seed (Int64.of_int i))) in
+    let done_at = Devarray.write_async arr writes in
+    Duration.to_ns (Duration.sub done_at (Clock.now clock))
+  in
+  let t1 = flush_time 1 and t4 = flush_time 4 in
+  let ratio = float_of_int t1 /. float_of_int t4 in
+  check_bool (Printf.sprintf "4 stripes ~4x faster (got %.2fx)" ratio) true
+    (ratio > 3.5 && ratio <= 4.5)
+
+let test_devarray_barrier_orders_behind_all () =
+  let _, arr = mkarr ~stripes:4 () in
+  (* Load device 0's queue only (blocks = 0 mod 4); an unordered write
+     to device 1 completes before it, a barrier write does not. *)
+  let data_done =
+    Devarray.write_async arr (List.init 256 (fun i -> (i * 4, Blockdev.Seed 1L)))
+  in
+  let unordered = Devarray.write_async arr [ (5, Blockdev.Seed 2L) ] in
+  check_bool "idle stripe finishes first" true Duration.(unordered < data_done);
+  let barrier = Devarray.write_barrier arr [ (1, Blockdev.Seed 9L) ] in
+  check_bool "barrier waits for the loaded stripe" true
+    Duration.(barrier >= data_done)
+
+let prop_devarray_mapping_bijection =
+  QCheck.Test.make ~name:"stripe mapping round-trips for any width"
+    QCheck.(pair (int_range 1 8) (int_bound 100_000))
+    (fun (stripes, b) ->
+      let clock = Clock.create () in
+      let arr = Devarray.create ~stripes ~clock ~profile:Profile.optane_900p "arr" in
+      let d, phys = Devarray.locate arr b in
+      d >= 0 && d < stripes && Devarray.logical arr ~dev:d ~phys = b)
+
+(* ------------------------------------------------------------------ *)
 (* Netlink                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -295,6 +386,22 @@ let () =
           qt prop_blockdev_read_back;
           qt prop_crash_preserves_durable;
           qt prop_async_completions_monotone;
+        ] );
+      ( "devarray",
+        [
+          Alcotest.test_case "mapping is a bijection" `Quick
+            test_devarray_mapping_bijection;
+          Alcotest.test_case "single stripe is identity" `Quick
+            test_devarray_single_stripe_identity;
+          Alcotest.test_case "striped read/write roundtrip" `Quick
+            test_devarray_read_write_roundtrip;
+          Alcotest.test_case "per-device stats sum to aggregate" `Quick
+            test_devarray_stats_sum;
+          Alcotest.test_case "flush scales with stripes" `Quick
+            test_devarray_flush_scales;
+          Alcotest.test_case "commit barrier orders behind all queues" `Quick
+            test_devarray_barrier_orders_behind_all;
+          qt prop_devarray_mapping_bijection;
         ] );
       ( "netlink",
         [

@@ -10,9 +10,9 @@ open Aurora_objstore
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let mkdev ?(profile = Profile.optane_900p) () =
+let mkdev ?(profile = Profile.optane_900p) ?stripes () =
   let clock = Clock.create () in
-  (clock, Blockdev.create ~clock ~profile "store0")
+  (clock, Devarray.create ?stripes ~clock ~profile "store")
 
 (* ------------------------------------------------------------------ *)
 (* Alloc                                                               *)
@@ -171,14 +171,14 @@ let test_btree_persist_and_reread () =
     root := Btree.insert t ~root:!root ~key:(Int64.of_int i) (Btree.Imm (Int64.of_int (2 * i)))
   done;
   let done_at = Btree.flush_dirty t in
-  Blockdev.await dev done_at;
+  Devarray.await dev done_at;
   Btree.drop_cache t;
   check_int "cache empty" 0 (Btree.cached_count t);
   (* Reads now hit the device and still return the data. *)
   (match Btree.find t ~root:!root 321L with
    | Some (Btree.Imm v) -> check_bool "persisted value" true (Int64.equal v 642L)
    | _ -> Alcotest.fail "lost after reread");
-  check_bool "device reads happened" true ((Blockdev.stats dev).Blockdev.reads > 0)
+  check_bool "device reads happened" true ((Devarray.stats dev).Blockdev.reads > 0)
 
 let test_btree_fold_range () =
   let _, _, t = mktree () in
@@ -400,7 +400,7 @@ let test_store_recovery_roundtrip () =
   done;
   let _, durable = Store.commit s ~name:"snap" () in
   Store.wait_durable s durable;
-  Blockdev.crash dev;
+  Devarray.crash dev;
   let s' = Store.open_ ~dev in
   Alcotest.(check (list int)) "generation survived" [ g1 ] (Store.generations s');
   Alcotest.(check (option int)) "name survived" (Some g1) (Store.find_named s' "snap");
@@ -432,11 +432,68 @@ let test_store_crash_mid_commit_keeps_old () =
   ignore (Store.begin_generation s ());
   Store.put_record s ~oid:1 "torn";
   let _, _not_awaited = Store.commit s () in
-  Blockdev.crash dev;
+  Devarray.crash dev;
   let s' = Store.open_ ~dev in
   Alcotest.(check (list int)) "old generation recovered" [ g1 ] (Store.generations s');
   Alcotest.(check (option string)) "old content" (Some "stable")
     (Store.read_record s' g1 ~oid:1)
+
+let test_store_striped_torn_commit_keeps_old () =
+  (* Four independent queues: a crash that catches only some stripes
+     durable must still recover the previous generation, because the
+     superblock is ordered behind the commit barrier (max of all
+     per-device completion times). *)
+  let clock, dev = mkdev ~stripes:4 () in
+  let s = Store.format ~dev () in
+  let g1 = Store.begin_generation s () in
+  for i = 0 to 63 do
+    Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int (100 + i))
+  done;
+  let _, durable1 = Store.commit s () in
+  Store.wait_durable s durable1;
+  ignore (Store.begin_generation s ());
+  for i = 0 to 63 do
+    Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int (200 + i))
+  done;
+  let _, durable2 = Store.commit s () in
+  (* Just before the barrier-ordered superblock lands: the stripes
+     holding only data have drained, the superblock's has not. *)
+  Clock.advance_to clock (Duration.sub durable2 (Duration.nanoseconds 1));
+  Devarray.crash dev;
+  let s' = Store.open_ ~dev in
+  Alcotest.(check (list int)) "previous generation recovered" [ g1 ]
+    (Store.generations s');
+  for i = 0 to 63 do
+    match Store.read_page s' g1 ~oid:1 ~pindex:i with
+    | Some seed ->
+      check_bool "old page intact" true (Int64.equal seed (Int64.of_int (100 + i)))
+    | None -> Alcotest.failf "g1 lost page %d" i
+  done;
+  (match Store.fsck s' with
+   | Ok () -> ()
+   | Error ps -> Alcotest.failf "fsck after torn striped commit: %s"
+                   (String.concat "; " ps))
+
+let test_store_striped_commit_durable_at_barrier () =
+  (* The flip side: at exactly durable_at the whole generation is
+     recoverable. *)
+  let clock, dev = mkdev ~stripes:4 () in
+  let s = Store.format ~dev () in
+  ignore (Store.begin_generation s ());
+  for i = 0 to 63 do
+    Store.put_page s ~oid:1 ~pindex:i ~seed:(Int64.of_int (300 + i))
+  done;
+  let g2, durable = Store.commit s () in
+  Clock.advance_to clock durable;
+  Devarray.crash dev;
+  let s' = Store.open_ ~dev in
+  Alcotest.(check (list int)) "new generation durable" [ g2 ] (Store.generations s');
+  for i = 0 to 63 do
+    match Store.read_page s' g2 ~oid:1 ~pindex:i with
+    | Some seed ->
+      check_bool "new page durable" true (Int64.equal seed (Int64.of_int (300 + i)))
+    | None -> Alcotest.failf "g2 lost page %d" i
+  done
 
 let test_store_dedup_rebuilt_after_recovery () =
   let _, dev = mkdev () in
@@ -459,7 +516,7 @@ let test_store_volatile_cache_commit_flushes () =
   let g = Store.begin_generation s () in
   Store.put_record s ~oid:1 "durable on nand";
   ignore (Store.commit s ());
-  Blockdev.crash dev;
+  Devarray.crash dev;
   let s' = Store.open_ ~dev in
   Alcotest.(check (option string)) "survived" (Some "durable on nand")
     (Store.read_record s' g ~oid:1)
@@ -475,12 +532,12 @@ let test_store_cold_read_charges_device () =
   let _, durable = Store.commit s () in
   Store.wait_durable s durable;
   Store.drop_caches s;
-  Blockdev.reset_stats dev;
+  Devarray.reset_stats dev;
   let before = Clock.now clock in
   ignore (Store.read_record s g ~oid:1);
   ignore (Store.read_page s g ~oid:1 ~pindex:100);
   let elapsed = Duration.sub (Clock.now clock) before in
-  check_bool "cold reads hit device" true ((Blockdev.stats dev).Blockdev.reads > 0);
+  check_bool "cold reads hit device" true ((Devarray.stats dev).Blockdev.reads > 0);
   check_bool "cold reads cost time" true
     Duration.(elapsed >= Profile.optane_900p.Profile.read_latency)
 
@@ -618,7 +675,7 @@ let prop_store_history_invariants =
                 (fun g _ -> if not (List.mem g keep) then Hashtbl.remove committed g)
                 (Hashtbl.copy committed)
             | S_crash_recover ->
-              Blockdev.crash dev;
+              Devarray.crash dev;
               store := Store.open_ ~dev)
         ops;
       if !ok then begin
@@ -690,6 +747,10 @@ let () =
           Alcotest.test_case "recovery roundtrip" `Quick test_store_recovery_roundtrip;
           Alcotest.test_case "torn commit keeps old generation" `Quick
             test_store_crash_mid_commit_keeps_old;
+          Alcotest.test_case "striped torn commit keeps old generation" `Quick
+            test_store_striped_torn_commit_keeps_old;
+          Alcotest.test_case "striped commit durable at barrier" `Quick
+            test_store_striped_commit_durable_at_barrier;
           Alcotest.test_case "dedup rebuilt" `Quick test_store_dedup_rebuilt_after_recovery;
           Alcotest.test_case "volatile cache flushes synchronously" `Quick
             test_store_volatile_cache_commit_flushes;

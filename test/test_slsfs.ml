@@ -16,7 +16,7 @@ let s = Bytes.to_string
 
 let mkstore () =
   let clock = Clock.create () in
-  let dev = Blockdev.create ~clock ~profile:Profile.optane_900p "nvme0" in
+  let dev = Devarray.create ~clock ~profile:Profile.optane_900p "nvme" in
   Store.format ~dev ()
 
 let checkpoint_into store fs ?(popen = fun _ -> 0) () =
@@ -122,11 +122,11 @@ let test_snapshot_and_clone () =
 let test_restore_from_recovered_store () =
   (* FS checkpoint -> device crash -> store recovery -> FS restore. *)
   let clock = Clock.create () in
-  let dev = Blockdev.create ~clock ~profile:Profile.optane_900p "nvme0" in
+  let dev = Devarray.create ~clock ~profile:Profile.optane_900p "nvme" in
   let store = Store.format ~dev () in
   let fs = build_sample_fs () in
   let gen = checkpoint_into store fs () in
-  Blockdev.crash dev;
+  Devarray.crash dev;
   let store' = Store.open_ ~dev in
   let fs' = Slsfs.restore_fs store' gen in
   check_bool "files intact after device recovery" true
