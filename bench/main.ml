@@ -676,6 +676,126 @@ let stripe_sweep () =
   row " with the stripe count - the paper's four-drive testbed)\n"
 
 (* ------------------------------------------------------------------ *)
+(* F-fault: media-fault sweep                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Survival under escalating media-error rates: commit a history of
+   generations while the device injects transient errors, silent
+   corruption and one latent sector per generation; then power-fail,
+   reopen, scrub, and audit every committed generation bit-for-bit.
+   Reports the survival rate plus the self-healing ledger (retries,
+   checksum catches, repairs per source, losses). *)
+let fault_sweep () =
+  section "F-fault: survival and self-healing vs media-error rate";
+  row "%12s %10s %10s %10s %10s %10s %10s %8s\n" "read err" "gens" "survived"
+    "retries" "csum hits" "healed" "lost blks" "exact";
+  let gens_per_run = 6 and pages_per_gen = 64 in
+  List.iter
+    (fun (label, rate, protected) ->
+      let clock = Clock.create () in
+      let dev =
+        Devarray.create ~stripes:2
+          ~faults:
+            (Fault.plan ~seed:1234L ~transient_read:rate
+               ~transient_write:(rate /. 2.) ~corruption:(rate /. 10.) ())
+          ~clock ~profile:Profile.optane_900p "nvme"
+      in
+      let s =
+        Store.format
+          ?protection:
+            (if protected then Some { Store.verify = true; mirror = true }
+             else Some { Store.verify = false; mirror = false })
+          ~dev ()
+      in
+      let reference = Hashtbl.create 8 in
+      for gnum = 0 to gens_per_run - 1 do
+        ignore (Store.begin_generation s ());
+        let pages =
+          List.init pages_per_gen (fun i ->
+              (i, Int64.of_int ((gnum * 10_000) + (i * 17) + 3)))
+        in
+        List.iter (fun (pindex, seed) -> Store.put_page s ~oid:1 ~pindex ~seed) pages;
+        let record = Printf.sprintf "manifest %d" gnum in
+        Store.put_record s ~oid:7 record;
+        (match Store.commit_result s () with
+         | Ok (g, d) ->
+           Store.wait_durable s d;
+           Hashtbl.replace reference g (pages, record)
+         | Error _ -> ());
+        (* >= 1 latent sector error per generation, clear of the
+           superblock slots. *)
+        let used = Devarray.used_blocks dev in
+        if used > 3 then Devarray.inject_latent dev (2 + ((gnum * 37) mod (used - 2)))
+      done;
+      let committed = Hashtbl.length reference in
+      Devarray.crash dev;
+      match Store.open_ ~dev with
+      | Error e ->
+        row "%12s %10d %10d %44s\n" label committed 0
+          ("unrecoverable: " ^ Store.describe_error e)
+      | Ok s' ->
+        ignore (Store.fsck ~scrub:true s');
+        let surviving = Store.generations s' in
+        let survived = ref 0 and exact = ref true in
+        Hashtbl.iter
+          (fun g (pages, record) ->
+            if List.mem g surviving then begin
+              incr survived;
+              List.iter
+                (fun (pindex, seed) ->
+                  match Store.read_page s' g ~oid:1 ~pindex with
+                  | Some v when Int64.equal v seed -> ()
+                  | _ -> exact := false
+                  | exception Store.Fail _ -> exact := false)
+                pages;
+              match Store.read_record s' g ~oid:7 with
+              | Some r when String.equal r record -> ()
+              | _ -> exact := false
+              | exception Store.Fail _ -> exact := false
+            end)
+          reference;
+        let io = Store.io_stats s' in
+        let fs = Devarray.fault_stats dev in
+        let healed = io.Store.repaired_from_mirror + io.Store.repaired_from_dedup in
+        let key = "rate_" ^ label in
+        json_record "fault-sweep"
+          [
+            (key ^ "_committed", jint committed);
+            (key ^ "_survived", jint !survived);
+            ( key ^ "_survival_rate",
+              jnum
+                (if committed = 0 then 1.0
+                 else float_of_int !survived /. float_of_int committed) );
+            (key ^ "_bit_exact", jint (if !exact then 1 else 0));
+            (key ^ "_read_retries", jint io.Store.read_retries);
+            (key ^ "_checksum_failures", jint io.Store.checksum_failures);
+            (key ^ "_repaired_from_mirror", jint io.Store.repaired_from_mirror);
+            (key ^ "_repaired_from_dedup", jint io.Store.repaired_from_dedup);
+            (key ^ "_lost_blocks", jint io.Store.lost_blocks);
+            (key ^ "_injected_transient_reads", jint fs.Fault.transient_reads);
+            (key ^ "_injected_latent_reads", jint fs.Fault.latent_reads);
+            (key ^ "_injected_corruptions", jint fs.Fault.corruptions);
+          ];
+        row "%12s %10d %10d %10d %10d %10d %10d %8s\n" label committed !survived
+          io.Store.read_retries io.Store.checksum_failures healed
+          io.Store.lost_blocks
+          (if !exact then "yes" else "NO"))
+    [
+      (* A bare store (no checksums, no mirror) under the same latent
+         errors: the control the integrity machinery is measured
+         against. *)
+      ("unprotected", 0., false);
+      ("0", 0., true);
+      ("1e-4", 1e-4, true);
+      ("1e-3", 1e-3, true);
+      ("1e-2", 1e-2, true);
+    ];
+  row "\n(per-block checksums catch silent corruption; reads retry transient\n";
+  row " errors with backoff and repair latent sectors from the mirror or a\n";
+  row " dedup duplicate, rewriting in place - survival holds through the\n";
+  row " 1e-3 acceptance point and degrades loudly, never silently)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -750,6 +870,7 @@ let all_targets =
     ("shared-cow", shared_cow);
     ("hdd", hdd);
     ("stripe-sweep", stripe_sweep);
+    ("fault-sweep", fault_sweep);
     ("bechamel", run_bechamel);
   ]
 

@@ -100,7 +100,11 @@ let load path =
   let ic = open_in_bin path in
   let (uf : universe_file) = (Marshal.from_channel ic : universe_file) in
   close_in ic;
-  let machine = Machine.boot ~nvme:uf.uf_nvme in
+  let machine =
+    match Machine.boot ~nvme:uf.uf_nvme with
+    | Ok m -> m
+    | Error e -> raise (Store.Fail e)
+  in
   Machine.enable_sls_calls machine;
   let u = { machine; apps = [] } in
   (* Recreate the groups in order (stable pgids), then resurrect each
@@ -276,17 +280,27 @@ let cmd_detach path pgid backend =
   save path u;
   0
 
-let cmd_fsck path =
+let cmd_fsck path scrub =
   let u = load path in
-  (match Store.fsck u.machine.Machine.disk_store with
-   | Ok () ->
-     let st = Store.stats u.machine.Machine.disk_store in
-     say "store healthy: %d live blocks, %d generations, %d dedup entries"
-       st.Store.live_blocks st.Store.committed_generations st.Store.dedup_entries
-   | Error problems ->
-     List.iter (fun p -> say "PROBLEM: %s" p) problems;
-     failwith (Printf.sprintf "%d integrity violations" (List.length problems)));
-  0
+  let r = Store.fsck ~scrub u.machine.Machine.disk_store in
+  if scrub then say "scrubbed %d blocks" r.Store.scanned_blocks;
+  List.iter
+    (fun (block, origin) ->
+      say "HEALED: block %d (from %s)" block
+        (match origin with Store.Mirror -> "mirror" | Store.Dedup_copy -> "dedup copy"))
+    r.Store.healed;
+  List.iter (fun (g, reason) -> say "LOST: generation %d (%s)" g reason) r.Store.lost;
+  List.iter (fun p -> say "PROBLEM: %s" p) r.Store.problems;
+  if Store.fsck_ok r then begin
+    let st = Store.stats u.machine.Machine.disk_store in
+    say "store healthy: %d live blocks, %d generations, %d dedup entries"
+      st.Store.live_blocks st.Store.committed_generations st.Store.dedup_entries;
+    0
+  end
+  else
+    failwith
+      (Printf.sprintf "%d integrity violations, %d generations lost"
+         (List.length r.Store.problems) (List.length r.Store.lost))
 
 let cmd_crash path =
   let u = load path in
@@ -308,6 +322,11 @@ let universe_arg =
 
 let wrap f =
   try f () with
+  | Store.Fail e ->
+    (* A typed store failure (unrecoverable superblock, unreadable
+       generation table, dead device) is distinct from usage errors. *)
+    Printf.eprintf "sls: store failure: %s\n" (Store.describe_error e);
+    2
   | Failure msg | Invalid_argument msg ->
     Printf.eprintf "sls: %s\n" msg;
     1
@@ -409,8 +428,15 @@ let crash_cmd =
     Term.(const (fun path -> wrap (fun () -> cmd_crash path)) $ universe_arg)
 
 let fsck_cmd =
+  let scrub =
+    Arg.(value & flag & info [ "scrub" ]
+           ~doc:"Also read every block, repairing what the mirror or a \
+                 dedup copy can heal and quarantining what it cannot.")
+  in
   Cmd.v (Cmd.info "fsck" ~doc:"Check object-store integrity.")
-    Term.(const (fun path -> wrap (fun () -> cmd_fsck path)) $ universe_arg)
+    Term.(
+      const (fun path scrub -> wrap (fun () -> cmd_fsck path scrub))
+      $ universe_arg $ scrub)
 
 let group =
   let doc = "the Aurora single level store (simulated)" in

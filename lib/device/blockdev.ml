@@ -31,18 +31,22 @@ type t = {
   mutable busy_until : Duration.t;     (* device queue drains at this time *)
   mutable pending : batch list;        (* in-flight batches, newest first *)
   mutable st : stats;
+  mutable faults : Fault.injector option;
 }
 
 let zero_stats = { reads = 0; writes = 0; blocks_read = 0; blocks_written = 0; flushes = 0 }
 
-let create ?capacity_blocks ~clock ~profile name =
+let create ?capacity_blocks ?faults ~clock ~profile name =
   { name; clock; profile; capacity_blocks; slots = Hashtbl.create 4096;
-    busy_until = Duration.zero; pending = []; st = zero_stats }
+    busy_until = Duration.zero; pending = []; st = zero_stats; faults }
 
 let name t = t.name
 let profile t = t.profile
 let clock t = t.clock
+let capacity_blocks t = t.capacity_blocks
 let busy_until t = t.busy_until
+let faults t = t.faults
+let set_faults t inj = t.faults <- inj
 
 let check_index t i =
   if i < 0 then invalid_arg "Blockdev: negative block index";
@@ -69,12 +73,44 @@ let charge_sync t ~op ~blocks =
   t.busy_until <- completion;
   Clock.advance_to t.clock completion
 
+(* The command's time is charged before the fault surfaces: a failed
+   read costs as much as a successful one. *)
+let inject_read_fault t i =
+  match t.faults with
+  | None -> ()
+  | Some inj ->
+    if Fault.is_dropped inj then raise (Fault.Io_error (Fault.Dropped { dev = t.name }));
+    if Fault.draw_transient_read inj then
+      raise (Fault.Io_error (Fault.Transient { dev = t.name; op = `Read; phys = i }));
+    if Fault.is_latent inj i then begin
+      Fault.note_latent inj;
+      raise (Fault.Io_error (Fault.Latent { dev = t.name; phys = i }))
+    end
+
 let read t i =
   charge_sync t ~op:`Read ~blocks:1;
   t.st <- { t.st with reads = t.st.reads + 1; blocks_read = t.st.blocks_read + 1 };
+  inject_read_fault t i;
   (slot t i).current
 
 let peek t i = (slot t i).current
+
+(* Batch reads are best-effort DMA: a dropped device or latent sector
+   yields [Zero] for the affected blocks instead of failing the whole
+   transfer (and transient errors are not injected per block). Callers
+   that need certainty — the store — verify each payload against its
+   checksum and re-issue failed blocks as single reads, which do
+   surface faults. *)
+let batch_content t i =
+  match t.faults with
+  | None -> (slot t i).current
+  | Some inj ->
+    if Fault.is_dropped inj then Zero
+    else if Fault.is_latent inj i then begin
+      Fault.note_latent inj;
+      Zero
+    end
+    else (slot t i).current
 
 let read_many_async t indices =
   let n = List.length indices in
@@ -89,7 +125,7 @@ let read_many_async t indices =
       completion
     end
   in
-  (List.map (fun i -> (slot t i).current) indices, completion)
+  (List.map (fun i -> batch_content t i) indices, completion)
 
 let read_many t indices =
   let contents, completion = read_many_async t indices in
@@ -105,9 +141,60 @@ let store_block t ~completed (i, c) =
   s.current <- c;
   if completed && not t.profile.Profile.volatile_cache then s.durable <- c
 
+let corrupt_content inj = function
+  | Data s when String.length s > 0 ->
+    let b = Bytes.of_string s in
+    let pos = Fault.pick inj (Bytes.length b) in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl Fault.pick inj 8)));
+    Data (Bytes.to_string b)
+  | Data _ -> Data "\x01"
+  | Seed s -> Seed (Int64.logxor s (Int64.shift_left 1L (Fault.pick inj 63)))
+  | Zero -> Seed 0x00DEAD_BEEFL
+
+let max_write_retries = 4
+
+(* Apply the fault model to a write submission. Transient write errors
+   are retried by the device controller with exponential backoff — the
+   returned extra cost is added to the transfer and so shows up in
+   simulated time; retries exhausted raises. A write that lands clears
+   any latent error on its sector (the drive remaps it), which is what
+   makes read-repair-by-rewrite actually heal. Silent corruption
+   replaces the stored payload; only an end-to-end checksum can tell. *)
+let apply_write_faults t writes =
+  match t.faults with
+  | None -> (writes, Duration.zero)
+  | Some inj ->
+    if Fault.is_dropped inj then raise (Fault.Io_error (Fault.Dropped { dev = t.name }));
+    let retry_cost = ref Duration.zero in
+    let writes =
+      List.map
+        (fun (i, c) ->
+          let rec attempt n =
+            if Fault.draw_transient_write inj then begin
+              if n >= max_write_retries then
+                raise
+                  (Fault.Io_error (Fault.Transient { dev = t.name; op = `Write; phys = i }));
+              retry_cost :=
+                Duration.add !retry_cost
+                  (Duration.scale t.profile.Profile.write_latency (1 lsl n));
+              attempt (n + 1)
+            end
+          in
+          attempt 0;
+          Fault.clear_latent inj i;
+          if Fault.draw_corruption inj then (i, corrupt_content inj c) else (i, c))
+        writes
+    in
+    (writes, !retry_cost)
+
 let write_many t writes =
+  let writes, retry_cost = apply_write_faults t writes in
   let n = List.length writes in
   if n > 0 then charge_sync t ~op:`Write ~blocks:n;
+  if Duration.(retry_cost > zero) then begin
+    t.busy_until <- Duration.add t.busy_until retry_cost;
+    Clock.advance_to t.clock t.busy_until
+  end;
   t.st <- { t.st with writes = t.st.writes + 1; blocks_written = t.st.blocks_written + n };
   List.iter (store_block t ~completed:true) writes
 
@@ -118,6 +205,21 @@ let write t i c = write_many t [ (i, c) ]
    caches, becomes durable — at the time the last extent drains. *)
 let write_extents ?not_before t extents =
   let extents = List.filter (fun e -> e <> []) extents in
+  let extents, retry_cost =
+    if t.faults = None then (extents, Duration.zero)
+    else begin
+      let total = ref Duration.zero in
+      let extents =
+        List.map
+          (fun e ->
+            let e', c = apply_write_faults t e in
+            total := Duration.add !total c;
+            e')
+          extents
+      in
+      (extents, !total)
+    end
+  in
   let nblocks = List.fold_left (fun acc e -> acc + List.length e) 0 extents
   and nextents = List.length extents in
   let start = Duration.max (Clock.now t.clock) t.busy_until in
@@ -133,7 +235,8 @@ let write_extents ?not_before t extents =
           Duration.add acc
             (Profile.transfer_cost t.profile ~op:`Write
                ~bytes:(List.length e * block_size)))
-        Duration.zero extents
+        (* Controller-internal write retries extend the transfer. *)
+        retry_cost extents
     in
     let completion = Duration.add start cost in
     t.busy_until <- completion;

@@ -27,21 +27,36 @@ type content =
 
 type t
 
-val create : ?capacity_blocks:int -> clock:Clock.t -> profile:Profile.t -> string -> t
+val create :
+  ?capacity_blocks:int -> ?faults:Fault.injector -> clock:Clock.t ->
+  profile:Profile.t -> string -> t
 (** [create ~clock ~profile name]. [capacity_blocks] defaults to
     unlimited; when set, writes past the capacity raise
-    [Invalid_argument]. *)
+    [Invalid_argument]. [faults] attaches a media-fault injector
+    (default: a perfect device). *)
 
 val name : t -> string
 val profile : t -> Profile.t
 val clock : t -> Clock.t
 
+val capacity_blocks : t -> int option
+(** The configured capacity; [None] means unbounded. *)
+
+val faults : t -> Fault.injector option
+val set_faults : t -> Fault.injector option -> unit
+
 val read : t -> int -> content
 (** Synchronous single-block read; charges the clock. Unwritten blocks
-    read as [Zero]. Raises [Invalid_argument] on negative index. *)
+    read as [Zero]. Raises [Invalid_argument] on negative index.
+    Under a fault injector, raises {!Fault.Io_error} — the command's
+    time is charged either way — for a dropped device, an injected
+    transient error, or a latent sector. *)
 
 val read_many : t -> int list -> content list
-(** One command: latency charged once, bandwidth per block. *)
+(** One command: latency charged once, bandwidth per block. Batch
+    reads are best-effort: blocks on latent sectors (or a dropped
+    device) come back [Zero] instead of failing the transfer — callers
+    that need certainty verify checksums and re-issue single reads. *)
 
 val read_many_async : t -> int list -> content list * Duration.t
 (** Queue one read command and return the contents together with the
@@ -58,7 +73,15 @@ val peek : t -> int -> content
 val write : t -> int -> content -> unit
 (** Synchronous write into the device cache; charges the clock. The
     block is durable only after {!flush} (or immediately when the
-    profile has a non-volatile cache). *)
+    profile has a non-volatile cache).
+
+    Under a fault injector: transient write errors are retried by the
+    controller with exponential backoff (the extra time is charged to
+    the transfer; exhausting the bounded retries raises
+    {!Fault.Io_error}), a completed write clears any latent error on
+    its sector, and the payload may be silently corrupted. A dropped
+    device raises. These semantics apply to every write entry point
+    below as well. *)
 
 val write_many : t -> (int * content) list -> unit
 

@@ -6,7 +6,7 @@ type t = {
   devs : Blockdev.t array;
 }
 
-let create ?stripes ?capacity_blocks ~clock ~profile name =
+let create ?stripes ?capacity_blocks ?faults ~clock ~profile name =
   let stripes =
     match stripes with Some n -> n | None -> profile.Profile.stripes
   in
@@ -14,9 +14,36 @@ let create ?stripes ?capacity_blocks ~clock ~profile name =
   let per_dev_capacity =
     Option.map (fun cap -> (cap + stripes - 1) / stripes) capacity_blocks
   in
+  let injectors =
+    match faults with
+    | None -> Array.make stripes None
+    | Some plan when Fault.is_none plan -> Array.make stripes None
+    | Some plan ->
+      let injectors =
+        Array.init stripes (fun i -> Some (Fault.injector ~dev_index:i plan))
+      in
+      (* The plan speaks logical block numbers and device indices;
+         resolve them through the stripe map. *)
+      List.iter
+        (fun b ->
+          if b < 0 then invalid_arg "Devarray.create: negative latent block";
+          match injectors.(b mod stripes) with
+          | Some inj -> Fault.add_latent inj (b / stripes)
+          | None -> ())
+        plan.Fault.latent_blocks;
+      List.iter
+        (fun d ->
+          if d >= 0 && d < stripes then
+            match injectors.(d) with
+            | Some inj -> Fault.set_dropped inj true
+            | None -> ())
+        plan.Fault.dropped_stripes;
+      injectors
+  in
   let devs =
     Array.init stripes (fun i ->
-        Blockdev.create ?capacity_blocks:per_dev_capacity ~clock ~profile
+        Blockdev.create ?capacity_blocks:per_dev_capacity ?faults:injectors.(i)
+          ~clock ~profile
           (Printf.sprintf "%s.%d" name i))
   in
   { name; stripes; devs }
@@ -26,6 +53,13 @@ let devices t = t.devs
 let name t = t.name
 let profile t = Blockdev.profile t.devs.(0)
 let clock t = Blockdev.clock t.devs.(0)
+
+(* Every device has the same per-device capacity; the stripe map is a
+   bijection onto [0, stripes * per_dev). *)
+let capacity_blocks t =
+  Option.map
+    (fun per_dev -> per_dev * t.stripes)
+    (Blockdev.capacity_blocks t.devs.(0))
 
 let locate t b =
   if b < 0 then invalid_arg "Devarray: negative block index";
@@ -165,3 +199,33 @@ let reset_stats t = Array.iter Blockdev.reset_stats t.devs
 
 let used_blocks t =
   Array.fold_left (fun acc dev -> acc + Blockdev.used_blocks dev) 0 t.devs
+
+(* --- fault injection -------------------------------------------------- *)
+
+let has_faults t =
+  Array.exists (fun dev -> Blockdev.faults dev <> None) t.devs
+
+(* Tests and the fault-sweep bench inject faults mid-run; a device
+   without an injector gets a zero-rate one on demand. *)
+let injector_of t d =
+  if d < 0 || d >= t.stripes then invalid_arg "Devarray: bad device index";
+  match Blockdev.faults t.devs.(d) with
+  | Some inj -> inj
+  | None ->
+    let inj = Fault.injector ~dev_index:d (Fault.plan ()) in
+    Blockdev.set_faults t.devs.(d) (Some inj);
+    inj
+
+let inject_latent t b =
+  let d, phys = locate t b in
+  Fault.add_latent (injector_of t d) phys
+
+let drop_device t d = Fault.set_dropped (injector_of t d) true
+
+let fault_stats t =
+  Array.fold_left
+    (fun acc dev ->
+      match Blockdev.faults dev with
+      | Some inj -> Fault.add_stats acc (Fault.stats inj)
+      | None -> acc)
+    Fault.zero_stats t.devs

@@ -24,18 +24,26 @@ open Aurora_simtime
 
 type t
 
-val create : ?stripes:int -> ?capacity_blocks:int ->
+val create : ?stripes:int -> ?capacity_blocks:int -> ?faults:Fault.plan ->
   clock:Clock.t -> profile:Profile.t -> string -> t
 (** [create ~clock ~profile name] builds devices [name.0] ..
     [name.n-1]. [stripes] defaults to the profile's stripe count;
     [capacity_blocks] is the {e logical} capacity, split evenly.
-    Raises [Invalid_argument] when [stripes < 1]. *)
+    [faults] attaches a deterministic media-fault plan: each device
+    gets its own seeded {!Fault.injector}; the plan's logical latent
+    blocks and dropped stripe indices are resolved through the stripe
+    map. Raises [Invalid_argument] when [stripes < 1]. *)
 
 val stripes : t -> int
 val devices : t -> Blockdev.t array
 val name : t -> string
 val profile : t -> Profile.t
 val clock : t -> Clock.t
+
+val capacity_blocks : t -> int option
+(** Logical capacity of the whole array ([None] = unbounded). The
+    store bounds its allocator with this so exhaustion surfaces as a
+    typed out-of-space, not a device-level write failure. *)
 
 val locate : t -> int -> int * int
 (** [locate t b] is [(device index, physical block)] for logical block
@@ -87,3 +95,21 @@ val stats : t -> Blockdev.stats
 val device_stats : t -> Blockdev.stats array
 val reset_stats : t -> unit
 val used_blocks : t -> int
+
+(* --- fault injection ------------------------------------------------- *)
+
+val has_faults : t -> bool
+(** Whether any device carries a fault injector. The store uses this
+    to turn on its integrity machinery by default. *)
+
+val inject_latent : t -> int -> unit
+(** Mark a {e logical} block as a latent sector error: every read of
+    it fails until something rewrites the block. Creates a zero-rate
+    injector on the owning device if none is attached. *)
+
+val drop_device : t -> int -> unit
+(** Fail device [d] outright: every subsequent command addressed to
+    it raises. Raises [Invalid_argument] on a bad index. *)
+
+val fault_stats : t -> Fault.stats
+(** Aggregate injected-fault counters over all devices. *)

@@ -9,6 +9,8 @@ type t = {
   mutable on_free : (int -> unit) list;
 }
 
+exception Out_of_space
+
 let create ~first_block ?capacity_blocks ?(stripes = 1) () =
   if first_block < 0 then invalid_arg "Alloc.create: negative first_block";
   if stripes < 1 then invalid_arg "Alloc.create: stripe count must be >= 1";
@@ -28,7 +30,7 @@ let alloc t =
     | [] ->
       let b = t.next_fresh in
       (match t.capacity_blocks with
-       | Some cap when b >= cap -> failwith "Alloc: device full"
+       | Some cap when b >= cap -> raise Out_of_space
        | _ -> ());
       t.next_fresh <- b + 1;
       b
@@ -61,7 +63,7 @@ let alloc_extent t n =
       end
     in
     (match t.capacity_blocks with
-     | Some cap when start + n > cap -> failwith "Alloc: device full"
+     | Some cap when start + n > cap -> raise Out_of_space
      | _ -> ());
     t.next_fresh <- start + n;
     t.live <- t.live + n;

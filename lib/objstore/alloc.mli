@@ -15,20 +15,27 @@
 
 type t
 
+exception Out_of_space
+(** Raised by {!alloc} / {!alloc_extent} when a capacity is set and
+    exhausted. Typed so a full device degrades the checkpoint (the
+    store aborts the open generation and keeps serving) instead of
+    killing the simulation. *)
+
 val create : first_block:int -> ?capacity_blocks:int -> ?stripes:int -> unit -> t
 (** Blocks below [first_block] are reserved (superblocks). [stripes]
     (default 1) is the backing device array's stripe count; extents
     are aligned to it. *)
 
 val alloc : t -> int
-(** A free block, refcount 1. Raises [Failure] when a capacity is set
-    and exhausted. *)
+(** A free block, refcount 1. Raises {!Out_of_space} when a capacity
+    is set and exhausted. *)
 
 val alloc_extent : t -> int -> int array
 (** [alloc_extent t n]: [n] fresh contiguous logical blocks, each with
     refcount 1, stripe-aligned when [n] spans a full stripe round.
     Contiguity makes the run one physical extent per device under
-    round-robin striping. Raises [Failure] on capacity exhaustion. *)
+    round-robin striping. Raises {!Out_of_space} on capacity
+    exhaustion. *)
 
 val stripes : t -> int
 

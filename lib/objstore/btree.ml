@@ -19,14 +19,18 @@ type t = {
   alloc : Alloc.t;
   cache : (int, cached) Hashtbl.t;
   mutable current_epoch : int;
+  mutable reader : (int -> Blockdev.content) option;
 }
 
 let create ~dev ~alloc =
-  let t = { dev; alloc; cache = Hashtbl.create 1024; current_epoch = 0 } in
+  let t = { dev; alloc; cache = Hashtbl.create 1024; current_epoch = 0;
+            reader = None } in
   (* Freed blocks must leave the cache: a freed block index can be
      reallocated with new content. *)
   Alloc.add_on_free alloc (fun b -> Hashtbl.remove t.cache b);
   t
+
+let set_reader t f = t.reader <- Some f
 
 let begin_epoch t n = t.current_epoch <- n
 
@@ -83,8 +87,13 @@ let read_cached t block =
   match Hashtbl.find_opt t.cache block with
   | Some c -> c
   | None ->
+    let raw =
+      match t.reader with
+      | Some f -> f block
+      | None -> Devarray.read t.dev block
+    in
     let node =
-      match Devarray.read t.dev block with
+      match raw with
       | Blockdev.Data s -> decode_node s
       | Blockdev.Seed _ | Blockdev.Zero ->
         raise (Serial.Corrupt (Printf.sprintf "Btree: block %d is not a node" block))
@@ -288,13 +297,18 @@ let rec fold_range t ~root ~lo ~hi ~init ~f =
 
 (* --- flushing / cache management ----------------------------------- *)
 
-let flush_dirty t =
+let flush_dirty ?tee t =
   let dirty =
     Hashtbl.fold (fun b c acc -> if c.dirty then (b, c) :: acc else acc) t.cache []
   in
   let dirty = List.sort (fun (a, _) (b, _) -> Int.compare a b) dirty in
   let writes = List.map (fun (b, c) -> (b, Blockdev.Data (encode_node c.node))) dirty in
   List.iter (fun (_, c) -> c.dirty <- false) dirty;
+  let writes =
+    match tee with
+    | Some f -> writes @ f writes
+    | None -> writes
+  in
   if writes = [] then Clock.now (Devarray.clock t.dev)
   else Devarray.write_async t.dev writes
 
@@ -304,6 +318,8 @@ let cached_count t = Hashtbl.length t.cache
 let drop_cache t =
   if dirty_count t > 0 then invalid_arg "Btree.drop_cache: dirty nodes remain";
   Hashtbl.reset t.cache
+
+let reset_cache t = Hashtbl.reset t.cache
 
 type view = Leaf_view of (int64 * value) list | Internal_view of int list
 

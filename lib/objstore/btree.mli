@@ -35,6 +35,12 @@ val create : dev:Devarray.t -> alloc:Alloc.t -> t
 val empty_root : t -> int
 (** A fresh empty leaf, owned by the caller (refcount 1). *)
 
+val set_reader : t -> (int -> Blockdev.content) -> unit
+(** Route cache-miss block reads through [f] instead of the raw
+    device. The store installs its checksum-verifying, self-repairing
+    read here so tree nodes get the same media-fault protection as
+    data blocks. *)
+
 val begin_epoch : t -> int -> unit
 (** Start generation [n]: nodes from earlier epochs become immutable
     (inserts will path-copy them). *)
@@ -60,16 +66,24 @@ val retain_root : t -> int -> unit
 (** Take an extra reference on a root (e.g. when a new generation
     starts from the previous generation's tree). *)
 
-val flush_dirty : t -> Duration.t
+val flush_dirty : ?tee:((int * Blockdev.content) list -> (int * Blockdev.content) list) -> t -> Duration.t
 (** Queue all dirty cached nodes to the device (asynchronously);
     returns the absolute completion time ({!Aurora_simtime.Duration}),
-    or the current time when nothing was dirty. *)
+    or the current time when nothing was dirty. [tee] observes the
+    queued node writes and returns extra writes to append to the same
+    submission — the store uses it to record node checksums and emit
+    mirror copies in the same flush. *)
 
 val dirty_count : t -> int
 val cached_count : t -> int
 val drop_cache : t -> unit
 (** Evict all clean cached nodes (cold-cache benchmarks). Raises
     [Invalid_argument] if dirty nodes remain. *)
+
+val reset_cache : t -> unit
+(** Evict everything, dirty or not. Recovery uses this after a crash
+    or an aborted generation: cached nodes may describe state the
+    device never saw. *)
 
 (** Structural access for recovery walks. *)
 type view = Leaf_view of (int64 * value) list | Internal_view of int list

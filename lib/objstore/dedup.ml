@@ -16,6 +16,8 @@ let create ~alloc =
       | None -> ());
   t
 
+let peek t ~hash = Hashtbl.find_opt t.by_hash hash
+
 let find t ~hash =
   match Hashtbl.find_opt t.by_hash hash with
   | Some block ->
@@ -40,3 +42,7 @@ let misses t = t.misses
 let reset_counters t =
   t.hits <- 0;
   t.misses <- 0
+
+let reset t =
+  Hashtbl.reset t.by_hash;
+  Hashtbl.reset t.by_block

@@ -17,6 +17,11 @@ val create : alloc:Alloc.t -> t
 val find : t -> hash:int64 -> int option
 (** Block already holding content with this hash, if any. *)
 
+val peek : t -> hash:int64 -> int option
+(** Like {!find} but without touching the hit/miss counters. Read
+    repair uses this to locate a surviving duplicate of a corrupted
+    block without skewing the dedup statistics. *)
+
 val add : t -> hash:int64 -> block:int -> unit
 (** Record that [block] holds content hashing to [hash]. Raises
     [Invalid_argument] if the hash is already mapped to a different
@@ -28,3 +33,7 @@ val misses : t -> int
 (** Running counters maintained by {!find}. *)
 
 val reset_counters : t -> unit
+
+val reset : t -> unit
+(** Drop every entry (before a recovery walk repopulates the index).
+    Counters are kept. *)

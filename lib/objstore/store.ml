@@ -5,10 +5,46 @@ open Aurora_vm
 
 type gen = int
 
-let magic = "AURORA-SLS-v1"
+let magic = "AURORA-SLS-v2"
 let superblock_slots = 2 (* blocks 0 and 1 *)
 
 type gen_entry = { root : int; name : string option }
+
+(* --- integrity / fault taxonomy ------------------------------------- *)
+
+type protection = { verify : bool; mirror : bool }
+
+type repair_origin = Mirror | Dedup_copy
+
+type error =
+  | No_superblock
+  | Bad_generation_table of string
+  | Out_of_space
+  | Unreadable_block of { block : int; cause : string }
+  | Device_failed of string
+
+exception Fail of error
+
+let describe_error = function
+  | No_superblock -> "no valid superblock"
+  | Bad_generation_table msg -> "generation table: " ^ msg
+  | Out_of_space -> "device out of space"
+  | Unreadable_block { block; cause } ->
+    Printf.sprintf "block %d unreadable beyond repair: %s" block cause
+  | Device_failed msg -> "device failed: " ^ msg
+
+let () =
+  Printexc.register_printer (function
+    | Fail e -> Some ("Store failure: " ^ describe_error e)
+    | _ -> None)
+
+type io_stats = {
+  mutable read_retries : int;
+  mutable checksum_failures : int;
+  mutable repaired_from_mirror : int;
+  mutable repaired_from_dedup : int;
+  mutable lost_blocks : int;
+}
 
 type t = {
   dev : Devarray.t;
@@ -25,8 +61,17 @@ type t = {
      allocated until that slot is overwritten: if the crash drops the
      newest superblock, recovery falls back to the other slot, whose
      table must still be intact on disk. *)
+  mutable gentable_mirror_blocks : int list;
+  mutable prev_gentable_mirror_blocks : int list;
+  mutable gentable_csum : int64;     (* hash of the encoded table *)
   mutable open_gen : (gen * int) option; (* generation being built, working root *)
   mutable pending_pages : (int * Blockdev.content) list; (* data block writes *)
+  mutable prot : protection;
+  csums : (int, int64) Hashtbl.t;    (* block -> expected content hash *)
+  mirrors : (int, int) Hashtbl.t;    (* primary block -> mirror block *)
+  io : io_stats;
+  mutable repair_log : (int * repair_origin) list;
+  mutable quarantined : (gen * string) list;
 }
 
 (* --- key encoding ---------------------------------------------------
@@ -47,6 +92,13 @@ let hash_string s =
     s;
   !h
 
+(* The same hash the dedup index uses, so a corrupted block's expected
+   checksum doubles as a lookup key for a surviving duplicate. *)
+let checksum_content = function
+  | Blockdev.Data s -> hash_string s
+  | Blockdev.Seed s -> Content.hash (Content.of_seed s)
+  | Blockdev.Zero -> 0L
+
 let key ~oid ~kind ~index =
   if oid < 0 || oid >= 1 lsl 29 then invalid_arg "Store: oid out of range";
   if index < 0 then invalid_arg "Store: negative index";
@@ -56,26 +108,168 @@ let key ~oid ~kind ~index =
        (Int64.mul kind 0x1_0000_0000L))
     (Int64.of_int index)
 
+(* --- verified reads and read repair ---------------------------------- *)
+
+let max_read_retries = 4
+
+(* Retry a transiently failing read with exponential backoff, charged
+   to the simulated clock; persistent faults (latent sectors, dropped
+   devices, exhausted retries) surface as [Error]. *)
+let rec device_read_retry t block attempt =
+  match Devarray.read t.dev block with
+  | c -> Ok c
+  | exception Fault.Io_error (Fault.Transient _ as e) ->
+    if attempt >= max_read_retries then Error e
+    else begin
+      t.io.read_retries <- t.io.read_retries + 1;
+      Clock.advance (Devarray.clock t.dev)
+        (Duration.scale (Devarray.profile t.dev).Profile.read_latency (1 lsl attempt));
+      device_read_retry t block (attempt + 1)
+    end
+  | exception Fault.Io_error e -> Error e
+
+let heal t block content origin =
+  (* Best-effort rewrite: restores the content and clears any latent
+     error on the sector. If the rewrite itself fails the repair still
+     served this read; the block stays degraded on disk. *)
+  (try Devarray.write t.dev block content with Fault.Io_error _ -> ());
+  t.repair_log <- (block, origin) :: t.repair_log;
+  match origin with
+  | Mirror -> t.io.repaired_from_mirror <- t.io.repaired_from_mirror + 1
+  | Dedup_copy -> t.io.repaired_from_dedup <- t.io.repaired_from_dedup + 1
+
+let try_repair t block expected cause =
+  let candidates =
+    (match Hashtbl.find_opt t.mirrors block with
+     | Some m -> [ (m, Mirror) ]
+     | None -> [])
+    @
+    (match expected with
+     | Some h -> (
+       match Dedup.peek t.dedup ~hash:h with
+       | Some b when b <> block -> [ (b, Dedup_copy) ]
+       | Some _ | None -> [])
+     | None -> [])
+  in
+  let acceptable c =
+    match expected with
+    | Some h -> checksum_content c = h
+    | None -> c <> Blockdev.Zero
+  in
+  let rec go = function
+    | [] ->
+      t.io.lost_blocks <- t.io.lost_blocks + 1;
+      raise (Fail (Unreadable_block { block; cause }))
+    | (src, origin) :: rest -> (
+      match device_read_retry t src 0 with
+      | Ok c when acceptable c ->
+        heal t block c origin;
+        c
+      | Ok _ | Error _ -> go rest)
+  in
+  go candidates
+
+(* Every store read funnels through here (including B+tree node reads,
+   via [Btree.set_reader]): retry transients, verify the checksum when
+   protection is on, repair from the mirror or a dedup duplicate, and
+   raise a typed failure only when no copy survives. *)
+let verified_read t block =
+  let expected = if t.prot.verify then Hashtbl.find_opt t.csums block else None in
+  match device_read_retry t block 0 with
+  | Ok c -> (
+    match expected with
+    | Some h when checksum_content c <> h ->
+      t.io.checksum_failures <- t.io.checksum_failures + 1;
+      try_repair t block expected "checksum mismatch"
+    | _ -> c)
+  | Error e -> try_repair t block expected (Fault.describe e)
+
 (* --- construction --------------------------------------------------- *)
 
-let make ?(dedup = true) dev =
+let make ?(dedup = true) ?prot dev =
+  let prot =
+    match prot with
+    | Some p -> p
+    | None ->
+      (* A faulty device gets the integrity machinery by default; a
+         perfect device keeps the lean layout. *)
+      if Devarray.has_faults dev then { verify = true; mirror = true }
+      else { verify = false; mirror = false }
+  in
   let alloc =
-    Alloc.create ~first_block:superblock_slots ~stripes:(Devarray.stripes dev) ()
+    Alloc.create ~first_block:superblock_slots
+      ?capacity_blocks:(Devarray.capacity_blocks dev)
+      ~stripes:(Devarray.stripes dev) ()
   in
   let tree = Btree.create ~dev ~alloc in
   let dedup_index = Dedup.create ~alloc in
-  { dev; alloc; tree; dedup = dedup_index; dedup_enabled = dedup;
-    gens = Hashtbl.create 16; commit_seq = 0; next_gen = 1;
-    gentable_blocks = []; prev_gentable_blocks = []; open_gen = None;
-    pending_pages = [] }
+  let t =
+    { dev; alloc; tree; dedup = dedup_index; dedup_enabled = dedup;
+      gens = Hashtbl.create 16; commit_seq = 0; next_gen = 1;
+      gentable_blocks = []; prev_gentable_blocks = [];
+      gentable_mirror_blocks = []; prev_gentable_mirror_blocks = [];
+      gentable_csum = hash_string ""; open_gen = None; pending_pages = [];
+      prot; csums = Hashtbl.create 4096; mirrors = Hashtbl.create 256;
+      io = { read_retries = 0; checksum_failures = 0; repaired_from_mirror = 0;
+             repaired_from_dedup = 0; lost_blocks = 0 };
+      repair_log = []; quarantined = [] }
+  in
+  Alloc.add_on_free alloc (fun b ->
+      Hashtbl.remove t.csums b;
+      match Hashtbl.find_opt t.mirrors b with
+      | Some m ->
+        Hashtbl.remove t.mirrors b;
+        Alloc.decref alloc m
+      | None -> ());
+  Btree.set_reader tree (fun b -> verified_read t b);
+  t
 
+(* Superblock payload is wrapped with its own checksum so a silently
+   corrupted slot is rejected at recovery instead of trusted. *)
 let encode_superblock t =
   let w = Serial.writer () in
   Serial.w_string w magic;
   Serial.w_int w t.commit_seq;
   Serial.w_int w t.next_gen;
   Serial.w_list w Serial.w_int t.gentable_blocks;
-  Serial.contents w
+  Serial.w_u8 w (if t.prot.verify then 1 else 0);
+  Serial.w_u8 w (if t.prot.mirror then 1 else 0);
+  Serial.w_list w Serial.w_int t.gentable_mirror_blocks;
+  Serial.w_int64 w t.gentable_csum;
+  let payload = Serial.contents w in
+  let outer = Serial.writer () in
+  Serial.w_string outer payload;
+  Serial.w_int64 outer (hash_string payload);
+  Serial.contents outer
+
+type superblock = {
+  sb_seq : int;
+  sb_next_gen : int;
+  sb_table : int list;
+  sb_verify : bool;
+  sb_mirror : bool;
+  sb_table_mirror : int list;
+  sb_table_csum : int64;
+}
+
+let decode_superblock data =
+  let outer = Serial.reader data in
+  let payload = Serial.r_string outer in
+  if Serial.r_int64 outer <> hash_string payload then None
+  else
+    let r = Serial.reader payload in
+    if Serial.r_string r <> magic then None
+    else begin
+      let sb_seq = Serial.r_int r in
+      let sb_next_gen = Serial.r_int r in
+      let sb_table = Serial.r_list r Serial.r_int in
+      let sb_verify = Serial.r_u8 r = 1 in
+      let sb_mirror = Serial.r_u8 r = 1 in
+      let sb_table_mirror = Serial.r_list r Serial.r_int in
+      let sb_table_csum = Serial.r_int64 r in
+      Some { sb_seq; sb_next_gen; sb_table; sb_verify; sb_mirror;
+             sb_table_mirror; sb_table_csum }
+    end
 
 let encode_gentable t =
   let w = Serial.writer () in
@@ -88,24 +282,64 @@ let encode_gentable t =
       Serial.w_int w e.root;
       Serial.w_option w Serial.w_string e.name)
     entries;
+  if t.prot.verify then begin
+    let cs =
+      Hashtbl.fold (fun b c acc -> (b, c) :: acc) t.csums []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    Serial.w_list w (fun w (b, c) ->
+        Serial.w_int w b;
+        Serial.w_int64 w c)
+      cs
+  end;
+  if t.prot.mirror then begin
+    let ms =
+      Hashtbl.fold (fun b m acc -> (b, m) :: acc) t.mirrors []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    Serial.w_list w (fun w (b, m) ->
+        Serial.w_int w b;
+        Serial.w_int w m)
+      ms
+  end;
   Serial.contents w
 
-let decode_gentable data =
+let decode_gentable ~verify ~mirror data =
   let r = Serial.reader data in
-  Serial.r_list r (fun r ->
-      let g = Serial.r_int r in
-      let root = Serial.r_int r in
-      let name = Serial.r_option r Serial.r_string in
-      (g, { root; name }))
+  let entries =
+    Serial.r_list r (fun r ->
+        let g = Serial.r_int r in
+        let root = Serial.r_int r in
+        let name = Serial.r_option r Serial.r_string in
+        (g, { root; name }))
+  in
+  let csums =
+    if verify then
+      Serial.r_list r (fun r ->
+          let b = Serial.r_int r in
+          let c = Serial.r_int64 r in
+          (b, c))
+    else []
+  in
+  let mirrors =
+    if mirror then
+      Serial.r_list r (fun r ->
+          let b = Serial.r_int r in
+          let m = Serial.r_int r in
+          (b, m))
+    else []
+  in
+  (entries, csums, mirrors)
 
-let format ?dedup ~dev () =
-  let t = make ?dedup dev in
+let format ?dedup ?protection ~dev () =
+  let t = make ?dedup ?prot:protection dev in
   (* Empty gen table: superblock alone describes the store. *)
   Devarray.write dev 0 (Blockdev.Data (encode_superblock t));
   Devarray.flush dev;
   t
 
 let device t = t.dev
+let protection t = t.prot
 
 (* --- commit ---------------------------------------------------------- *)
 
@@ -157,6 +391,21 @@ let tree_insert t key value =
   let root' = Btree.insert t.tree ~root ~key value in
   t.open_gen <- Some (g, root')
 
+let note_csum t block content =
+  if t.prot.verify then Hashtbl.replace t.csums block (checksum_content content)
+
+(* Queue a data block for the commit flush, recording its checksum and
+   (when mirroring) allocating and queueing a replica in the same
+   batch. *)
+let queue_data t block content =
+  note_csum t block content;
+  t.pending_pages <- (block, content) :: t.pending_pages;
+  if t.prot.mirror && not (Hashtbl.mem t.mirrors block) then begin
+    let m = Alloc.alloc t.alloc in
+    Hashtbl.replace t.mirrors block m;
+    t.pending_pages <- (m, content) :: t.pending_pages
+  end
+
 let put_record t ~oid data =
   let _, root = require_open t in
   (* Stale chunks from a longer previous record are overwritten with
@@ -171,7 +420,7 @@ let put_record t ~oid data =
   List.iteri
     (fun i chunk ->
       let block = Alloc.alloc t.alloc in
-      t.pending_pages <- (block, Blockdev.Data chunk) :: t.pending_pages;
+      queue_data t block (Blockdev.Data chunk);
       tree_insert t (key ~oid ~kind:kind_record_chunk ~index:i) (Btree.Ptr block))
     chunks;
   let rec blank i =
@@ -196,7 +445,7 @@ let put_page t ~oid ~pindex ~seed =
       block
     | None ->
       let block = Alloc.alloc t.alloc in
-      t.pending_pages <- (block, Blockdev.Seed seed) :: t.pending_pages;
+      queue_data t block (Blockdev.Seed seed);
       if t.dedup_enabled then Dedup.add t.dedup ~hash ~block;
       block
   in
@@ -245,7 +494,7 @@ let put_pages t ~oid pages =
     Array.iteri
       (fun s seed ->
         let block = ext.(s) in
-        t.pending_pages <- (block, Blockdev.Seed seed) :: t.pending_pages;
+        queue_data t block (Blockdev.Seed seed);
         if t.dedup_enabled then
           Dedup.add t.dedup ~hash:(Content.hash (Content.of_seed seed)) ~block)
       seeds;
@@ -280,37 +529,172 @@ let put_blob t ~oid ~index data =
       block
     | None ->
       let block = Alloc.alloc t.alloc in
-      t.pending_pages <- (block, Blockdev.Data data) :: t.pending_pages;
+      queue_data t block (Blockdev.Data data);
       if t.dedup_enabled then Dedup.add t.dedup ~hash ~block;
       block
   in
   tree_insert t (key ~oid ~kind:kind_blob ~index) (Btree.Ptr block)
 
+(* Checksum and mirror the B+tree node flush: observes the queued node
+   writes and appends the replica writes to the same submission. *)
+let meta_tee t writes =
+  let extra = ref [] in
+  List.iter
+    (fun (b, c) ->
+      note_csum t b c;
+      if t.prot.mirror then begin
+        let m =
+          match Hashtbl.find_opt t.mirrors b with
+          | Some m -> m
+          | None ->
+            let m = Alloc.alloc t.alloc in
+            Hashtbl.replace t.mirrors b m;
+            m
+        in
+        extra := (m, c) :: !extra
+      end)
+    writes;
+  List.rev !extra
+
 let write_superblock t =
-  (* Free the generation table referenced by the superblock slot this
-     write is about to overwrite (two commits old — the other slot
-     still points at [t.gentable_blocks], which therefore must not be
-     reused yet), queue the new table on the striped array, then write
-     the superblock behind a commit barrier: it starts only after
-     every device's in-flight writes complete, so a durable superblock
-     implies durable contents even when the stripes drain at different
-     times, and a dropped superblock leaves the other slot's table
-     untouched on disk. *)
-  List.iter (fun b -> Alloc.decref t.alloc b) t.prev_gentable_blocks;
+  (* Allocate and queue the new generation table (and its mirror)
+     before touching any in-memory state: an out-of-space or device
+     failure here unwinds cleanly, with the fresh blocks reclaimed by
+     the rollback rebuild. Only then free the table referenced by the
+     superblock slot this write is about to overwrite (two commits old
+     — the other slot still points at [t.gentable_blocks], which
+     therefore must not be reused yet), and write the superblock
+     behind a commit barrier: it starts only after every device's
+     in-flight writes complete, so a durable superblock implies
+     durable contents even when the stripes drain at different times,
+     and a dropped superblock leaves the other slot's table untouched
+     on disk. *)
   let table = encode_gentable t in
-  let blocks =
-    List.map (fun chunk -> (Alloc.alloc t.alloc, chunk)) (chunk_string table)
+  let chunks = chunk_string table in
+  let blocks = List.map (fun chunk -> (Alloc.alloc t.alloc, chunk)) chunks in
+  let mirror_blocks =
+    if t.prot.mirror then List.map (fun chunk -> (Alloc.alloc t.alloc, chunk)) chunks
+    else []
   in
-  t.prev_gentable_blocks <- t.gentable_blocks;
-  t.gentable_blocks <- List.map fst blocks;
-  t.commit_seq <- t.commit_seq + 1;
-  let slot = t.commit_seq mod superblock_slots in
   ignore
     (Devarray.write_async t.dev
-       (List.map (fun (b, chunk) -> (b, Blockdev.Data chunk)) blocks));
+       (List.map (fun (b, chunk) -> (b, Blockdev.Data chunk)) (blocks @ mirror_blocks)));
+  List.iter (fun b -> Alloc.decref t.alloc b) t.prev_gentable_blocks;
+  List.iter (fun b -> Alloc.decref t.alloc b) t.prev_gentable_mirror_blocks;
+  t.prev_gentable_blocks <- t.gentable_blocks;
+  t.prev_gentable_mirror_blocks <- t.gentable_mirror_blocks;
+  t.gentable_blocks <- List.map fst blocks;
+  t.gentable_mirror_blocks <- List.map fst mirror_blocks;
+  t.gentable_csum <- hash_string table;
+  t.commit_seq <- t.commit_seq + 1;
+  let slot = t.commit_seq mod superblock_slots in
   Devarray.write_barrier t.dev [ (slot, Blockdev.Data (encode_superblock t)) ]
 
-let commit t ?name () =
+(* --- recovery core (shared by open, rollback and scrub) -------------- *)
+
+exception Quarantine of gen * string
+
+(* Rebuild reference counts by walking every generation tree: a
+   block's count is the number of edges (parent links, value pointers,
+   generation roots, table entries) that reach it. Each node's
+   outgoing edges are counted exactly once, on first visit. A
+   generation whose walk hits an unrepairable block is quarantined —
+   dropped from the store and reported lost — and the walk restarts
+   over the survivors. *)
+let recover_refcounts t =
+  let rec attempt () =
+    Alloc.reset t.alloc;
+    Dedup.reset t.dedup;
+    List.iter (Alloc.mark_live t.alloc) t.gentable_blocks;
+    List.iter (Alloc.mark_live t.alloc) t.prev_gentable_blocks;
+    List.iter (Alloc.mark_live t.alloc) t.gentable_mirror_blocks;
+    List.iter (Alloc.mark_live t.alloc) t.prev_gentable_mirror_blocks;
+    let visited = Hashtbl.create 4096 in
+    let mark_mirror block =
+      match Hashtbl.find_opt t.mirrors block with
+      | Some m -> Alloc.mark_live t.alloc m
+      | None -> ()
+    in
+    let rec walk block =
+      Alloc.mark_live t.alloc block;
+      if not (Hashtbl.mem visited block) then begin
+        Hashtbl.replace visited block ();
+        mark_mirror block;
+        match Btree.view t.tree block with
+        | Btree.Internal_view children -> List.iter walk children
+        | Btree.Leaf_view entries ->
+          List.iter
+            (fun (_, v) ->
+              match v with
+              | Btree.Ptr data_block ->
+                Alloc.mark_live t.alloc data_block;
+                (* Rebuild the dedup index from page blocks. *)
+                if not (Hashtbl.mem visited data_block) then begin
+                  Hashtbl.replace visited data_block ();
+                  mark_mirror data_block;
+                  (* Re-add content addresses. Identical content may sit
+                     in several blocks (record chunks are not deduped at
+                     write time), so first mapping wins. *)
+                  let add_if_absent hash =
+                    if Dedup.peek t.dedup ~hash = None then
+                      Dedup.add t.dedup ~hash ~block:data_block
+                  in
+                  match verified_read t data_block with
+                  | Blockdev.Seed s -> add_if_absent (Content.hash (Content.of_seed s))
+                  | Blockdev.Data d -> add_if_absent (hash_string d)
+                  | Blockdev.Zero -> ()
+                end
+              | Btree.Imm _ -> ())
+            entries
+      end
+    in
+    let gens_sorted =
+      Hashtbl.fold (fun g e acc -> (g, e) :: acc) t.gens []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    match
+      List.iter
+        (fun (g, e) ->
+          try walk e.root with
+          | Fail (Unreadable_block { block; cause }) ->
+            raise (Quarantine (g, Printf.sprintf "block %d: %s" block cause))
+          | Serial.Corrupt msg -> raise (Quarantine (g, msg)))
+        gens_sorted
+    with
+    | () -> ()
+    | exception Quarantine (g, reason) ->
+      Hashtbl.remove t.gens g;
+      t.quarantined <- (g, reason) :: t.quarantined;
+      attempt ()
+  in
+  attempt ()
+
+(* After a rebuild, drop integrity records of blocks that did not
+   survive ([Alloc.reset] does not fire the free hooks). *)
+let prune_protection t =
+  let dead_csums =
+    Hashtbl.fold
+      (fun b _ acc -> if Alloc.refcount t.alloc b = 0 then b :: acc else acc)
+      t.csums []
+  in
+  List.iter (Hashtbl.remove t.csums) dead_csums;
+  let dead_mirrors =
+    Hashtbl.fold
+      (fun b _ acc -> if Alloc.refcount t.alloc b = 0 then b :: acc else acc)
+      t.mirrors []
+  in
+  List.iter (Hashtbl.remove t.mirrors) dead_mirrors
+
+let rebuild t =
+  (* Cached nodes may describe state the device never saw (dirty nodes
+     of an aborted generation); recovery trusts only the device. *)
+  Btree.reset_cache t.tree;
+  recover_refcounts t;
+  prune_protection t
+
+(* --- commit (continued) ---------------------------------------------- *)
+
+let commit_unchecked t ?name () =
   let g, root = require_open t in
   t.open_gen <- None;
   Hashtbl.replace t.gens g { root; name };
@@ -321,7 +705,10 @@ let commit t ?name () =
   let data_batch = List.rev t.pending_pages in
   t.pending_pages <- [];
   if data_batch <> [] then ignore (Devarray.write_async t.dev data_batch);
-  ignore (Btree.flush_dirty t.tree);
+  ignore
+    (if t.prot.verify || t.prot.mirror then
+       Btree.flush_dirty ~tee:(meta_tee t) t.tree
+     else Btree.flush_dirty t.tree);
   let durable_at = write_superblock t in
   if (Devarray.profile t.dev).Profile.volatile_cache then begin
     (* No power-loss protection: a synchronous flush is the only way
@@ -330,6 +717,40 @@ let commit t ?name () =
     (g, Clock.now (Devarray.clock t.dev))
   end
   else (g, durable_at)
+
+let rollback t g =
+  Hashtbl.remove t.gens g;
+  t.open_gen <- None;
+  t.pending_pages <- [];
+  rebuild t
+
+let commit_result t ?name () =
+  let g0 = match t.open_gen with Some (g, _) -> g | None -> fst (require_open t) in
+  match commit_unchecked t ?name () with
+  | res -> Ok res
+  | exception Alloc.Out_of_space ->
+    rollback t g0;
+    Error Out_of_space
+  | exception Fault.Io_error e ->
+    (try rollback t g0 with Fault.Io_error _ | Fail _ -> ());
+    Error (Device_failed (Fault.describe e))
+
+let commit t ?name () =
+  match commit_result t ?name () with
+  | Ok res -> res
+  | Error e -> raise (Fail e)
+
+let abort_generation t =
+  match t.open_gen with
+  | None -> ()
+  | Some _ ->
+    (* Discard the working tree wholesale and recompute allocator,
+       dedup and protection state from the committed generations —
+       robust even when the abort was triggered halfway through an
+       allocation failure. *)
+    t.open_gen <- None;
+    t.pending_pages <- [];
+    rebuild t
 
 let wait_durable t at = Devarray.await t.dev at
 
@@ -346,7 +767,7 @@ let gen_root t g =
     | _ -> None)
 
 let read_block_data t block =
-  match Devarray.read t.dev block with
+  match verified_read t block with
   | Blockdev.Data s -> s
   | Blockdev.Seed _ | Blockdev.Zero ->
     raise (Serial.Corrupt (Printf.sprintf "Store: block %d is not a data block" block))
@@ -377,17 +798,18 @@ let read_blob t g ~oid ~index =
     | Some (Btree.Ptr block) -> Some (read_block_data t block)
     | Some (Btree.Imm _) | None -> None)
 
+let page_of_content block = function
+  | Blockdev.Seed s -> s
+  | Blockdev.Zero -> 0L
+  | Blockdev.Data _ ->
+    raise (Serial.Corrupt (Printf.sprintf "Store: page block %d holds metadata" block))
+
 let read_page t g ~oid ~pindex =
   match gen_root t g with
   | None -> None
   | Some root -> (
     match Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindex) with
-    | Some (Btree.Ptr block) -> (
-      match Devarray.read t.dev block with
-      | Blockdev.Seed s -> Some s
-      | Blockdev.Zero -> Some 0L
-      | Blockdev.Data _ ->
-        raise (Serial.Corrupt (Printf.sprintf "Store: page block %d holds metadata" block)))
+    | Some (Btree.Ptr block) -> Some (page_of_content block (verified_read t block))
     | Some (Btree.Imm _) | None -> None)
 
 let read_pages_batch t g ~oid ~pindexes =
@@ -405,11 +827,18 @@ let read_pages_batch t g ~oid ~pindexes =
     let contents = Devarray.read_many t.dev (List.map snd located) in
     List.map2
       (fun (pindex, block) content ->
-        match content with
-        | Blockdev.Seed s -> (pindex, s)
-        | Blockdev.Zero -> (pindex, 0L)
-        | Blockdev.Data _ ->
-          raise (Serial.Corrupt (Printf.sprintf "Store: page block %d holds metadata" block)))
+        (* Batch reads are best-effort DMA: a latent sector comes back
+           [Zero]. The checksum catches the substitution (and any
+           silent corruption) and the single-block verified path
+           re-reads and repairs. *)
+        let content =
+          match (if t.prot.verify then Hashtbl.find_opt t.csums block else None) with
+          | Some h when checksum_content content <> h ->
+            t.io.checksum_failures <- t.io.checksum_failures + 1;
+            verified_read t block
+          | _ -> content
+        in
+        (pindex, page_of_content block content))
       located contents
 
 let peek_page t g ~oid ~pindex =
@@ -417,12 +846,16 @@ let peek_page t g ~oid ~pindex =
   | None -> None
   | Some root -> (
     match Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindex) with
-    | Some (Btree.Ptr block) -> (
-      match Devarray.peek t.dev block with
-      | Blockdev.Seed s -> Some s
-      | Blockdev.Zero -> Some 0L
-      | Blockdev.Data _ ->
-        raise (Serial.Corrupt (Printf.sprintf "Store: page block %d holds metadata" block)))
+    | Some (Btree.Ptr block) ->
+      let content = Devarray.peek t.dev block in
+      let content =
+        match (if t.prot.verify then Hashtbl.find_opt t.csums block else None) with
+        | Some h when checksum_content content <> h ->
+          t.io.checksum_failures <- t.io.checksum_failures + 1;
+          verified_read t block
+        | _ -> content
+      in
+      Some (page_of_content block content)
     | Some (Btree.Imm _) | None -> None)
 
 let fold_page_indexes t g ~oid ~init ~f =
@@ -446,14 +879,7 @@ let fold_pages t g ~oid ~init ~f =
         match v with
         | Btree.Ptr block ->
           let pindex = Int64.to_int (Int64.logand k 0xFFFF_FFFFL) in
-          let seed =
-            match Devarray.read t.dev block with
-            | Blockdev.Seed s -> s
-            | Blockdev.Zero -> 0L
-            | Blockdev.Data _ ->
-              raise (Serial.Corrupt "Store: page block holds metadata")
-          in
-          f acc pindex seed
+          f acc pindex (page_of_content block (verified_read t block))
         | Btree.Imm _ -> acc)
 
 let fold_blobs t g ~oid ~init ~f =
@@ -503,14 +929,16 @@ let named t =
 
 let find_named t name = List.assoc_opt name (named t)
 
+let settle_durable t durable =
+  if (Devarray.profile t.dev).Profile.volatile_cache then Devarray.flush t.dev
+  else Devarray.await t.dev durable
+
 let name_generation t g name =
   match Hashtbl.find_opt t.gens g with
   | None -> invalid_arg (Printf.sprintf "Store.name_generation: unknown generation %d" g)
   | Some e ->
     Hashtbl.replace t.gens g { e with name = Some name };
-    let durable = write_superblock t in
-    if (Devarray.profile t.dev).Profile.volatile_cache then Devarray.flush t.dev
-    else Devarray.await t.dev durable
+    settle_durable t (write_superblock t)
 
 let gc t ~keep =
   require_closed t;
@@ -526,96 +954,109 @@ let gc t ~keep =
         Btree.release_root t.tree e.root
       | None -> ())
     victims;
-  if victims <> [] then begin
-    let durable = write_superblock t in
-    if (Devarray.profile t.dev).Profile.volatile_cache then Devarray.flush t.dev
-    else Devarray.await t.dev durable
-  end;
+  if victims <> [] then settle_durable t (write_superblock t);
   before - Alloc.live_blocks t.alloc
 
 (* --- recovery -------------------------------------------------------- *)
 
-let decode_superblock data =
-  let r = Serial.reader data in
-  if Serial.r_string r <> magic then None
-  else
-    let commit_seq = Serial.r_int r in
-    let next_gen = Serial.r_int r in
-    let gentable_blocks = Serial.r_list r Serial.r_int in
-    Some (commit_seq, next_gen, gentable_blocks)
-
-(* Rebuild reference counts by walking every generation tree: a
-   block's count is the number of edges (parent links, value pointers,
-   generation roots) that reach it. Each node's outgoing edges are
-   counted exactly once, on first visit. *)
-let recover_refcounts t =
-  Alloc.reset t.alloc;
-  List.iter (Alloc.mark_live t.alloc) t.gentable_blocks;
-  let visited = Hashtbl.create 4096 in
-  let rec walk block =
-    Alloc.mark_live t.alloc block;
-    if not (Hashtbl.mem visited block) then begin
-      Hashtbl.replace visited block ();
-      match Btree.view t.tree block with
-      | Btree.Internal_view children -> List.iter walk children
-      | Btree.Leaf_view entries ->
-        List.iter
-          (fun (_, v) ->
-            match v with
-            | Btree.Ptr data_block ->
-              Alloc.mark_live t.alloc data_block;
-              (* Rebuild the dedup index from page blocks. *)
-              if not (Hashtbl.mem visited data_block) then begin
-                Hashtbl.replace visited data_block ();
-                (* Re-add content addresses. Identical content may sit
-                   in several blocks (record chunks are not deduped at
-                   write time), so first mapping wins. *)
-                let add_if_absent hash =
-                  if Dedup.find t.dedup ~hash = None then
-                    Dedup.add t.dedup ~hash ~block:data_block
-                in
-                match Devarray.read t.dev data_block with
-                | Blockdev.Seed s -> add_if_absent (Content.hash (Content.of_seed s))
-                | Blockdev.Data d -> add_if_absent (hash_string d)
-                | Blockdev.Zero -> ()
-              end
-            | Btree.Imm _ -> ())
-          entries
+let open_ ~dev =
+  (* A transient error on a superblock slot must not silently discard
+     the newer slot; retry before giving up on it. *)
+  let rec read_slot_retry slot attempt =
+    match Devarray.read dev slot with
+    | c -> Some c
+    | exception Fault.Io_error (Fault.Transient _) when attempt < max_read_retries ->
+      read_slot_retry slot (attempt + 1)
+    | exception Fault.Io_error _ -> None
+  in
+  let read_slot slot =
+    match read_slot_retry slot 0 with
+    | Some (Blockdev.Data s) -> (try decode_superblock s with Serial.Corrupt _ -> None)
+    | Some (Blockdev.Seed _) | Some Blockdev.Zero | None -> None
+  in
+  let candidates =
+    List.filter_map read_slot (List.init superblock_slots Fun.id)
+    |> List.sort (fun a b -> Int.compare b.sb_seq a.sb_seq)
+  in
+  let try_candidate sb =
+    let t = make dev in
+    t.prot <- { verify = sb.sb_verify; mirror = sb.sb_mirror };
+    t.commit_seq <- sb.sb_seq;
+    t.next_gen <- sb.sb_next_gen;
+    t.gentable_blocks <- sb.sb_table;
+    t.gentable_mirror_blocks <- sb.sb_table_mirror;
+    t.gentable_csum <- sb.sb_table_csum;
+    (* A store that never committed a generation has no table. *)
+    if sb.sb_table = [] then Ok t
+    else begin
+      let read_chunk b =
+        match device_read_retry t b 0 with
+        | Ok (Blockdev.Data s) -> Some s
+        | Ok _ | Error _ -> None
+      in
+      let read_table blocks =
+        let rec go acc = function
+          | [] -> Some (String.concat "" (List.rev acc))
+          | b :: rest -> (
+            match read_chunk b with
+            | Some s -> go (s :: acc) rest
+            | None -> None)
+        in
+        go [] blocks
+      in
+      let checked blocks =
+        match read_table blocks with
+        | Some s when hash_string s = sb.sb_table_csum -> Some s
+        | Some _ | None -> None
+      in
+      let table =
+        match checked sb.sb_table with
+        | Some s -> Some s
+        | None -> (
+          match checked sb.sb_table_mirror with
+          | Some s ->
+            (* The mirror survived; heal the primary copy in place. *)
+            (try
+               List.iter2
+                 (fun b c -> Devarray.write t.dev b (Blockdev.Data c))
+                 sb.sb_table (chunk_string s)
+             with Fault.Io_error _ | Invalid_argument _ -> ());
+            t.repair_log <-
+              List.map (fun b -> (b, Mirror)) sb.sb_table @ t.repair_log;
+            t.io.repaired_from_mirror <-
+              t.io.repaired_from_mirror + List.length sb.sb_table;
+            Some s
+          | None -> None)
+      in
+      match table with
+      | None -> Error (Bad_generation_table "table unreadable in every copy")
+      | Some data -> (
+        match decode_gentable ~verify:t.prot.verify ~mirror:t.prot.mirror data with
+        | exception Serial.Corrupt msg -> Error (Bad_generation_table msg)
+        | entries, csums, mirrors ->
+          List.iter (fun (g, e) -> Hashtbl.replace t.gens g e) entries;
+          List.iter (fun (b, c) -> Hashtbl.replace t.csums b c) csums;
+          List.iter (fun (b, m) -> Hashtbl.replace t.mirrors b m) mirrors;
+          Ok t)
     end
   in
-  Hashtbl.iter (fun _ e -> walk e.root) t.gens
-
-let open_ ~dev =
-  let read_slot slot =
-    match Devarray.read dev slot with
-    | Blockdev.Data s -> ( try decode_superblock s with Serial.Corrupt _ -> None)
-    | Blockdev.Seed _ | Blockdev.Zero -> None
+  let rec try_all last_err = function
+    | [] -> (
+      match last_err with
+      | Some e -> Error e
+      | None -> Error No_superblock)
+    | sb :: rest -> (
+      match try_candidate sb with
+      | Ok t ->
+        rebuild t;
+        Btree.begin_epoch t.tree t.next_gen;
+        Ok t
+      | Error e -> try_all (Some e) rest)
   in
-  let candidates = List.filter_map read_slot (List.init superblock_slots Fun.id) in
-  match List.sort (fun (a, _, _) (b, _, _) -> Int.compare b a) candidates with
-  | [] -> failwith "Store.open_: no valid superblock"
-  | (commit_seq, next_gen, gentable_blocks) :: _ ->
-    let t = make dev in
-    t.commit_seq <- commit_seq;
-    t.next_gen <- next_gen;
-    t.gentable_blocks <- gentable_blocks;
-    (* A store that never committed a generation has no table. *)
-    if gentable_blocks <> [] then begin
-      let table =
-        String.concat ""
-          (List.map
-             (fun b ->
-               match Devarray.read dev b with
-               | Blockdev.Data s -> s
-               | Blockdev.Seed _ | Blockdev.Zero ->
-                 raise (Serial.Corrupt "Store: bad generation table block"))
-             gentable_blocks)
-      in
-      List.iter (fun (g, e) -> Hashtbl.replace t.gens g e) (decode_gentable table)
-    end;
-    recover_refcounts t;
-    Btree.begin_epoch t.tree t.next_gen;
-    t
+  try_all None candidates
+
+let open_exn ~dev =
+  match open_ ~dev with Ok t -> t | Error e -> raise (Fail e)
 
 (* --- introspection --------------------------------------------------- *)
 
@@ -636,16 +1077,103 @@ let stats t =
     committed_generations = Hashtbl.length t.gens;
   }
 
-let fsck t =
+let io_stats t =
+  { read_retries = t.io.read_retries;
+    checksum_failures = t.io.checksum_failures;
+    repaired_from_mirror = t.io.repaired_from_mirror;
+    repaired_from_dedup = t.io.repaired_from_dedup;
+    lost_blocks = t.io.lost_blocks }
+
+(* --- fsck / scrub ----------------------------------------------------- *)
+
+type fsck_report = {
+  problems : string list;
+  healed : (int * repair_origin) list;
+  lost : (gen * string) list;
+  scanned_blocks : int;
+}
+
+let fsck_ok r = r.problems = [] && r.lost = []
+
+exception Bad_gen of string
+
+let scrub_pass t scanned =
+  (* Read every reachable block through the verifying, self-repairing
+     path with cold caches, so latent sectors and rotted content are
+     found and healed now rather than at the next restore. A
+     generation with an unrepairable block is dropped and reported
+     lost. *)
+  Btree.reset_cache t.tree;
+  let dropped = ref false in
+  let scrub_gen root =
+    let visited = Hashtbl.create 256 in
+    let rec walk block =
+      if not (Hashtbl.mem visited block) then begin
+        Hashtbl.replace visited block ();
+        incr scanned;
+        match Btree.view t.tree block with
+        | exception Fail (Unreadable_block { block; cause }) ->
+          raise (Bad_gen (Printf.sprintf "block %d: %s" block cause))
+        | exception Serial.Corrupt msg -> raise (Bad_gen msg)
+        | Btree.Internal_view children -> List.iter walk children
+        | Btree.Leaf_view entries ->
+          List.iter
+            (fun (_, v) ->
+              match v with
+              | Btree.Ptr b ->
+                if not (Hashtbl.mem visited b) then begin
+                  Hashtbl.replace visited b ();
+                  incr scanned;
+                  match verified_read t b with
+                  | _ -> ()
+                  | exception Fail (Unreadable_block { block; cause }) ->
+                    raise (Bad_gen (Printf.sprintf "block %d: %s" block cause))
+                end
+              | Btree.Imm _ -> ())
+            entries
+      end
+    in
+    walk root
+  in
+  let gens_sorted =
+    Hashtbl.fold (fun g e acc -> (g, e) :: acc) t.gens []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (g, e) ->
+      try scrub_gen e.root
+      with Bad_gen reason ->
+        Hashtbl.remove t.gens g;
+        t.quarantined <- (g, reason) :: t.quarantined;
+        dropped := true)
+    gens_sorted;
+  if !dropped then begin
+    (* Losing a generation frees blocks; recompute counts and persist
+       the shrunken table so the loss is visible after the next open. *)
+    rebuild t;
+    settle_durable t (write_superblock t)
+  end
+
+let fsck ?(scrub = false) t =
   require_closed t;
+  let scanned = ref 0 in
+  if scrub then scrub_pass t scanned;
   let problems = ref [] in
   let problem fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
   (* Count reachable edges per block (generation roots, tree edges,
-     value pointers, generation-table blocks). *)
+     value pointers, generation-table blocks, mirror-table entries). *)
   let edges : (int, int) Hashtbl.t = Hashtbl.create 4096 in
   let edge b = Hashtbl.replace edges b (1 + Option.value ~default:0 (Hashtbl.find_opt edges b)) in
   List.iter edge t.gentable_blocks;
   List.iter edge t.prev_gentable_blocks;
+  List.iter edge t.gentable_mirror_blocks;
+  List.iter edge t.prev_gentable_mirror_blocks;
+  Hashtbl.iter
+    (fun primary m ->
+      edge m;
+      if Alloc.refcount t.alloc m = 0 then
+        problem "mirror %d of block %d is unallocated" m primary)
+    t.mirrors;
   let visited = Hashtbl.create 4096 in
   let rec walk block =
     edge block;
@@ -655,6 +1183,7 @@ let fsck t =
         problem "reachable block %d is unallocated" block;
       match Btree.view t.tree block with
       | exception Serial.Corrupt msg -> problem "node %d corrupt: %s" block msg
+      | exception Fail e -> problem "node %d: %s" block (describe_error e)
       | Btree.Internal_view children -> List.iter walk children
       | Btree.Leaf_view entries ->
         List.iter
@@ -684,10 +1213,16 @@ let fsck t =
           match read_record t g ~oid with
           | Some _ | None -> ()
           | exception Serial.Corrupt msg ->
-            problem "generation %d oid %d: %s" g oid msg)
+            problem "generation %d oid %d: %s" g oid msg
+          | exception Fail e ->
+            problem "generation %d oid %d: %s" g oid (describe_error e))
         (oids t g))
     t.gens;
-  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+  let healed = List.rev t.repair_log in
+  t.repair_log <- [];
+  let lost = List.rev t.quarantined in
+  t.quarantined <- [];
+  { problems = List.rev !problems; healed; lost; scanned_blocks = !scanned }
 
 let drop_caches t =
   require_closed t;

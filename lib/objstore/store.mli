@@ -26,7 +26,19 @@
 
     Garbage collection is in place: {!gc} releases dropped
     generations' roots; reference counts free exactly the blocks no
-    surviving generation shares. *)
+    surviving generation shares.
+
+    {2 Media faults and self-healing}
+
+    On a device array carrying a {!Aurora_device.Fault} plan the store
+    defends itself (see {!protection}): every block written carries a
+    content checksum in the generation table, every read verifies it,
+    transient errors are retried with backoff charged to the simulated
+    clock, and a block that fails verification is repaired from its
+    mirrored replica or a deduplicated duplicate and rewritten in
+    place. Unrepairable damage surfaces as the typed {!error} — a
+    whole generation is quarantined ("lost") rather than ever served
+    silently wrong. *)
 
 open Aurora_simtime
 open Aurora_device
@@ -34,19 +46,54 @@ open Aurora_device
 type t
 type gen = int
 
-val format : ?dedup:bool -> dev:Devarray.t -> unit -> t
+(** What the store does to survive media faults. [verify]: per-block
+    content checksums, persisted in the generation table and checked
+    on every read. [mirror]: every block (data, tree node, generation
+    table) gets a replica written in the same flush, used for read
+    repair. Defaults at {!format} follow the device: both on when the
+    array carries fault injectors, both off otherwise (the seed
+    layout). *)
+type protection = { verify : bool; mirror : bool }
+
+type repair_origin =
+  | Mirror        (** healed from the mirrored replica *)
+  | Dedup_copy    (** healed from a deduplicated duplicate block *)
+
+(** The failure taxonomy surfaced by recovery, commit and reads. *)
+type error =
+  | No_superblock                 (** neither slot holds a valid superblock *)
+  | Bad_generation_table of string
+  | Out_of_space                  (** allocator exhausted the device *)
+  | Unreadable_block of { block : int; cause : string }
+      (** every copy of the block is gone *)
+  | Device_failed of string       (** a device dropped out mid-operation *)
+
+exception Fail of error
+(** Raised by paths that keep the seed's direct signatures ({!commit},
+    read accessors); the [result]-returning variants never raise it. *)
+
+val describe_error : error -> string
+
+val format : ?dedup:bool -> ?protection:protection -> dev:Devarray.t -> unit -> t
 (** Initialize a fresh store on the device array (writes superblock 0).
     [dedup] (default true) enables content-addressed page/blob
-    deduplication; disabling it exists for the ablation bench. *)
+    deduplication; disabling it exists for the ablation bench.
+    [protection] defaults from the device's fault plan (see
+    {!protection}). *)
 
-val open_ : dev:Devarray.t -> t
+val open_ : dev:Devarray.t -> (t, error) result
 (** Recover from the newest valid superblock: re-reads the generation
-    table and walks every generation's tree to rebuild reference
-    counts and the deduplication index. Device reads are charged to
-    the simulated clock (recovery is not free). Raises
-    [Failure] when no valid superblock exists. *)
+    table (falling back to, and healing from, its mirror), walks every
+    generation's tree to rebuild reference counts and the
+    deduplication index, and quarantines generations with unrepairable
+    blocks (reported by the next {!fsck}). Device reads are charged to
+    the simulated clock (recovery is not free). *)
+
+val open_exn : dev:Devarray.t -> t
+(** {!open_}, raising {!Fail} on error. *)
 
 val device : t -> Devarray.t
+val protection : t -> protection
 
 (* --- building a generation ----------------------------------------- *)
 
@@ -59,7 +106,7 @@ val begin_generation : t -> ?base:gen -> unit -> gen
 
 val put_record : t -> oid:int -> string -> unit
 (** Store/replace the metadata record for an object in the open
-    generation. *)
+    generation. Raises [Alloc.Out_of_space] on a full device. *)
 
 val put_page : t -> oid:int -> pindex:int -> seed:int64 -> unit
 (** Store/replace a page. Content (identified by its seed) is
@@ -80,7 +127,21 @@ val put_blob : t -> oid:int -> index:int -> string -> unit
 val commit : t -> ?name:string -> unit -> gen * Duration.t
 (** Close the open generation; returns it with its durability time
     (see above). Does not advance the clock past CPU serialization
-    cost — flushing proceeds on the device timeline. *)
+    cost — flushing proceeds on the device timeline. Raises {!Fail}
+    ([Out_of_space] or [Device_failed]) after rolling the generation
+    back; committed generations keep serving. *)
+
+val commit_result : t -> ?name:string -> unit -> (gen * Duration.t, error) result
+(** {!commit} with the failure as a value. On [Error] the open
+    generation has been rolled back (allocator, dedup and caches
+    rebuilt from committed state) and the store remains usable. *)
+
+val abort_generation : t -> unit
+(** Discard the open generation without committing: drops the working
+    tree and pending data, then rebuilds allocator/dedup/cache state
+    from the committed generations. No-op when nothing is open. The
+    checkpoint path uses this to degrade gracefully on a full
+    device. *)
 
 val wait_durable : t -> Duration.t -> unit
 (** Block (advance the clock) until the given durability time. *)
@@ -93,7 +154,9 @@ val read_blob : t -> gen -> oid:int -> index:int -> string option
 
 val read_pages_batch : t -> gen -> oid:int -> pindexes:int list -> (int * int64) list
 (** Read several pages as one device command (latency paid once —
-    the restore prefetch path). Missing indexes are omitted. *)
+    the restore prefetch path). Missing indexes are omitted. Blocks
+    the batch DMA could not deliver (latent sectors) are re-read and
+    repaired through the verified single-block path. *)
 
 val peek_page : t -> gen -> oid:int -> pindex:int -> int64 option
 (** Like {!read_page} but the data block read is not charged to the
@@ -144,14 +207,48 @@ type stats = {
 
 val stats : t -> stats
 
-val fsck : t -> (unit, string list) result
-(** Integrity check ("scrub"): walks every committed generation and
-    verifies (a) each tree node decodes and each reachable block is
-    allocated, (b) every record reads back completely, (c) reference
-    counts equal the number of reachable edges, and (d) the
-    deduplication index maps only to live blocks. Returns the list of
-    violations, empty on a healthy store. Raises [Invalid_argument]
-    while a generation is open. *)
+(** Fault-path counters: transient-read retries issued, checksum
+    verification failures, blocks healed per repair source, and blocks
+    lost beyond repair. *)
+type io_stats = {
+  mutable read_retries : int;
+  mutable checksum_failures : int;
+  mutable repaired_from_mirror : int;
+  mutable repaired_from_dedup : int;
+  mutable lost_blocks : int;
+}
+
+val io_stats : t -> io_stats
+(** A snapshot; mutating it does not affect the store. *)
+
+(** What {!fsck} found and did. [problems]: structural violations
+    (refcount/edge mismatches, undecodable nodes, torn records).
+    [healed]: blocks repaired (and rewritten in place) since the last
+    report, with their repair source. [lost]: generations quarantined
+    as unrecoverable, with the reason. [scanned_blocks]: blocks read
+    by the scrub pass (0 without [~scrub]). *)
+type fsck_report = {
+  problems : string list;
+  healed : (int * repair_origin) list;
+  lost : (gen * string) list;
+  scanned_blocks : int;
+}
+
+val fsck : ?scrub:bool -> t -> fsck_report
+(** Integrity check: walks every committed generation and verifies
+    (a) each tree node decodes and each reachable block is allocated,
+    (b) every record reads back completely, and (c) reference counts
+    equal the number of reachable edges (including mirror replicas and
+    generation-table blocks). With [~scrub:true] it first reads {e
+    every} reachable block cold through the verified path — repairing
+    what it can, quarantining generations it cannot — and durably
+    persists any losses. Drains the accumulated repair and quarantine
+    logs into the report. Raises [Invalid_argument] while a generation
+    is open. *)
+
+val fsck_ok : fsck_report -> bool
+(** No structural problems and nothing lost (healed repairs are
+    fine — that is the machinery working). *)
 
 val drop_caches : t -> unit
 (** Evict clean caches so subsequent reads hit the device (cold

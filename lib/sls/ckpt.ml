@@ -73,31 +73,56 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
   (* The orchestrator core does this work while the application runs;
      it consumes device-queue time but not application CPU time. *)
   let gen = Store.begin_generation store () in
-  Store.put_record store ~oid:(Oidspace.manifest g.Types.pgid) records.Serialize.manifest;
-  List.iter (fun (oid, record) -> Store.put_record store ~oid record)
-    records.Serialize.items;
-  List.iter
-    (fun (store_oid, items, _) ->
-      (* One batched put per object: distinct pages land in a single
-         stripe-aware extent, so the device array sees one transfer
-         per stripe instead of one command per page. *)
-      Store.put_pages store ~oid:store_oid
-        (Array.map
-           (fun item ->
-             (item.Vmobject.pindex, Content.to_seed item.Vmobject.content))
-           items))
-    captures;
-  if with_fs then
-    Aurora_slsfs.Slsfs.checkpoint_fs store k.Kernel.fs
-      ~popen_of_vid:(persistent_opens k g);
-  let gen', durable_at = Store.commit store ?name () in
-  assert (gen = gen');
-  (* The flush has the data now; release the held frames. *)
+  (* A full or failing device must degrade the checkpoint, not kill
+     the machine: abort the open generation (the store rebuilds its
+     state from committed generations) and keep serving from the last
+     good checkpoint. *)
+  let outcome =
+    match
+      Store.put_record store ~oid:(Oidspace.manifest g.Types.pgid)
+        records.Serialize.manifest;
+      List.iter (fun (oid, record) -> Store.put_record store ~oid record)
+        records.Serialize.items;
+      List.iter
+        (fun (store_oid, items, _) ->
+          (* One batched put per object: distinct pages land in a single
+             stripe-aware extent, so the device array sees one transfer
+             per stripe instead of one command per page. *)
+          Store.put_pages store ~oid:store_oid
+            (Array.map
+               (fun item ->
+                 (item.Vmobject.pindex, Content.to_seed item.Vmobject.content))
+               items))
+        captures;
+      if with_fs then
+        Aurora_slsfs.Slsfs.checkpoint_fs store k.Kernel.fs
+          ~popen_of_vid:(persistent_opens k g);
+      Store.commit store ?name ()
+    with
+    | gen', durable_at ->
+      assert (gen = gen');
+      Ok durable_at
+    | exception Alloc.Out_of_space ->
+      Store.abort_generation store;
+      Error "device out of space"
+    | exception Store.Fail e ->
+      (* [Store.commit] already rolled the generation back. *)
+      Store.abort_generation store;
+      Error (Store.describe_error e)
+  in
+  (* The flush has the data now (or never will); release the held
+     frames either way. *)
   List.iter
     (fun (_, items, _) ->
       Array.iter (Vmobject.release_flush_item ~pool:k.Kernel.pool) items)
     captures;
-  g.Types.last_gen <- Some gen;
+  let status, durable_at =
+    match outcome with
+    | Ok durable_at ->
+      g.Types.last_gen <- Some gen;
+      (`Ok, durable_at)
+    | Error reason -> (`Degraded reason, barrier_at)
+  in
   let breakdown =
     {
       Types.gen;
@@ -109,11 +134,13 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
       records_written = List.length records.Serialize.items + 1;
       barrier_at;
       durable_at;
+      status;
     }
   in
   g.Types.last_breakdown <- Some breakdown;
   Tracelog.recordf k.Kernel.trace ~subsystem:"ckpt"
-    "pgroup %d gen %d %s stop=%.1fus pages=%d" g.Types.pgid gen
+    "pgroup %d gen %d %s stop=%.1fus pages=%d%s" g.Types.pgid gen
     (match mode with `Full -> "full" | `Incremental -> "incr")
-    (Duration.to_us stop_time) pages_captured;
+    (Duration.to_us stop_time) pages_captured
+    (match status with `Ok -> "" | `Degraded r -> " degraded: " ^ r);
   breakdown

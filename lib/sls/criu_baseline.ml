@@ -71,6 +71,7 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?name () =
       records_written = List.length records.Serialize.items + 1;
       barrier_at;
       durable_at;
+      status = `Ok;
     }
   in
   g.Types.last_breakdown <- Some breakdown;

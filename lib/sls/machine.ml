@@ -38,7 +38,7 @@ let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
   Lazy.force t
 
 let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
-    ?(fs_with_disk = false) ?dedup () =
+    ?(fs_with_disk = false) ?dedup ?faults ?storage_blocks () =
   let kernel0 = Kernel.create ?capacity_pages () in
   let clock = kernel0.Kernel.clock in
   let fs =
@@ -47,7 +47,10 @@ let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
     else Memfs.create ()
   in
   kernel0.Kernel.fs <- fs;
-  let nvme = Devarray.create ?stripes ~clock ~profile:storage_profile "nvme" in
+  let nvme =
+    Devarray.create ?stripes ?faults ?capacity_blocks:storage_blocks ~clock
+      ~profile:storage_profile "nvme"
+  in
   let memdev = Devarray.create ~stripes:1 ~clock ~profile:Profile.dram "memdev" in
   let disk_store = Store.format ?dedup ~dev:nvme () in
   let mem_store = Store.format ~dev:memdev () in
@@ -99,32 +102,40 @@ let gc_history t =
 
 let checkpoint_now t g ?mode ?name () =
   let b = Ckpt.checkpoint t.kernel g ?mode ?name () in
-  Extconsist.on_checkpoint t.extcons g ~barrier:b.Types.barrier_at
-    ~durable_at:b.Types.durable_at;
-  (* The checkpoint bounds the record/replay journal. *)
-  if List.memq g t.recorded then Rr.on_checkpoint g;
-  (* Secondary backends: memory stores get their own generation (same
-     engine, separate store); remotes receive the exported image. *)
-  let primary = Types.primary_store g in
-  let is_primary backend =
-    match (backend, primary) with
-    | Types.Local { store; _ }, Some p -> store == p
-    | _ -> false
-  in
-  List.iter
-    (fun backend ->
-      if not (is_primary backend) then
-        match (backend, primary) with
-        | Types.Local { store = secondary; _ }, Some p ->
-          (* Mirror the image into the secondary store (memory
-             backends for debugging, an NVDIMM tier, ...). *)
-          let image = Sendrecv.export p ~gen:b.Types.gen ~pgid:g.Types.pgid () in
-          ignore (Sendrecv.import secondary image)
-        | Types.Remote { link; side }, Some p ->
-          ignore (Sendrecv.ship link ~from_:side p ~gen:b.Types.gen ~pgid:g.Types.pgid ())
-        | _, None -> ())
-    g.Types.backends;
-  ignore (gc_history t);
+  (match b.Types.status with
+   | `Degraded _ ->
+     (* The generation never committed: nothing to stamp, export or
+        journal-truncate. Still try to reclaim history — freeing old
+        generations is exactly what a full device needs. *)
+     (try ignore (gc_history t)
+      with Aurora_objstore.Alloc.Out_of_space | Store.Fail _ -> ())
+   | `Ok ->
+     Extconsist.on_checkpoint t.extcons g ~barrier:b.Types.barrier_at
+       ~durable_at:b.Types.durable_at;
+     (* The checkpoint bounds the record/replay journal. *)
+     if List.memq g t.recorded then Rr.on_checkpoint g;
+     (* Secondary backends: memory stores get their own generation (same
+        engine, separate store); remotes receive the exported image. *)
+     let primary = Types.primary_store g in
+     let is_primary backend =
+       match (backend, primary) with
+       | Types.Local { store; _ }, Some p -> store == p
+       | _ -> false
+     in
+     List.iter
+       (fun backend ->
+         if not (is_primary backend) then
+           match (backend, primary) with
+           | Types.Local { store = secondary; _ }, Some p ->
+             (* Mirror the image into the secondary store (memory
+                backends for debugging, an NVDIMM tier, ...). *)
+             let image = Sendrecv.export p ~gen:b.Types.gen ~pgid:g.Types.pgid () in
+             ignore (Sendrecv.import secondary image)
+           | Types.Remote { link; side }, Some p ->
+             ignore (Sendrecv.ship link ~from_:side p ~gen:b.Types.gen ~pgid:g.Types.pgid ())
+           | _, None -> ())
+       g.Types.backends;
+     ignore (gc_history t));
   b
 
 (* --- the orchestrator loop ------------------------------------------- *)
@@ -352,21 +363,26 @@ let crash t =
 let boot ~nvme =
   (* Boot: a fresh kernel on existing hardware, sharing wall time with
      the device. *)
-  let kernel = Kernel.create ~clock:(Devarray.clock nvme) () in
-  let disk_store = Store.open_ ~dev:nvme in
-  (* The conventional in-memory file system is rebuilt from the last
-     durable generation (the SLS file system view of the world) — if a
-     checkpoint ever captured one. *)
-  (match Store.latest disk_store with
-   | Some gen
-     when Store.read_record disk_store gen ~oid:Oidspace.fs_manifest_oid <> None ->
-     kernel.Kernel.fs <- Aurora_slsfs.Slsfs.restore_fs disk_store gen
-   | Some _ | None -> ());
-  let memdev =
-    Devarray.create ~stripes:1 ~clock:(Devarray.clock nvme) ~profile:Profile.dram
-      "memdev"
-  in
-  let mem_store = Store.format ~dev:memdev () in
-  build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store
+  match Store.open_ ~dev:nvme with
+  | Error e -> Error e
+  | Ok disk_store ->
+    let kernel = Kernel.create ~clock:(Devarray.clock nvme) () in
+    (* The conventional in-memory file system is rebuilt from the last
+       durable generation (the SLS file system view of the world) — if a
+       checkpoint ever captured one. *)
+    (match Store.latest disk_store with
+     | Some gen
+       when Store.read_record disk_store gen ~oid:Oidspace.fs_manifest_oid <> None ->
+       kernel.Kernel.fs <- Aurora_slsfs.Slsfs.restore_fs disk_store gen
+     | Some _ | None -> ());
+    let memdev =
+      Devarray.create ~stripes:1 ~clock:(Devarray.clock nvme) ~profile:Profile.dram
+        "memdev"
+    in
+    let mem_store = Store.format ~dev:memdev () in
+    Ok (build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store)
 
-let recover t = boot ~nvme:t.nvme
+let boot_exn ~nvme =
+  match boot ~nvme with Ok t -> t | Error e -> raise (Store.Fail e)
+
+let recover t = boot_exn ~nvme:t.nvme

@@ -38,6 +38,8 @@ val create :
   ?capacity_pages:int ->
   ?fs_with_disk:bool ->
   ?dedup:bool ->
+  ?faults:Fault.plan ->
+  ?storage_blocks:int ->
   unit ->
   t
 (** A fresh machine. [storage_profile] (default Optane 900P) is the
@@ -47,7 +49,10 @@ val create :
     gives the conventional file system its own backing device — used
     by the database baselines that fsync. [dedup] (default true)
     controls the object store's content deduplication (ablation
-    bench). *)
+    bench). [faults] attaches a deterministic media-fault plan to the
+    disk array; the disk store then formats with checksum verification
+    and mirroring on. [storage_blocks] caps the disk array's logical
+    capacity — checkpoints degrade (not crash) when it fills. *)
 
 val clock : t -> Clock.t
 val now : t -> Duration.t
@@ -122,11 +127,16 @@ val crash : t -> unit
     lost. The machine object must not be used afterwards except as the
     argument of {!recover}. *)
 
-val boot : nvme:Devarray.t -> t
+val boot : nvme:Devarray.t -> (t, Store.error) result
 (** Boot a fresh machine on an existing storage device (recover its
     object store; restore the file system from the latest generation
     when one exists). The CLI uses this to resume a universe whose
-    only surviving state is the disk. *)
+    only surviving state is the disk. [Error] is the store's typed
+    recovery failure (no superblock, unreadable generation table,
+    ...). *)
+
+val boot_exn : nvme:Devarray.t -> t
+(** {!boot}, raising [Store.Fail] on error. *)
 
 val recover : t -> t
 (** Boot a new machine on the survivors: same clock (wall time moves

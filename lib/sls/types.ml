@@ -19,6 +19,10 @@ type ckpt_breakdown = {
   records_written : int;
   barrier_at : Duration.t;
   durable_at : Duration.t;
+  status : [ `Ok | `Degraded of string ];
+  (* [`Degraded reason]: the generation could not commit (device full
+     or failed) and was aborted; the group keeps running on its last
+     good checkpoint. *)
 }
 
 type restore_breakdown = {
@@ -73,11 +77,14 @@ let member_pids kernel g =
 
 let pp_ckpt_breakdown ppf b =
   Format.fprintf ppf
-    "gen=%d %s metadata=%aus lazy-copy=%aus stop=%aus pages=%d records=%d"
+    "gen=%d %s metadata=%aus lazy-copy=%aus stop=%aus pages=%d records=%d%s"
     b.gen
     (match b.mode with `Full -> "full" | `Incremental -> "incr")
     Duration.pp_us b.metadata_copy Duration.pp_us b.lazy_data_copy Duration.pp_us
     b.stop_time b.pages_captured b.records_written
+    (match b.status with
+     | `Ok -> ""
+     | `Degraded reason -> " DEGRADED (" ^ reason ^ ")")
 
 let pp_restore_breakdown ppf b =
   Format.fprintf ppf

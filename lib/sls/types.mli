@@ -32,6 +32,10 @@ type ckpt_breakdown = {
   records_written : int;
   barrier_at : Duration.t;      (** when the barrier began *)
   durable_at : Duration.t;      (** absolute durability time on the primary *)
+  status : [ `Ok | `Degraded of string ];
+      (** [`Degraded reason]: the generation could not commit (device
+          full or failed) and was aborted; [gen] was never durable and
+          the group keeps serving from its last good checkpoint. *)
 }
 
 (** Restore-time breakdown, mirroring Table 4's rows. *)

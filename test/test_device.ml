@@ -355,6 +355,118 @@ let test_netlink_directions_independent () =
   Alcotest.(check (option string)) "b got" (Some "to-b") (Netlink.recv link ~side:`B);
   Alcotest.(check (option string)) "a got" (Some "to-a") (Netlink.recv link ~side:`A)
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mkfaulty ?stripes ?faults () =
+  let clock = Clock.create () in
+  (clock, Devarray.create ?stripes ?faults ~clock ~profile:Profile.optane_900p "nvme")
+
+let test_fault_transient_read_raises () =
+  let _, dev = mkfaulty ~faults:(Fault.plan ~transient_read:1.0 ()) () in
+  Devarray.write dev 3 (Blockdev.Seed 7L);
+  check_bool "every read fails at rate 1.0" true
+    (match Devarray.read dev 3 with
+     | _ -> false
+     | exception Fault.Io_error (Fault.Transient { op = `Read; _ }) -> true);
+  let st = Devarray.fault_stats dev in
+  check_bool "injection counted" true (st.Fault.transient_reads > 0)
+
+let test_fault_determinism () =
+  (* Same seed, same op sequence => bit-identical fault schedule. *)
+  let run () =
+    let _, dev =
+      mkfaulty ~stripes:2
+        ~faults:(Fault.plan ~seed:99L ~transient_read:0.3 ~corruption:0.2 ()) ()
+    in
+    for i = 0 to 63 do Devarray.write dev i (Blockdev.Seed (Int64.of_int i)) done;
+    let outcomes =
+      List.init 64 (fun i ->
+          match Devarray.read dev i with
+          | Blockdev.Seed s -> Printf.sprintf "%d:%Ld" i s
+          | Blockdev.Data d -> Printf.sprintf "%d:data:%d" i (Hashtbl.hash d)
+          | Blockdev.Zero -> Printf.sprintf "%d:zero" i
+          | exception Fault.Io_error e -> Printf.sprintf "%d:%s" i (Fault.describe e))
+    in
+    (outcomes, Devarray.fault_stats dev)
+  in
+  let o1, s1 = run () and o2, s2 = run () in
+  check_bool "identical outcomes" true (o1 = o2);
+  check_bool "identical stats" true (s1 = s2);
+  check_bool "faults actually fired" true
+    (s1.Fault.transient_reads > 0 && s1.Fault.corruptions > 0)
+
+let test_fault_latent_until_rewrite () =
+  let _, dev = mkfaulty ~faults:(Fault.plan ()) () in
+  Devarray.write dev 5 (Blockdev.Seed 55L);
+  Devarray.inject_latent dev 5;
+  check_bool "latent read fails" true
+    (match Devarray.read dev 5 with
+     | _ -> false
+     | exception Fault.Io_error (Fault.Latent _) -> true);
+  check_bool "still failing: latent persists across retries" true
+    (match Devarray.read dev 5 with
+     | _ -> false
+     | exception Fault.Io_error (Fault.Latent _) -> true);
+  (* The rewrite remaps the sector and clears the error. *)
+  Devarray.write dev 5 (Blockdev.Seed 56L);
+  check_bool "readable after rewrite" true
+    (Devarray.read dev 5 = Blockdev.Seed 56L)
+
+let test_fault_latent_batch_reads_zero () =
+  (* Batch reads are best-effort: a latent sector comes back [Zero]
+     instead of failing the whole transfer. *)
+  let _, dev = mkfaulty ~faults:(Fault.plan ()) () in
+  Devarray.write dev 2 (Blockdev.Seed 2L);
+  Devarray.write dev 3 (Blockdev.Seed 3L);
+  Devarray.inject_latent dev 2;
+  (match Devarray.read_many dev [ 2; 3 ] with
+   | [ a; b ] ->
+     check_bool "latent block substituted with Zero" true (a = Blockdev.Zero);
+     check_bool "healthy block intact" true (b = Blockdev.Seed 3L)
+   | _ -> Alcotest.fail "wrong batch shape")
+
+let test_fault_dropped_device () =
+  let _, dev = mkfaulty ~stripes:2 ~faults:(Fault.plan ()) () in
+  (* Logical blocks alternate devices: block 0 -> dev 0, block 1 -> dev 1. *)
+  Devarray.write dev 0 (Blockdev.Seed 10L);
+  Devarray.write dev 1 (Blockdev.Seed 11L);
+  Devarray.drop_device dev 0;
+  check_bool "dropped device fails reads" true
+    (match Devarray.read dev 0 with
+     | _ -> false
+     | exception Fault.Io_error (Fault.Dropped _) -> true);
+  check_bool "dropped device fails writes" true
+    (match Devarray.write dev 0 (Blockdev.Seed 12L) with
+     | () -> false
+     | exception Fault.Io_error (Fault.Dropped _) -> true);
+  check_bool "surviving stripe still serves" true
+    (Devarray.read dev 1 = Blockdev.Seed 11L)
+
+let test_fault_corruption_alters_payload () =
+  let _, dev = mkfaulty ~faults:(Fault.plan ~corruption:1.0 ()) () in
+  Devarray.write dev 4 (Blockdev.Seed 1234L);
+  (* Silent: the read succeeds but the payload is wrong. *)
+  check_bool "corrupted payload differs" true
+    (Devarray.read dev 4 <> Blockdev.Seed 1234L);
+  let st = Devarray.fault_stats dev in
+  check_bool "corruption counted" true (st.Fault.corruptions > 0)
+
+let test_fault_write_retry_charges_time () =
+  let clock_clean, clean = mkfaulty () in
+  let clock_flaky, flaky =
+    mkfaulty ~faults:(Fault.plan ~seed:7L ~transient_write:0.2 ()) ()
+  in
+  let payload = List.init 64 (fun i -> (i, Blockdev.Seed (Int64.of_int i))) in
+  Devarray.write_many clean payload;
+  Devarray.write_many flaky payload;
+  (* Internal retries extend the transfer with exponential backoff. *)
+  check_bool "retries cost simulated time" true
+    Duration.(Clock.now clock_flaky > Clock.now clock_clean);
+  let st = Devarray.fault_stats flaky in
+  check_bool "write retries counted" true (st.Fault.transient_writes > 0)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -402,6 +514,22 @@ let () =
           Alcotest.test_case "commit barrier orders behind all queues" `Quick
             test_devarray_barrier_orders_behind_all;
           qt prop_devarray_mapping_bijection;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "transient read raises" `Quick
+            test_fault_transient_read_raises;
+          Alcotest.test_case "seeded schedule is deterministic" `Quick
+            test_fault_determinism;
+          Alcotest.test_case "latent sector until rewrite" `Quick
+            test_fault_latent_until_rewrite;
+          Alcotest.test_case "batch read substitutes Zero" `Quick
+            test_fault_latent_batch_reads_zero;
+          Alcotest.test_case "dropped device" `Quick test_fault_dropped_device;
+          Alcotest.test_case "silent corruption" `Quick
+            test_fault_corruption_alters_payload;
+          Alcotest.test_case "write retries charge time" `Quick
+            test_fault_write_retry_charges_time;
         ] );
       ( "netlink",
         [

@@ -356,11 +356,13 @@ let prop_crash_at_random_instant_recovers_a_checkpoint =
       Machine.crash m;
       let m' = Machine.recover m in
       let store = m'.Machine.disk_store in
-      (match Store.fsck store with
-       | Ok () -> ()
-       | Error ps ->
+      (let r = Store.fsck store in
+       if not (Store.fsck_ok r) then
          QCheck.Test.fail_reportf "fsck after random crash: %s"
-           (String.concat "; " ps));
+           (String.concat "; "
+              (r.Store.problems
+              @ List.map (fun (g, why) -> Printf.sprintf "gen %d lost: %s" g why)
+                  r.Store.lost)));
       match Store.latest store with
       | None -> true (* crashed before anything became durable *)
       | Some gen ->
@@ -396,6 +398,114 @@ let prop_crash_at_random_instant_recovers_a_checkpoint =
             "torn state after crash at t=%d00+%dus:@.restored %s@.expected %s"
             run_ms_tenths extra_us restored expected)
 
+(* ------------------------------------------------------------------ *)
+(* Media-fault fuzz                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random fault plans over random commit/crash/reopen/scrub cycles.
+   The robustness contract: every committed generation is either fully
+   readable bit-exact, or absent (quarantined/reported lost) — the
+   store never hands back silently wrong data, and scrub leaves it
+   consistent. *)
+let prop_faulty_media_never_serves_wrong_data =
+  let open Aurora_simtime in
+  let open Aurora_device in
+  QCheck.Test.make
+    ~name:"random media faults: committed data is bit-exact or reported lost"
+    ~count:30
+    QCheck.(triple (int_range 0 1_000_000) (int_range 0 3) (int_range 2 4))
+    (fun (case_seed, rate_idx, cycles) ->
+      let rate = [| 0.; 1e-4; 1e-3; 1e-2 |].(rate_idx) in
+      let clock = Clock.create () in
+      let dev =
+        Devarray.create
+          ~stripes:(1 + (case_seed mod 2))
+          ~faults:
+            (Fault.plan
+               ~seed:(Int64.of_int (case_seed + 1))
+               ~transient_read:rate
+               ~transient_write:(rate /. 2.)
+               ~corruption:(rate /. 10.)
+               ())
+          ~clock ~profile:Profile.optane_900p "fuzz-nvme"
+      in
+      let store = ref (Store.format ~dev ()) in
+      let reference = Hashtbl.create 8 in
+      let survived = ref true in
+      (try
+         for cycle = 1 to cycles do
+           ignore (Store.begin_generation !store ());
+           let npages = 8 + ((case_seed + (cycle * 31)) mod 25) in
+           let pages =
+             List.init npages (fun i ->
+                 (i, Int64.of_int ((case_seed * 100) + (cycle * 1000) + i)))
+           in
+           List.iter
+             (fun (pindex, seed) -> Store.put_page !store ~oid:1 ~pindex ~seed)
+             pages;
+           let record = Printf.sprintf "cycle %d of case %d" cycle case_seed in
+           Store.put_record !store ~oid:7 record;
+           (match Store.commit_result !store () with
+            | Ok (g, d) ->
+              Store.wait_durable !store d;
+              Hashtbl.replace reference g (pages, record)
+            | Error _ -> () (* typed failure; the open gen was rolled back *));
+           (* A latent sector lands somewhere in the used area. *)
+           let used = Devarray.used_blocks dev in
+           if used > 3 then
+             Devarray.inject_latent dev
+               (2 + (((case_seed * 7) + (cycle * 13)) mod (used - 2)));
+           if (case_seed + cycle) mod 2 = 0 then begin
+             Devarray.crash dev;
+             store := Store.open_exn ~dev
+           end;
+           ignore (Store.fsck ~scrub:true !store)
+         done
+       with Store.Fail _ ->
+         (* A typed, loud failure (e.g. both superblock slots corrupted
+            at reopen) is an acceptable outcome — only *silent*
+            wrongness violates the contract. *)
+         survived := false);
+      if !survived then begin
+        let gens = Store.generations !store in
+        Hashtbl.iter
+          (fun g (pages, record) ->
+            if List.mem g gens then begin
+              List.iter
+                (fun (pindex, seed) ->
+                  match Store.read_page !store g ~oid:1 ~pindex with
+                  | Some s when Int64.equal s seed -> ()
+                  | Some s ->
+                    QCheck.Test.fail_reportf
+                      "SILENT CORRUPTION: gen %d page %d reads %Ld, wrote %Ld"
+                      g pindex s seed
+                  | None ->
+                    QCheck.Test.fail_reportf
+                      "gen %d present but page %d missing" g pindex
+                  | exception Store.Fail e ->
+                    QCheck.Test.fail_reportf
+                      "gen %d survived scrub yet page %d unreadable: %s" g
+                      pindex (Store.describe_error e))
+                pages;
+              match Store.read_record !store g ~oid:7 with
+              | Some r when String.equal r record -> ()
+              | Some r ->
+                QCheck.Test.fail_reportf
+                  "SILENT CORRUPTION: gen %d record reads %S, wrote %S" g r
+                  record
+              | None | (exception Store.Fail _) ->
+                QCheck.Test.fail_reportf "gen %d present but record unreadable"
+                  g
+            end
+            (* absent => quarantined: reported, not silent *))
+          reference;
+        let r = Store.fsck !store in
+        if not (Store.fsck_ok r) then
+          QCheck.Test.fail_reportf "store inconsistent after fault fuzz: %s"
+            (String.concat "; " r.Store.problems)
+      end;
+      true)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -407,4 +517,6 @@ let () =
         [ qt prop_random_history_survives_rollback_replay ] );
       ( "crash-timing",
         [ qt prop_crash_at_random_instant_recovers_a_checkpoint ] );
+      ( "media-faults",
+        [ qt prop_faulty_media_never_serves_wrong_data ] );
     ]

@@ -778,9 +778,9 @@ let test_system_soak () =
   (* Power failure mid-run (no draining). *)
   Machine.crash m;
   let m' = Machine.recover m in
-  (match Store.fsck m'.Machine.disk_store with
-   | Ok () -> ()
-   | Error ps -> Alcotest.failf "fsck after soak crash: %s" (String.concat "; " ps));
+  (let r = Store.fsck m'.Machine.disk_store in
+   if not (Store.fsck_ok r) then
+     Alcotest.failf "fsck after soak crash: %s" (String.concat "; " r.Store.problems));
   (* Restore all three groups and keep running. *)
   let g1' = Machine.persist m' (`Container c1.Container.cid) in
   let g2' = Machine.persist m' (`Container c2.Container.cid) in
@@ -801,9 +801,9 @@ let test_system_soak () =
   Machine.run m' (Duration.milliseconds 20);
   check_bool "walker continues after recovery" true
     (Context.reg_int (Process.main_thread walker').Thread.context 4 > steps_restored);
-  (match Store.fsck m'.Machine.disk_store with
-   | Ok () -> ()
-   | Error ps -> Alcotest.failf "fsck after continued run: %s" (String.concat "; " ps))
+  (let r = Store.fsck m'.Machine.disk_store in
+   if not (Store.fsck_ok r) then
+     Alcotest.failf "fsck after continued run: %s" (String.concat "; " r.Store.problems))
 
 
 let qt = QCheck_alcotest.to_alcotest

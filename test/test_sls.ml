@@ -151,6 +151,48 @@ let test_checkpoint_gc_history () =
   let gens = Store.generations m.Machine.disk_store in
   check_bool "history bounded" true (List.length gens <= 4)
 
+let test_full_device_degrades_checkpoint () =
+  (* A full disk must degrade checkpoints — abort the open generation,
+     keep serving the last good one — never crash the machine. *)
+  let m = Machine.create ~storage_blocks:256 () in
+  m.Machine.history_window <- 1000; (* disable history gc: let it fill *)
+  let c, p = spawn_walker m ~npages:8 ~limit:1_000_000 in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  Machine.run m (Duration.milliseconds 1);
+  let first = Machine.checkpoint_now m g () in
+  check_bool "first checkpoint lands" true (first.Types.status = `Ok);
+  let last_good = ref first.Types.gen in
+  let degraded = ref None in
+  (try
+     for _ = 1 to 60 do
+       Machine.run m (Duration.milliseconds 1);
+       let b = Machine.checkpoint_now m g ~mode:`Full () in
+       match b.Types.status with
+       | `Ok -> last_good := b.Types.gen
+       | `Degraded reason -> degraded := Some (b, reason); raise Exit
+     done
+   with Exit -> ());
+  (match !degraded with
+   | None -> Alcotest.fail "device never filled: test device too big"
+   | Some (b, reason) ->
+     check_bool "reason mentions space" true
+       (String.length reason > 0);
+     check_bool "durable_at pinned to the barrier" true
+       (Duration.equal b.Types.durable_at b.Types.barrier_at);
+     check_bool "last_gen still the last good checkpoint" true
+       (g.Types.last_gen = Some !last_good));
+  (* The store is consistent, the good history is intact, and the
+     machine keeps running and restoring. *)
+  let store = m.Machine.disk_store in
+  check_bool "last good generation present" true
+    (List.mem !last_good (Store.generations store));
+  let r = Store.fsck store in
+  check_bool "fsck clean after degrade" true (Store.fsck_ok r);
+  Machine.run m (Duration.milliseconds 1);
+  check_bool "application still running" true (p.Process.exit_status = None);
+  let pids, _ = Machine.restore_group m g ~gen:!last_good () in
+  check_int "restore from the survivor" 1 (List.length pids)
+
 (* ------------------------------------------------------------------ *)
 (* Restore                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -602,6 +644,8 @@ let () =
           Alcotest.test_case "idle incremental captures nothing" `Quick
             test_incremental_dirty_only;
           Alcotest.test_case "history gc" `Quick test_checkpoint_gc_history;
+          Alcotest.test_case "full device degrades, machine survives" `Quick
+            test_full_device_degrades_checkpoint;
         ] );
       ( "restore",
         [

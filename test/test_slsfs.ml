@@ -127,7 +127,7 @@ let test_restore_from_recovered_store () =
   let fs = build_sample_fs () in
   let gen = checkpoint_into store fs () in
   Devarray.crash dev;
-  let store' = Store.open_ ~dev in
+  let store' = Store.open_exn ~dev in
   let fs' = Slsfs.restore_fs store' gen in
   check_bool "files intact after device recovery" true
     (Vnode.equal_data
