@@ -11,7 +11,7 @@
      bench/main.exe --json results.json   # also dump metrics as JSON
      bench/main.exe bechamel              # wall-clock microbenchmarks
    Targets: table3 table4 freq-sweep dedup extcons lazy-restore criu
-            kv-modes hdd stripe-sweep bechamel *)
+            kv-modes hdd stripe-sweep fault-sweep phase-breakdown bechamel *)
 
 open Aurora_simtime
 open Aurora_device
@@ -54,6 +54,21 @@ let jnum v =
   if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
 
 let jint = string_of_int
+
+(* Summarize one histogram from a metrics registry into the target's
+   JSON bucket as <key>_count / <key>_mean_us / <key>_p99_us. Silent
+   when the histogram is absent or empty. *)
+let json_hist m target ~key name =
+  match Metrics.find m name with
+  | Some (Metrics.Histogram { count; _ }) when count > 0 ->
+    let h = Metrics.histogram m name in
+    json_record target
+      [
+        (key ^ "_count", jint count);
+        (key ^ "_mean_us", jnum (Metrics.hist_mean h));
+        (key ^ "_p99_us", jnum (Metrics.quantile h 0.99));
+      ]
+  | _ -> ()
 
 let json_write () =
   match !json_path with
@@ -668,6 +683,31 @@ let stripe_sweep () =
           (Printf.sprintf "stripes_%d_pages" stripes, jint b.Types.pages_captured);
           (Printf.sprintf "stripes_%d_speedup" stripes, jnum speedup);
         ];
+      (* Phase histograms accumulated by the machine's registry across
+         both checkpoints (warm full + measured incremental), plus the
+         store's commit-to-durable distribution and the per-stripe
+         device command totals. *)
+      let mm = Machine.metrics m in
+      let pfx fmt = Printf.sprintf fmt stripes in
+      json_hist mm "stripe-sweep" ~key:(pfx "stripes_%d_ckpt_stop") "ckpt.stop_us";
+      json_hist mm "stripe-sweep" ~key:(pfx "stripes_%d_ckpt_quiesce")
+        "ckpt.quiesce_us";
+      json_hist mm "stripe-sweep" ~key:(pfx "stripes_%d_store_flush")
+        "store.nvme.flush_us";
+      let dev_commands = ref 0 and dev_blocks_written = ref 0 in
+      for i = 0 to stripes - 1 do
+        (match Metrics.find mm (Printf.sprintf "dev.nvme.%d.commands" i) with
+         | Some (Metrics.Counter n) -> dev_commands := !dev_commands + n
+         | _ -> ());
+        match Metrics.find mm (Printf.sprintf "dev.nvme.%d.blocks_written" i) with
+        | Some (Metrics.Counter n) -> dev_blocks_written := !dev_blocks_written + n
+        | _ -> ()
+      done;
+      json_record "stripe-sweep"
+        [
+          (pfx "stripes_%d_dev_commands", jint !dev_commands);
+          (pfx "stripes_%d_dev_blocks_written", jint !dev_blocks_written);
+        ];
       row "%10d %16.1f %18.1f %10d %9.2fx\n" stripes (us b.Types.stop_time)
         (us flush) b.Types.pages_captured speedup)
     [ 1; 2; 4; 8 ];
@@ -707,6 +747,13 @@ let fault_sweep () =
              else Some { Store.verify = false; mirror = false })
           ~dev ()
       in
+      (* A bench-local registry: no Machine here, so bind instrumentation
+         to the raw array and store directly — device transfers and
+         commit flushes under fault injection get measured too. *)
+      let fm = Metrics.create clock in
+      let fspans = Span.create clock in
+      Devarray.set_observability dev ~metrics:fm ~spans:fspans ();
+      Store.set_observability s ~metrics:fm ~spans:fspans ();
       let reference = Hashtbl.create 8 in
       for gnum = 0 to gens_per_run - 1 do
         ignore (Store.begin_generation s ());
@@ -775,7 +822,19 @@ let fault_sweep () =
             (key ^ "_injected_transient_reads", jint fs.Fault.transient_reads);
             (key ^ "_injected_latent_reads", jint fs.Fault.latent_reads);
             (key ^ "_injected_corruptions", jint fs.Fault.corruptions);
+            ( key ^ "_flush_spans",
+              jint (List.length (Span.find_all fspans ~name:"store.flush")) );
           ];
+        json_hist fm "fault-sweep" ~key:(key ^ "_store_flush")
+          "store.nvme.flush_us";
+        (* Per-stripe transfer-time distributions: retries and repairs
+           show up as a fattened tail as the error rate climbs. *)
+        Array.iteri
+          (fun i _ ->
+            json_hist fm "fault-sweep"
+              ~key:(Printf.sprintf "%s_dev%d_xfer" key i)
+              (Printf.sprintf "dev.nvme.%d.xfer_us" i))
+          (Devarray.devices dev);
         row "%12s %10d %10d %10d %10d %10d %10d %8s\n" label committed !survived
           io.Store.read_retries io.Store.checksum_failures healed
           io.Store.lost_blocks
@@ -794,6 +853,95 @@ let fault_sweep () =
   row " errors with backoff and repair latent sectors from the mirror or a\n";
   row " dedup duplicate, rewriting in place - survival holds through the\n";
   row " 1e-3 acceptance point and degrades loudly, never silently)\n"
+
+(* ------------------------------------------------------------------ *)
+(* F-phase: checkpoint/restore phase breakdown from the span tree      *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability cross-check: run one steady-state incremental
+   checkpoint and one cold restore with the span recorder cleared, then
+   reconstruct the Table 3 / Table 4 phase split from the recorded
+   spans alone and verify it against the breakdown structs the engines
+   return. The checkpoint phases (quiesce + serialize + cow_mark) must
+   sum to the measured stop time, and the restore phases (metadata +
+   pagein) to the measured restore latency, within 1%. *)
+let phase_breakdown () =
+  section "F-phase: phase breakdown from spans (256 MiB image, 14% dirty)";
+  let m, c, p, _ = redis_fixture ~mib:256 () in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  let resident = Vmmap.resident_pages p.Process.vm in
+  let warm = Machine.checkpoint_now m g ~mode:`Full () in
+  Store.wait_durable m.Machine.disk_store warm.Types.durable_at;
+  dirty_until m p ~target:(resident * 14 / 100);
+  let spans = Machine.spans m in
+  Span.clear spans;
+  let b = Machine.checkpoint_now m g ~mode:`Incremental () in
+  Store.wait_durable m.Machine.disk_store b.Types.durable_at;
+  Store.drop_caches m.Machine.disk_store;
+  let _, r = Machine.restore_group m g ~policy:Types.Lazy_prefetch () in
+  let phase name =
+    match Span.find spans ~name with
+    | Some s -> us (Span.duration s)
+    | None -> Float.nan
+  in
+  let quiesce = phase "ckpt.quiesce" in
+  let serialize = phase "ckpt.serialize" in
+  let cow_mark = phase "ckpt.cow_mark" in
+  let flush = phase "store.flush" in
+  let meta = phase "restore.metadata" in
+  let pagein = phase "restore.pagein" in
+  let stop = us b.Types.stop_time in
+  let total = us r.Types.total_latency in
+  let ckpt_sum = quiesce +. serialize +. cow_mark in
+  let restore_sum = meta +. pagein in
+  let within_1pct sum reference =
+    Float.is_finite sum && Float.abs (sum -. reference) <= (0.01 *. reference) +. 1e-6
+  in
+  let ckpt_ok = within_1pct ckpt_sum stop in
+  let restore_ok = within_1pct restore_sum total in
+  row "\n%-28s %14s\n" "Phase (from spans)" "duration (us)";
+  row "%-28s %14.1f\n" "ckpt.quiesce" quiesce;
+  row "%-28s %14.1f\n" "ckpt.serialize" serialize;
+  row "%-28s %14.1f\n" "ckpt.cow_mark" cow_mark;
+  row "%-28s %14.1f   (vs stop time %.1f: %s)\n" "  sum" ckpt_sum stop
+    (if ckpt_ok then "within 1%" else "MISMATCH");
+  row "%-28s %14.1f   (commit -> durable, background)\n" "store.flush" flush;
+  row "%-28s %14.1f\n" "restore.metadata" meta;
+  row "%-28s %14.1f\n" "restore.pagein" pagein;
+  row "%-28s %14.1f   (vs restore latency %.1f: %s)\n" "  sum" restore_sum total
+    (if restore_ok then "within 1%" else "MISMATCH");
+  json_record "phase-breakdown"
+    [
+      ("quiesce_us", jnum quiesce);
+      ("serialize_us", jnum serialize);
+      ("cow_mark_us", jnum cow_mark);
+      ("stop_us", jnum stop);
+      ("flush_us", jnum flush);
+      ("restore_metadata_us", jnum meta);
+      ("restore_pagein_us", jnum pagein);
+      ("restore_total_us", jnum total);
+      ("ckpt_sum_within_1pct", jint (if ckpt_ok then 1 else 0));
+      ("restore_sum_within_1pct", jint (if restore_ok then 1 else 0));
+    ];
+  (* The registry's histograms across the whole fixture (warm + measured
+     cycles) — what `sls stats` reports for a long-running machine. *)
+  let mm = Machine.metrics m in
+  List.iter
+    (fun (key, name) -> json_hist mm "phase-breakdown" ~key name)
+    [
+      ("hist_ckpt_stop", "ckpt.stop_us");
+      ("hist_ckpt_quiesce", "ckpt.quiesce_us");
+      ("hist_ckpt_serialize", "ckpt.serialize_us");
+      ("hist_ckpt_cow_mark", "ckpt.cow_mark_us");
+      ("hist_ckpt_flush", "ckpt.flush_us");
+      ("hist_restore_total", "restore.total_us");
+      ("hist_restore_metadata", "restore.metadata_us");
+      ("hist_restore_pagein", "restore.pagein_us");
+    ];
+  if not (ckpt_ok && restore_ok) then begin
+    prerr_endline "phase-breakdown: span sums disagree with measured totals";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks                                 *)
@@ -871,6 +1019,7 @@ let all_targets =
     ("hdd", hdd);
     ("stripe-sweep", stripe_sweep);
     ("fault-sweep", fault_sweep);
+    ("phase-breakdown", phase_breakdown);
     ("bechamel", run_bechamel);
   ]
 

@@ -39,6 +39,11 @@ let save path (u : universe) =
         Store.wait_durable u.machine.Machine.disk_store b.Types.durable_at
       end)
     u.apps;
+  (* Detach instrumentation before marshaling: the span recorder and
+     metrics registry are per-boot state (Machine.boot rebinds them),
+     and marshaling them would drag the whole retained trace into the
+     universe file. *)
+  Devarray.set_observability u.machine.Machine.nvme ();
   let oc = open_out_bin path in
   Marshal.to_channel oc
     { uf_nvme = u.machine.Machine.nvme; uf_apps = List.map fst u.apps }
@@ -116,7 +121,7 @@ let load path =
       | Some latest -> (
         g.Types.last_gen <- Some latest;
         try ignore (Machine.restore_group machine g ())
-        with Failure _ | Invalid_argument _ ->
+        with Failure _ | Invalid_argument _ | Restore.Error _ ->
           (* This group never checkpointed into the store. *)
           g.Types.last_gen <- None)
       | None -> ())
@@ -302,10 +307,64 @@ let cmd_fsck path scrub =
       (Printf.sprintf "%d integrity violations, %d generations lost"
          (List.length r.Store.problems) (List.length r.Store.lost))
 
+let cmd_stats path json =
+  let u = load path in
+  Machine.sync_metrics u.machine;
+  let m = Machine.metrics u.machine in
+  if json then print_string (Metrics.to_json m ^ "\n")
+  else begin
+    say "%-44s %s" "METRIC" "VALUE";
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Metrics.Counter n -> say "%-44s %d" name n
+        | Metrics.Gauge g ->
+          if Float.is_integer g && Float.abs g < 1e15 then
+            say "%-44s %.0f" name g
+          else say "%-44s %.2f" name g
+        | Metrics.Histogram { count; sum; _ } ->
+          if count = 0 then say "%-44s (no samples)" name
+          else
+            say "%-44s count=%d mean=%.1fus total=%.0fus" name count
+              (sum /. float_of_int count)
+              sum)
+      (Metrics.snapshot m)
+  end;
+  0
+
+let cmd_trace path out =
+  let u = load path in
+  (* Trace exactly one checkpoint+restore cycle: drop the spans the
+     resurrection on load produced, run the cycle, export. The
+     universe file is left untouched (a measurement, not a mutation). *)
+  let spans = Machine.spans u.machine in
+  Span.clear spans;
+  List.iter
+    (fun (_, g) ->
+      if Types.member_pids u.machine.Machine.kernel g <> [] then begin
+        let b = Machine.checkpoint_now u.machine g () in
+        Store.wait_durable u.machine.Machine.disk_store b.Types.durable_at
+      end)
+    u.apps;
+  List.iter
+    (fun (_, g) ->
+      if g.Types.last_gen <> None then
+        ignore (Machine.restore_group u.machine g ()))
+    u.apps;
+  let oc = open_out out in
+  output_string oc (Span.to_chrome_json spans);
+  close_out oc;
+  say "wrote %s: %d spans from a checkpoint+restore cycle \
+       (load in Perfetto or chrome://tracing)"
+    out
+    (List.length (Span.spans spans));
+  0
+
 let cmd_crash path =
   let u = load path in
   Machine.crash u.machine;
   (* Save WITHOUT quiescing: exactly what the power failure left. *)
+  Devarray.set_observability u.machine.Machine.nvme ();
   let oc = open_out_bin path in
   Marshal.to_channel oc
     { uf_nvme = u.machine.Machine.nvme; uf_apps = List.map fst u.apps }
@@ -326,6 +385,11 @@ let wrap f =
     (* A typed store failure (unrecoverable superblock, unreadable
        generation table, dead device) is distinct from usage errors. *)
     Printf.eprintf "sls: store failure: %s\n" (Store.describe_error e);
+    2
+  | Restore.Error e ->
+    (* Same class: an operational failure of the store's contents
+       (missing manifest or record, corrupt image), not a usage error. *)
+    Printf.eprintf "sls: restore failure: %s\n" (Restore.describe_error e);
     2
   | Failure msg | Invalid_argument msg ->
     Printf.eprintf "sls: %s\n" msg;
@@ -423,6 +487,31 @@ let detach_cmd =
       const (fun path pgid backend -> wrap (fun () -> cmd_detach path pgid backend))
       $ universe_arg $ pgid_arg $ backend_arg)
 
+let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the metrics snapshot as JSON instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Dump kernel-wide metrics (device, store, checkpoint, restore).")
+    Term.(
+      const (fun path json -> wrap (fun () -> cmd_stats path json))
+      $ universe_arg $ json)
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Output file for the Chrome trace_event JSON.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one checkpoint+restore cycle and export its span tree as a \
+             Chrome trace (Perfetto-loadable).")
+    Term.(
+      const (fun path out -> wrap (fun () -> cmd_trace path out))
+      $ universe_arg $ out)
+
 let crash_cmd =
   Cmd.v (Cmd.info "crash" ~doc:"Simulate a power failure.")
     Term.(const (fun path -> wrap (fun () -> cmd_crash path)) $ universe_arg)
@@ -443,7 +532,8 @@ let group =
   Cmd.group (Cmd.info "sls" ~doc)
     [
       init_cmd; spawn_cmd; run_cmd; ps_cmd; checkpoint_cmd; gens_cmd; restore_cmd;
-      send_cmd; recv_cmd; attach_cmd; detach_cmd; crash_cmd; fsck_cmd;
+      send_cmd; recv_cmd; attach_cmd; detach_cmd; crash_cmd; fsck_cmd; stats_cmd;
+      trace_cmd;
     ]
 
 let main () = Cmd.eval' group

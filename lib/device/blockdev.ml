@@ -22,6 +22,16 @@ type stats = {
    [done_at]; a crash before that drops them. *)
 type batch = { done_at : Duration.t; writes : (int * content) list }
 
+(* Metric handles for one device. Plain data only (mutable ints and
+   arrays): the CLI marshals whole device arrays into the universe
+   file, so nothing reachable from a device may hold a closure. *)
+type counters = {
+  c_commands : Metrics.counter;
+  c_blocks_read : Metrics.counter;
+  c_blocks_written : Metrics.counter;
+  c_xfer_us : Metrics.histogram;
+}
+
 type t = {
   name : string;
   clock : Clock.t;
@@ -32,13 +42,28 @@ type t = {
   mutable pending : batch list;        (* in-flight batches, newest first *)
   mutable st : stats;
   mutable faults : Fault.injector option;
+  mutable obs_counters : counters option;
+  mutable obs_spans : Span.t option;
 }
 
 let zero_stats = { reads = 0; writes = 0; blocks_read = 0; blocks_written = 0; flushes = 0 }
 
-let create ?capacity_blocks ?faults ~clock ~profile name =
+let make_counters name m =
+  let pre = "dev." ^ name ^ "." in
+  { c_commands = Metrics.counter m (pre ^ "commands");
+    c_blocks_read = Metrics.counter m (pre ^ "blocks_read");
+    c_blocks_written = Metrics.counter m (pre ^ "blocks_written");
+    c_xfer_us = Metrics.histogram m (pre ^ "xfer_us") }
+
+let create ?capacity_blocks ?faults ?metrics ?spans ~clock ~profile name =
   { name; clock; profile; capacity_blocks; slots = Hashtbl.create 4096;
-    busy_until = Duration.zero; pending = []; st = zero_stats; faults }
+    busy_until = Duration.zero; pending = []; st = zero_stats; faults;
+    obs_counters = Option.map (make_counters name) metrics;
+    obs_spans = spans }
+
+let set_observability t ?metrics ?spans () =
+  t.obs_counters <- Option.map (make_counters t.name) metrics;
+  t.obs_spans <- spans
 
 let name t = t.name
 let profile t = t.profile
@@ -66,11 +91,22 @@ let slot t i =
 
 (* Charge a synchronous command: the device may still be draining its
    queue, so completion is max(now, busy_until) + cost. *)
+let note_command t ~op ~blocks cost =
+  match t.obs_counters with
+  | None -> ()
+  | Some c ->
+    Metrics.incr c.c_commands;
+    Metrics.observe_duration c.c_xfer_us cost;
+    (match op with
+     | `Read -> Metrics.add c.c_blocks_read blocks
+     | `Write -> Metrics.add c.c_blocks_written blocks)
+
 let charge_sync t ~op ~blocks =
   let cost = Profile.transfer_cost t.profile ~op ~bytes:(blocks * block_size) in
   let start = Duration.max (Clock.now t.clock) t.busy_until in
   let completion = Duration.add start cost in
   t.busy_until <- completion;
+  note_command t ~op ~blocks cost;
   Clock.advance_to t.clock completion
 
 (* The command's time is charged before the fault surfaces: a failed
@@ -122,6 +158,13 @@ let read_many_async t indices =
       let completion = Duration.add start cost in
       t.busy_until <- completion;
       t.st <- { t.st with reads = t.st.reads + 1; blocks_read = t.st.blocks_read + n };
+      note_command t ~op:`Read ~blocks:n cost;
+      (match t.obs_spans with
+       | None -> ()
+       | Some spans ->
+         Span.record spans ~track:t.name ~name:"dev.read"
+           ~attrs:[ ("blocks", string_of_int n) ]
+           ~start_at:start ~end_at:completion ());
       completion
     end
   in
@@ -242,6 +285,19 @@ let write_extents ?not_before t extents =
     t.busy_until <- completion;
     t.st <- { t.st with writes = t.st.writes + nextents;
                         blocks_written = t.st.blocks_written + nblocks };
+    (match t.obs_counters with
+     | None -> ()
+     | Some c ->
+       Metrics.add c.c_commands nextents;
+       Metrics.add c.c_blocks_written nblocks;
+       Metrics.observe_duration c.c_xfer_us cost);
+    (match t.obs_spans with
+     | None -> ()
+     | Some spans ->
+       Span.record spans ~track:t.name ~name:"dev.write"
+         ~attrs:
+           [ ("blocks", string_of_int nblocks); ("extents", string_of_int nextents) ]
+         ~start_at:start ~end_at:completion ());
     (* Content is visible immediately (the store serializes access),
        but the batch is remembered as in-flight so a crash before
        completion can drop it; completion also gates durability on

@@ -15,6 +15,9 @@ let pte_map ~pages = per_page 0.7 pages
 let page_copy ~pages = per_page 250.0 pages
 let page_hash ~pages = per_page 500.0 pages
 
+let quiesce_proc = Duration.microseconds 3
+let quiesce_thread = Duration.nanoseconds 600
+
 let serialize_proc_base = Duration.microseconds 25
 let serialize_thread = Duration.microseconds 4
 let serialize_object = Duration.microseconds 2

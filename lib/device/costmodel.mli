@@ -51,6 +51,15 @@ val page_copy : pages:int -> Duration.t
 val page_hash : pages:int -> Duration.t
 (** Content-hashing pages for object-store deduplication. *)
 
+val quiesce_proc : Duration.t
+(** Parking one process at the checkpoint barrier: IPI, run-queue
+    removal, wait for the in-flight syscall to reach a quiescent
+    point (~3 us). Charged inside the stop window, before metadata
+    serialization begins. *)
+
+val quiesce_thread : Duration.t
+(** Per-thread share of the barrier rendezvous (~0.6 us). *)
+
 val serialize_proc_base : Duration.t
 (** Fixed cost to serialize one process record (credentials, signal
     state, session linkage — ~25 us). *)

@@ -6,7 +6,7 @@ type t = {
   devs : Blockdev.t array;
 }
 
-let create ?stripes ?capacity_blocks ?faults ~clock ~profile name =
+let create ?stripes ?capacity_blocks ?faults ?metrics ?spans ~clock ~profile name =
   let stripes =
     match stripes with Some n -> n | None -> profile.Profile.stripes
   in
@@ -43,10 +43,13 @@ let create ?stripes ?capacity_blocks ?faults ~clock ~profile name =
   let devs =
     Array.init stripes (fun i ->
         Blockdev.create ?capacity_blocks:per_dev_capacity ?faults:injectors.(i)
-          ~clock ~profile
+          ?metrics ?spans ~clock ~profile
           (Printf.sprintf "%s.%d" name i))
   in
   { name; stripes; devs }
+
+let set_observability t ?metrics ?spans () =
+  Array.iter (fun dev -> Blockdev.set_observability dev ?metrics ?spans ()) t.devs
 
 let stripes t = t.stripes
 let devices t = t.devs

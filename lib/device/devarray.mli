@@ -25,6 +25,7 @@ open Aurora_simtime
 type t
 
 val create : ?stripes:int -> ?capacity_blocks:int -> ?faults:Fault.plan ->
+  ?metrics:Metrics.t -> ?spans:Span.t ->
   clock:Clock.t -> profile:Profile.t -> string -> t
 (** [create ~clock ~profile name] builds devices [name.0] ..
     [name.n-1]. [stripes] defaults to the profile's stripe count;
@@ -33,6 +34,10 @@ val create : ?stripes:int -> ?capacity_blocks:int -> ?faults:Fault.plan ->
     gets its own seeded {!Fault.injector}; the plan's logical latent
     blocks and dropped stripe indices are resolved through the stripe
     map. Raises [Invalid_argument] when [stripes < 1]. *)
+
+val set_observability : t -> ?metrics:Metrics.t -> ?spans:Span.t -> unit -> unit
+(** Rebind (or detach) instrumentation on every stripe — see
+    {!Blockdev.set_observability}. *)
 
 val stripes : t -> int
 val devices : t -> Blockdev.t array

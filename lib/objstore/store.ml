@@ -46,6 +46,13 @@ type io_stats = {
   mutable lost_blocks : int;
 }
 
+type counters = {
+  c_commits : Metrics.counter;
+  c_records_put : Metrics.counter;
+  c_pages_put : Metrics.counter;
+  c_flush_us : Metrics.histogram;
+}
+
 type t = {
   dev : Devarray.t;
   alloc : Alloc.t;
@@ -72,6 +79,8 @@ type t = {
   io : io_stats;
   mutable repair_log : (int * repair_origin) list;
   mutable quarantined : (gen * string) list;
+  mutable obs_counters : counters option;
+  mutable obs_spans : Span.t option;
 }
 
 (* --- key encoding ---------------------------------------------------
@@ -212,7 +221,7 @@ let make ?(dedup = true) ?prot dev =
       prot; csums = Hashtbl.create 4096; mirrors = Hashtbl.create 256;
       io = { read_retries = 0; checksum_failures = 0; repaired_from_mirror = 0;
              repaired_from_dedup = 0; lost_blocks = 0 };
-      repair_log = []; quarantined = [] }
+      repair_log = []; quarantined = []; obs_counters = None; obs_spans = None }
   in
   Alloc.add_on_free alloc (fun b ->
       Hashtbl.remove t.csums b;
@@ -341,6 +350,18 @@ let format ?dedup ?protection ~dev () =
 let device t = t.dev
 let protection t = t.prot
 
+let set_observability t ?metrics ?spans () =
+  t.obs_counters <-
+    Option.map
+      (fun m ->
+        let pre = "store." ^ Devarray.name t.dev ^ "." in
+        { c_commits = Metrics.counter m (pre ^ "commits");
+          c_records_put = Metrics.counter m (pre ^ "records_put");
+          c_pages_put = Metrics.counter m (pre ^ "pages_put");
+          c_flush_us = Metrics.histogram m (pre ^ "flush_us") })
+      metrics;
+  t.obs_spans <- spans
+
 (* --- commit ---------------------------------------------------------- *)
 
 let chunk_string data =
@@ -408,6 +429,9 @@ let queue_data t block content =
 
 let put_record t ~oid data =
   let _, root = require_open t in
+  (match t.obs_counters with
+   | Some c -> Metrics.incr c.c_records_put
+   | None -> ());
   (* Stale chunks from a longer previous record are overwritten with
      immediates so their blocks are released. *)
   let old_chunks =
@@ -437,6 +461,9 @@ let put_record t ~oid data =
 
 let put_page t ~oid ~pindex ~seed =
   let _ = require_open t in
+  (match t.obs_counters with
+   | Some c -> Metrics.incr c.c_pages_put
+   | None -> ());
   let hash = Content.hash (Content.of_seed seed) in
   let block =
     match (if t.dedup_enabled then Dedup.find t.dedup ~hash else None) with
@@ -459,6 +486,9 @@ let put_page t ~oid ~pindex ~seed =
 let put_pages t ~oid pages =
   let _ = require_open t in
   let n = Array.length pages in
+  (match t.obs_counters with
+   | Some c -> Metrics.add c.c_pages_put n
+   | None -> ());
   if n > 0 then begin
     let hit = Array.make n (-1) in       (* resolved dedup-hit block, or -1 *)
     let slot_of = Array.make n (-1) in   (* index into the fresh extent *)
@@ -694,8 +724,23 @@ let rebuild t =
 
 (* --- commit (continued) ---------------------------------------------- *)
 
+let note_flush t ~gen ~started ~durable_at ~data_blocks =
+  (match t.obs_counters with
+   | Some c ->
+     Metrics.incr c.c_commits;
+     Metrics.observe_duration c.c_flush_us (Duration.sub durable_at started)
+   | None -> ());
+  match t.obs_spans with
+  | Some spans ->
+    Span.record spans ~track:("store." ^ Devarray.name t.dev) ~name:"store.flush"
+      ~attrs:
+        [ ("gen", string_of_int gen); ("data_blocks", string_of_int data_blocks) ]
+      ~start_at:started ~end_at:durable_at ()
+  | None -> ()
+
 let commit_unchecked t ?name () =
   let g, root = require_open t in
+  let flush_started = Clock.now (Devarray.clock t.dev) in
   t.open_gen <- None;
   Hashtbl.replace t.gens g { root; name };
   (* Data pages fan out across all stripes (per-device extents,
@@ -704,19 +749,24 @@ let commit_unchecked t ?name () =
      the per-device completion times. *)
   let data_batch = List.rev t.pending_pages in
   t.pending_pages <- [];
+  let data_blocks = List.length data_batch in
   if data_batch <> [] then ignore (Devarray.write_async t.dev data_batch);
   ignore
     (if t.prot.verify || t.prot.mirror then
        Btree.flush_dirty ~tee:(meta_tee t) t.tree
      else Btree.flush_dirty t.tree);
   let durable_at = write_superblock t in
-  if (Devarray.profile t.dev).Profile.volatile_cache then begin
-    (* No power-loss protection: a synchronous flush is the only way
-       to durability, and the application pays for it. *)
-    Devarray.flush t.dev;
-    (g, Clock.now (Devarray.clock t.dev))
-  end
-  else (g, durable_at)
+  let g, durable_at =
+    if (Devarray.profile t.dev).Profile.volatile_cache then begin
+      (* No power-loss protection: a synchronous flush is the only way
+         to durability, and the application pays for it. *)
+      Devarray.flush t.dev;
+      (g, Clock.now (Devarray.clock t.dev))
+    end
+    else (g, durable_at)
+  in
+  note_flush t ~gen:g ~started:flush_started ~durable_at ~data_blocks;
+  (g, durable_at)
 
 let rollback t g =
   Hashtbl.remove t.gens g;

@@ -95,6 +95,15 @@ val open_exn : dev:Devarray.t -> t
 val device : t -> Devarray.t
 val protection : t -> protection
 
+val set_observability : t -> ?metrics:Metrics.t -> ?spans:Span.t -> unit -> unit
+(** Rebind (or, with no arguments, detach) instrumentation. With
+    [metrics], the store registers [store.<dev>.commits],
+    [.records_put], [.pages_put] counters and a [.flush_us] histogram;
+    with [spans], every commit records a [store.flush] span from
+    commit entry to the superblock's durability instant, parented to
+    whatever span is open at the time (the checkpoint root during a
+    checkpoint). *)
+
 (* --- building a generation ----------------------------------------- *)
 
 val begin_generation : t -> ?base:gen -> unit -> gen

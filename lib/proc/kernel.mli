@@ -43,6 +43,8 @@ type t = {
   containers : (int, Container.t) Hashtbl.t;
   mutable next_cid : int;
   trace : Tracelog.t;
+  metrics : Metrics.t;  (** the machine-wide metrics registry *)
+  spans : Span.t;       (** the machine-wide span recorder *)
   prng : Prng.t;
   mutable send_hook : send_hook option;
   mutable sls_ops : (pid:int -> sls_op -> sls_result) option;

@@ -1,0 +1,237 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;            (* strictly increasing upper edges *)
+  counts : int array;              (* length bounds + 1; last = overflow *)
+  mutable n : int;
+  mutable sum : float;
+}
+
+type metric =
+  | Mcounter of counter
+  | Mgauge of gauge
+  | Mhistogram of histogram
+
+type t = {
+  clock : Clock.t;
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;     (* reverse registration order *)
+}
+
+let create clock = { clock; tbl = Hashtbl.create 64; order = [] }
+let clock t = t.clock
+
+let register t name m =
+  Hashtbl.replace t.tbl name m;
+  t.order <- name :: t.order
+
+let kind_name = function
+  | Mcounter _ -> "counter"
+  | Mgauge _ -> "gauge"
+  | Mhistogram _ -> "histogram"
+
+let mismatch name existing wanted =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name existing) wanted)
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Mcounter c) -> c
+  | Some m -> mismatch name m "counter"
+  | None ->
+    let c = { c = 0 } in
+    register t name (Mcounter c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Mgauge g) -> g
+  | Some m -> mismatch name m "gauge"
+  | None ->
+    let g = { g = 0.0 } in
+    register t name (Mgauge g);
+    g
+
+(* 1us .. 1s, roughly 1-2-5 per decade: resolves both a 10 us quiesce
+   and a 100 ms degraded flush on the same axis. *)
+let default_duration_bounds_us =
+  [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.;
+     1_000.; 2_000.; 5_000.; 10_000.; 20_000.; 50_000.;
+     100_000.; 200_000.; 500_000.; 1_000_000. |]
+
+let check_bounds bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Metrics.histogram: empty bounds";
+  for i = 0 to n - 1 do
+    if not (Float.is_finite bounds.(i)) then
+      invalid_arg "Metrics.histogram: non-finite bound";
+    if i > 0 && bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+  done
+
+let histogram t ?(bounds = default_duration_bounds_us) name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Mhistogram h) -> h
+  | Some m -> mismatch name m "histogram"
+  | None ->
+    check_bounds bounds;
+    let h =
+      { bounds = Array.copy bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        n = 0; sum = 0.0 }
+    in
+    register t name (Mhistogram h);
+    h
+
+(* --- hot path -------------------------------------------------------- *)
+
+let incr c = c.c <- c.c + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: negative increment";
+  c.c <- c.c + n
+
+let count c = c.c
+let set g v = g.g <- v
+let set_int g v = g.g <- float_of_int v
+let value g = g.g
+
+(* First bucket whose upper edge is >= v; the overflow bucket
+   otherwise. Linear scan: bucket arrays are ~20 entries and the
+   common phase durations land in the first few probes. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let i = ref 0 in
+  while !i < n && v > bounds.(!i) do Stdlib.incr i done;
+  !i
+
+let observe h v =
+  let i = bucket_index h.bounds v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v
+
+let observe_duration h d = observe h (Duration.to_us d)
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_mean h = if h.n = 0 then Float.nan else h.sum /. float_of_int h.n
+
+let bucket_counts h =
+  let nb = Array.length h.bounds in
+  List.init (nb + 1) (fun i ->
+      ((if i < nb then h.bounds.(i) else Float.infinity), h.counts.(i)))
+
+let quantile_of ~bounds ~counts ~n q =
+  if n = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int n in
+    let nb = Array.length bounds in
+    let rec walk i cum =
+      let c = counts.(i) in
+      let cum' = cum +. float_of_int c in
+      if cum' >= target && c > 0 then begin
+        if i >= nb then bounds.(nb - 1)   (* overflow: pin to the last edge *)
+        else begin
+          let lower = if i = 0 then 0.0 else bounds.(i - 1) in
+          let upper = bounds.(i) in
+          let frac = (target -. cum) /. float_of_int c in
+          lower +. (frac *. (upper -. lower))
+        end
+      end
+      else if i >= nb then bounds.(nb - 1)
+      else walk (i + 1) cum'
+    in
+    walk 0 0.0
+  end
+
+let quantile h q = quantile_of ~bounds:h.bounds ~counts:h.counts ~n:h.n q
+
+(* --- snapshot / export ----------------------------------------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      counts : int array;
+      count : int;
+      sum : float;
+    }
+
+let value_of = function
+  | Mcounter c -> Counter c.c
+  | Mgauge g -> Gauge g.g
+  | Mhistogram h ->
+    Histogram
+      { bounds = Array.copy h.bounds; counts = Array.copy h.counts;
+        count = h.n; sum = h.sum }
+
+let snapshot t =
+  List.rev_map (fun name -> (name, value_of (Hashtbl.find t.tbl name))) t.order
+
+let find t name = Option.map value_of (Hashtbl.find_opt t.tbl name)
+
+let jfloat b v =
+  if Float.is_finite v then
+    (* %.17g roundtrips but is noisy; 6 significant digits is plenty
+       for microsecond-scale values. *)
+    Buffer.add_string b (Printf.sprintf "%.6g" v)
+  else Buffer.add_string b "null"
+
+let jstring b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"at_us\": ";
+  jfloat b (Duration.to_us (Clock.now t.clock));
+  Buffer.add_string b ", \"metrics\": {";
+  let first = ref true in
+  List.iter
+    (fun (name, v) ->
+      if !first then first := false else Buffer.add_string b ", ";
+      jstring b name;
+      Buffer.add_string b ": ";
+      match v with
+      | Counter c -> Buffer.add_string b (Printf.sprintf "{\"type\": \"counter\", \"value\": %d}" c)
+      | Gauge g ->
+        Buffer.add_string b "{\"type\": \"gauge\", \"value\": ";
+        jfloat b g;
+        Buffer.add_char b '}'
+      | Histogram { bounds; counts; count; sum } ->
+        Buffer.add_string b (Printf.sprintf "{\"type\": \"histogram\", \"count\": %d, \"sum\": " count);
+        jfloat b sum;
+        Buffer.add_string b ", \"mean\": ";
+        jfloat b (if count = 0 then Float.nan else sum /. float_of_int count);
+        List.iter
+          (fun q ->
+            Buffer.add_string b (Printf.sprintf ", \"p%g\": " (q *. 100.));
+            jfloat b (quantile_of ~bounds ~counts ~n:count q))
+          [ 0.5; 0.95; 0.99 ];
+        Buffer.add_string b ", \"buckets\": [";
+        let nb = Array.length bounds in
+        for i = 0 to nb do
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b "{\"le\": ";
+          if i < nb then jfloat b bounds.(i) else Buffer.add_string b "\"+inf\"";
+          Buffer.add_string b (Printf.sprintf ", \"count\": %d}" counts.(i))
+        done;
+        Buffer.add_string b "]}")
+    (snapshot t);
+  Buffer.add_string b "}}";
+  Buffer.contents b

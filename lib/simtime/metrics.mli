@@ -1,0 +1,100 @@
+(** Named counters, gauges, and fixed-bucket histograms.
+
+    One registry per simulated machine (owned by the kernel). Metric
+    handles are found-or-created by name; looking a name up again
+    returns the same handle, so instrumentation points can be written
+    as [Metrics.incr (Metrics.counter m "dev.nvme.reads")] without
+    threading handles around. The hot-path operations ({!incr},
+    {!add}, {!set}, {!observe}) allocate nothing.
+
+    Values are sim-time-stamped at snapshot time: {!snapshot} and
+    {!to_json} record the registry clock's current instant, not wall
+    time. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : Clock.t -> t
+val clock : t -> Clock.t
+
+(* --- registration (find-or-create) ---------------------------------- *)
+
+val counter : t -> string -> counter
+(** Find or create the counter named [name]. Raises [Invalid_argument]
+    if the name is already registered as a different metric kind. *)
+
+val gauge : t -> string -> gauge
+
+val histogram : t -> ?bounds:float array -> string -> histogram
+(** [bounds] are the inclusive upper edges of the finite buckets,
+    strictly increasing; an implicit overflow bucket catches
+    everything above the last edge. Defaults to
+    {!default_duration_bounds_us}. Re-registering an existing
+    histogram ignores [bounds] and returns the existing handle;
+    registering a fresh one with empty or non-increasing bounds raises
+    [Invalid_argument]. *)
+
+val default_duration_bounds_us : float array
+(** Log-spaced edges from 1 us to 1 s, suited to phase durations. *)
+
+(* --- hot path -------------------------------------------------------- *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative increment: counters are
+    monotone. *)
+
+val count : counter -> int
+
+val set : gauge -> float -> unit
+val set_int : gauge -> int -> unit
+val value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one sample. A sample lands in the first bucket whose upper
+    edge is >= the value; values above every edge land in the
+    overflow bucket. *)
+
+val observe_duration : histogram -> Duration.t -> unit
+(** {!observe} of the duration in microseconds (the unit every
+    [*_us] histogram in the tree uses). *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+(** [nan] when empty. *)
+
+val bucket_counts : histogram -> (float * int) list
+(** Per-bucket (not cumulative) counts as [(upper_edge, count)]; the
+    overflow bucket's edge is [infinity]. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) by
+    linear interpolation within the bucket holding the target rank;
+    samples in the overflow bucket are attributed to the last finite
+    edge. [nan] when the histogram is empty. *)
+
+(* --- snapshot / export ----------------------------------------------- *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      counts : int array;  (** length = [Array.length bounds + 1] (overflow last) *)
+      count : int;
+      sum : float;
+    }
+
+val snapshot : t -> (string * value) list
+(** Registration order. *)
+
+val find : t -> string -> value option
+
+val to_json : t -> string
+(** The snapshot as a JSON object:
+    [{"at_us": <now>, "metrics": {<name>: {...}, ...}}].
+    Histograms include count/sum/mean/p50/p95/p99 and the bucket
+    array. Non-finite floats are emitted as [null]. *)

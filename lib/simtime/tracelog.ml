@@ -5,30 +5,39 @@ type t = {
   capacity : int;
   buf : event option array;
   mutable next : int; (* total events ever recorded *)
+  mutable cache : event list option; (* memoized [events], oldest first *)
 }
 
 let create ?(capacity = 65536) clock =
   if capacity <= 0 then invalid_arg "Tracelog.create: capacity <= 0";
-  { clock; capacity; buf = Array.make capacity None; next = 0 }
+  { clock; capacity; buf = Array.make capacity None; next = 0; cache = None }
 
 let record t ~subsystem message =
   let e = { at = Clock.now t.clock; subsystem; message } in
   t.buf.(t.next mod t.capacity) <- Some e;
-  t.next <- t.next + 1
+  t.next <- t.next + 1;
+  t.cache <- None
 
 let recordf t ~subsystem fmt =
   Format.kasprintf (fun s -> record t ~subsystem s) fmt
 
+let dropped t = if t.next > t.capacity then t.next - t.capacity else 0
+
 let events t =
-  let start = if t.next > t.capacity then t.next - t.capacity else 0 in
-  let rec collect i acc =
-    if i < start then acc
-    else
-      match t.buf.(i mod t.capacity) with
-      | None -> collect (i - 1) acc
-      | Some e -> collect (i - 1) (e :: acc)
-  in
-  collect (t.next - 1) []
+  match t.cache with
+  | Some l -> l
+  | None ->
+    let start = if t.next > t.capacity then t.next - t.capacity else 0 in
+    let rec collect i acc =
+      if i < start then acc
+      else
+        match t.buf.(i mod t.capacity) with
+        | None -> collect (i - 1) acc
+        | Some e -> collect (i - 1) (e :: acc)
+    in
+    let l = collect (t.next - 1) [] in
+    t.cache <- Some l;
+    l
 
 let find t ~subsystem ~substring =
   let matches e =
@@ -46,7 +55,8 @@ let find t ~subsystem ~substring =
 
 let clear t =
   Array.fill t.buf 0 t.capacity None;
-  t.next <- 0
+  t.next <- 0;
+  t.cache <- None
 
 let pp_event ppf e =
   Format.fprintf ppf "[%a] %s: %s" Duration.pp e.at e.subsystem e.message

@@ -15,7 +15,14 @@ val record : t -> subsystem:string -> string -> unit
 val recordf : t -> subsystem:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
 val events : t -> event list
-(** Oldest first. *)
+(** Oldest first. O(1) amortized: the list is memoized and invalidated
+    only when a new event is recorded, so repeated queries between
+    records share one materialization. *)
+
+val dropped : t -> int
+(** How many events the ring has overwritten (recorded minus
+    retained). A non-zero value means {!events} is an incomplete
+    suffix of the history. *)
 
 val find : t -> subsystem:string -> substring:string -> event option
 (** First event of the subsystem whose message contains the substring. *)

@@ -42,13 +42,39 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
     | None -> if g.Types.incremental then `Incremental else `Full
   in
   let clock = k.Kernel.clock in
+  let spans = k.Kernel.spans in
+  let metrics = k.Kernel.metrics in
   let barrier_at = Clock.now clock in
+  let root =
+    Span.start spans "ckpt"
+      ~attrs:
+        [ ("pgid", string_of_int g.Types.pgid);
+          ("mode", match mode with `Full -> "full" | `Incremental -> "incr") ]
+  in
+
+  (* --- barrier: quiesce ---------------------------------------------- *)
+  (* Park every member at the barrier before touching its state: IPI +
+     run-queue removal per process, a rendezvous share per thread.
+     Counted inside the stop window. *)
+  let s_quiesce = Span.start spans "ckpt.quiesce" in
+  List.iter
+    (fun (p : Process.t) ->
+      if Types.member k g p && not (Process.is_zombie p) then begin
+        Kernel.charge k Costmodel.quiesce_proc;
+        Kernel.charge k
+          (Duration.scale Costmodel.quiesce_thread (List.length p.Process.threads))
+      end)
+    (Kernel.processes k);
+  let quiesce = Span.finish spans s_quiesce in
 
   (* --- barrier: metadata copy --------------------------------------- *)
+  let s_serialize = Span.start spans "ckpt.serialize" in
   let records = Serialize.snapshot_metadata k g in
   let metadata_copy = records.Serialize.metadata_cost in
+  ignore (Span.finish spans s_serialize);
 
   (* --- barrier: COW arming ("lazy data copy") ------------------------ *)
+  let s_cow = Span.start spans "ckpt.cow_mark" in
   let arm_started = Clock.now clock in
   let arm_mode = match mode with `Full -> `Full | `Incremental -> `Dirty_only in
   let captures =
@@ -65,6 +91,7 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
   in
   let pages_captured = List.fold_left (fun acc (_, _, n) -> acc + n) 0 captures in
   let lazy_data_copy = Duration.sub (Clock.now clock) arm_started in
+  ignore (Span.finish spans s_cow ~attrs:[ ("pages", string_of_int pages_captured) ]);
   let stop_time = Duration.sub (Clock.now clock) barrier_at in
   g.Types.last_barrier <- barrier_at;
   Stats.add_duration g.Types.stop_stats stop_time;
@@ -123,10 +150,33 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
       (`Ok, durable_at)
     | Error reason -> (`Degraded reason, barrier_at)
   in
+  ignore
+    (Span.finish spans root
+       ~attrs:
+         [ ("gen", string_of_int gen);
+           ("pages", string_of_int pages_captured);
+           ("status",
+            match status with `Ok -> "ok" | `Degraded r -> "degraded: " ^ r) ]);
+  (* Phase histograms and counters. The flush window (barrier end to
+     durability) only exists for committed checkpoints. *)
+  Metrics.incr (Metrics.counter metrics "ckpt.count");
+  Metrics.add (Metrics.counter metrics "ckpt.pages_captured") pages_captured;
+  Metrics.observe_duration (Metrics.histogram metrics "ckpt.stop_us") stop_time;
+  Metrics.observe_duration (Metrics.histogram metrics "ckpt.quiesce_us") quiesce;
+  Metrics.observe_duration (Metrics.histogram metrics "ckpt.serialize_us") metadata_copy;
+  Metrics.observe_duration (Metrics.histogram metrics "ckpt.cow_mark_us") lazy_data_copy;
+  (match status with
+   | `Ok ->
+     (* Background-flush window: end of the stop window to durability. *)
+     Metrics.observe_duration
+       (Metrics.histogram metrics "ckpt.flush_us")
+       (Duration.sub durable_at (Duration.add barrier_at stop_time))
+   | `Degraded _ -> Metrics.incr (Metrics.counter metrics "ckpt.degraded"));
   let breakdown =
     {
       Types.gen;
       mode;
+      quiesce;
       metadata_copy;
       lazy_data_copy;
       stop_time;

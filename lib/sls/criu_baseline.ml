@@ -64,6 +64,9 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?name () =
     {
       Types.gen;
       mode = `Full;
+      (* CRIU has no in-kernel barrier; the ptrace freeze is part of
+         the introspection cost already folded into metadata_copy. *)
+      quiesce = Duration.zero;
       metadata_copy;
       lazy_data_copy;
       stop_time;

@@ -20,8 +20,18 @@ type t = {
 }
 
 let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
+  (* (Re)bind every layer's instrumentation to this kernel's registry
+     and span recorder. On [boot] the devices survive from the previous
+     incarnation (possibly unmarshaled from a universe file) and must
+     not keep reporting into the dead kernel's handles. *)
+  let metrics = kernel.Kernel.metrics and spans = kernel.Kernel.spans in
+  Devarray.set_observability nvme ~metrics ~spans ();
+  Devarray.set_observability memdev ~metrics ~spans ();
+  Store.set_observability disk_store ~metrics ~spans ();
+  Store.set_observability mem_store ~metrics ~spans ();
   let swap_dev =
-    Blockdev.create ~clock:kernel.Kernel.clock ~profile:(Devarray.profile nvme) "swap0"
+    Blockdev.create ~metrics ~spans ~clock:kernel.Kernel.clock
+      ~profile:(Devarray.profile nvme) "swap0"
   in
   let swap = Swap.create ~dev:swap_dev ~pool:kernel.Kernel.pool in
   let rec t =
@@ -58,6 +68,42 @@ let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
 
 let clock t = t.kernel.Kernel.clock
 let now t = Clock.now (clock t)
+let metrics t = t.kernel.Kernel.metrics
+let spans t = t.kernel.Kernel.spans
+
+(* Fold the pull-style counters (device/fault/store state kept by each
+   layer) into gauges, so one snapshot carries both the push-style
+   instrumentation and the layers' own accounting. *)
+let sync_metrics t =
+  let m = metrics t in
+  let set name v = Metrics.set_int (Metrics.gauge m name) v in
+  List.iter
+    (fun (label, dev) ->
+      let st = Devarray.stats dev in
+      set ("dev." ^ label ^ ".reads") st.Blockdev.reads;
+      set ("dev." ^ label ^ ".writes") st.Blockdev.writes;
+      set ("dev." ^ label ^ ".blocks_read_total") st.Blockdev.blocks_read;
+      set ("dev." ^ label ^ ".blocks_written_total") st.Blockdev.blocks_written;
+      set ("dev." ^ label ^ ".flushes") st.Blockdev.flushes;
+      let f = Devarray.fault_stats dev in
+      set ("fault." ^ label ^ ".transient_reads") f.Fault.transient_reads;
+      set ("fault." ^ label ^ ".transient_writes") f.Fault.transient_writes;
+      set ("fault." ^ label ^ ".latent_reads") f.Fault.latent_reads;
+      set ("fault." ^ label ^ ".corruptions") f.Fault.corruptions)
+    [ (Devarray.name t.nvme, t.nvme); (Devarray.name t.memdev, t.memdev) ];
+  List.iter
+    (fun store ->
+      let label = Devarray.name (Store.device store) in
+      let io = Store.io_stats store in
+      set ("store." ^ label ^ ".io.read_retries") io.Store.read_retries;
+      set ("store." ^ label ^ ".io.checksum_failures") io.Store.checksum_failures;
+      set ("store." ^ label ^ ".io.repaired_from_mirror") io.Store.repaired_from_mirror;
+      set ("store." ^ label ^ ".io.repaired_from_dedup") io.Store.repaired_from_dedup;
+      set ("store." ^ label ^ ".io.lost_blocks") io.Store.lost_blocks)
+    [ t.disk_store; t.mem_store ];
+  set "trace.events_dropped" (Tracelog.dropped t.kernel.Kernel.trace);
+  set "trace.spans_dropped" (Span.dropped (spans t));
+  set "trace.span_orphans" (Span.orphan_finishes (spans t))
 
 (* --- persistence groups --------------------------------------------- *)
 

@@ -57,6 +57,20 @@ val create :
 val clock : t -> Clock.t
 val now : t -> Duration.t
 
+val metrics : t -> Metrics.t
+(** The machine-wide metrics registry (the kernel's). Devices, stores,
+    checkpoint and restore all report into it. *)
+
+val spans : t -> Span.t
+(** The machine-wide span recorder: checkpoint/restore phase trees
+    plus device-transfer and store-flush spans. Export with
+    {!Span.to_chrome_json}. *)
+
+val sync_metrics : t -> unit
+(** Fold pull-style state — device/fault counters, store IO-repair
+    stats, tracelog/span drop counts — into gauges in {!metrics}.
+    Call before taking a snapshot. *)
+
 (* --- persistence groups (the Table 1 CLI surface) ------------------- *)
 
 val persist :

@@ -6,6 +6,29 @@ open Aurora_proc
 open Aurora_vfs
 open Aurora_objstore
 
+(* A restore that cannot proceed is an expected operational failure —
+   a mistyped generation, a partially shipped image — not a
+   programming error, so it gets a typed error (surfaced by the CLI
+   with exit code 2, like store failures) instead of [Failure]. *)
+type error =
+  | No_manifest of { gen : int; pgid : int }
+  | Missing_record of { gen : int; oid : int; what : string }
+  | Bad_image of string
+
+exception Error of error
+
+let describe_error = function
+  | No_manifest { gen; pgid } ->
+    Printf.sprintf "generation %d holds no checkpoint of pgroup %d" gen pgid
+  | Missing_record { gen; oid; what } ->
+    Printf.sprintf "generation %d is missing the %s record (oid %d)" gen what oid
+  | Bad_image msg -> "bad image: " ^ msg
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Restore failure: " ^ describe_error e)
+    | _ -> None)
+
 let kill_group (k : Kernel.t) (g : Types.pgroup) =
   (* Zombies included: a crashed member still occupies its pid. *)
   List.iter
@@ -45,10 +68,20 @@ let restore_object_pages (k : Kernel.t) store ~gen ~store_oid ~policy ~hot obj =
      returned separately so the breakdown can attribute it to the
      object-store-read phase. *)
   let resident = ref 0 and lazy_ = ref 0 in
+  let prefetch_started = Clock.now k.Kernel.clock in
   let batch, read_time =
     Clock.lap k.Kernel.clock (fun () ->
         Store.read_pages_batch store gen ~oid:store_oid ~pindexes:eager_indexes)
   in
+  if eager_indexes <> [] then begin
+    Span.record k.Kernel.spans ~name:"restore.prefetch"
+      ~attrs:[ ("pages", string_of_int (List.length batch)) ]
+      ~start_at:prefetch_started
+      ~end_at:(Clock.now k.Kernel.clock) ();
+    Metrics.observe_duration
+      (Metrics.histogram k.Kernel.metrics "restore.prefetch_us")
+      read_time
+  end;
   List.iter
     (fun (pindex, seed) ->
       Vmobject.install obj pindex (Frame.alloc k.Kernel.pool (Content.of_seed seed));
@@ -65,10 +98,13 @@ let restore_object_pages (k : Kernel.t) store ~gen ~store_oid ~policy ~hot obj =
     lazy_indexes;
   (!resident, !lazy_, read_time)
 
-let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?from_disk
-    ?(new_pids = false) () =
+let restore_body (k : Kernel.t) ~store ~gen ~pgid ~policy ?from_disk
+    ~new_pids ~root () =
   let clock = k.Kernel.clock in
+  let spans = k.Kernel.spans in
+  let metrics = k.Kernel.metrics in
   let started = Clock.now clock in
+  let s_meta = Span.start spans "restore.metadata" in
   let dev = Store.device store in
   let from_disk =
     match from_disk with
@@ -83,14 +119,16 @@ let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?fr
   let manifest =
     match Store.read_record store gen ~oid:(Oidspace.manifest pgid) with
     | Some data -> Serialize.parse_manifest data
-    | None -> failwith (Printf.sprintf "Restore: generation %d has no pgroup %d" gen pgid)
+    | None -> raise (Error (No_manifest { gen; pgid }))
   in
   let proc_recs =
     List.map
       (fun pid ->
         match Store.read_record store gen ~oid:(Oidspace.proc pid) with
         | Some data -> Serialize.parse_proc data
-        | None -> failwith (Printf.sprintf "Restore: missing process record %d" pid))
+        | None ->
+          raise
+            (Error (Missing_record { gen; oid = Oidspace.proc pid; what = "process" })))
       manifest.Serialize.pids
   in
   (* VM object records, transitively through shadow chains. *)
@@ -98,7 +136,10 @@ let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?fr
   let rec load_vmobj obj_oid =
     if not (Hashtbl.mem vmobj_recs obj_oid) then begin
       match Store.read_record store gen ~oid:(Oidspace.vmobj obj_oid) with
-      | None -> failwith (Printf.sprintf "Restore: missing vm object record %d" obj_oid)
+      | None ->
+        raise
+          (Error
+             (Missing_record { gen; oid = Oidspace.vmobj obj_oid; what = "vm object" }))
       | Some data ->
         let rec_ = Serialize.parse_vmobj data in
         Hashtbl.replace vmobj_recs obj_oid rec_;
@@ -116,7 +157,10 @@ let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?fr
       (fun oid ->
         match Store.read_record store gen ~oid:(Oidspace.kobj oid) with
         | Some data -> (oid, data)
-        | None -> failwith (Printf.sprintf "Restore: missing kernel object %d" oid))
+        | None ->
+          raise
+            (Error
+               (Missing_record { gen; oid = Oidspace.kobj oid; what = "kernel object" })))
       manifest.Serialize.kobj_oids
   in
   let objstore_read = Duration.sub (Clock.now clock) started in
@@ -243,8 +287,10 @@ let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?fr
   if not new_pids then
     k.Kernel.next_pid <- max k.Kernel.next_pid manifest.Serialize.next_pid;
   let metadata_state = Duration.sub (Clock.now clock) meta_started in
+  let metadata_phase = Span.finish spans s_meta in
 
   (* --- phase 3: memory state ------------------------------------------ *)
+  let s_pagein = Span.start spans "restore.pagein" in
   let mem_started = Clock.now clock in
   let obj_map : (int, Vmobject.t) Hashtbl.t = Hashtbl.create 32 in
   let pages_resident = ref 0 and pages_lazy = ref 0 in
@@ -325,8 +371,24 @@ let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?fr
       Registry.register k.Kernel.registry kobj)
     (List.rev !deferred_shm);
 
+  let pagein_phase =
+    Span.finish spans s_pagein
+      ~attrs:
+        [ ("resident", string_of_int !pages_resident);
+          ("lazy", string_of_int !pages_lazy) ]
+  in
   let pids = List.map (fun (_, p) -> p.Process.pid) procs |> List.sort Int.compare in
   let total_latency = Duration.sub (Clock.now clock) started in
+  ignore
+    (Span.finish spans root ~attrs:[ ("procs", string_of_int (List.length procs)) ]);
+  Metrics.incr (Metrics.counter metrics "restore.count");
+  Metrics.add (Metrics.counter metrics "restore.pages_resident") !pages_resident;
+  Metrics.add (Metrics.counter metrics "restore.pages_lazy") !pages_lazy;
+  Metrics.observe_duration (Metrics.histogram metrics "restore.total_us") total_latency;
+  Metrics.observe_duration
+    (Metrics.histogram metrics "restore.metadata_us")
+    metadata_phase;
+  Metrics.observe_duration (Metrics.histogram metrics "restore.pagein_us") pagein_phase;
   Tracelog.recordf k.Kernel.trace ~subsystem:"restore"
     "gen %d pgroup %d -> pids [%s] total=%.1fus" gen pgid
     (String.concat ";" (List.map string_of_int pids))
@@ -341,3 +403,23 @@ let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?fr
       pages_lazy = !pages_lazy;
       procs_restored = List.length procs;
     } )
+
+let restore (k : Kernel.t) ~store ~gen ~pgid ?(policy = Types.Lazy_prefetch) ?from_disk
+    ?(new_pids = false) () =
+  let spans = k.Kernel.spans in
+  let root =
+    Span.start spans "restore"
+      ~attrs:[ ("gen", string_of_int gen); ("pgid", string_of_int pgid) ]
+  in
+  match restore_body k ~store ~gen ~pgid ~policy ?from_disk ~new_pids ~root () with
+  | v -> v
+  | exception e ->
+    (* Close the span (and any open phase under it) so later spans do
+       not parent under a dead restore attempt. *)
+    ignore (Span.finish spans root ~attrs:[ ("error", Printexc.to_string e) ]);
+    raise e
+
+let restore_result (k : Kernel.t) ~store ~gen ~pgid ?policy ?from_disk ?new_pids () =
+  match restore k ~store ~gen ~pgid ?policy ?from_disk ?new_pids () with
+  | v -> Ok v
+  | exception Error e -> Error e

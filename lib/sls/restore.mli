@@ -24,6 +24,20 @@
 open Aurora_proc
 open Aurora_objstore
 
+(** Why a restore could not proceed: the generation holds no
+    checkpoint of the group, a record the manifest references is gone
+    (a partially shipped or garbage-collected image), or an imported
+    image is malformed. Operational failures, not programming errors —
+    the CLI reports them and exits 2, like store failures. *)
+type error =
+  | No_manifest of { gen : int; pgid : int }
+  | Missing_record of { gen : int; oid : int; what : string }
+  | Bad_image of string
+
+exception Error of error
+
+val describe_error : error -> string
+
 val restore :
   Kernel.t ->
   store:Store.t ->
@@ -40,8 +54,22 @@ val restore :
     [new_pids] (default false) renumbers the restored processes — the
     serverless scale-out mode, where many instances of one image
     coexist; without it, a pid collision raises [Invalid_argument].
-    Raises [Failure] if the generation holds no manifest for
-    [pgid]. *)
+    Raises {!Error} if the generation holds no manifest for [pgid] or
+    is missing a record the manifest references. *)
+
+val restore_result :
+  Kernel.t ->
+  store:Store.t ->
+  gen:Store.gen ->
+  pgid:int ->
+  ?policy:Types.restore_policy ->
+  ?from_disk:bool ->
+  ?new_pids:bool ->
+  unit ->
+  (int list * Types.restore_breakdown, error) result
+(** {!restore} with the typed failure as a [result] instead of an
+    exception. Other exceptions ([Invalid_argument], store failures)
+    still propagate. *)
 
 val kill_group : Kernel.t -> Types.pgroup -> unit
 (** Terminate and reap every member process (the destructive half of

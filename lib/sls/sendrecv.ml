@@ -11,7 +11,7 @@ let image_oids store ~gen ~pgid ~with_fs =
   let manifest =
     match Store.read_record store gen ~oid:manifest_oid with
     | Some data -> Serialize.parse_manifest data
-    | None -> failwith (Printf.sprintf "Sendrecv: no pgroup %d in generation %d" pgid gen)
+    | None -> raise (Restore.Error (Restore.No_manifest { gen; pgid }))
   in
   let record_oids = ref [ manifest_oid ] in
   let vm_oids = ref [] in
@@ -22,7 +22,11 @@ let image_oids store ~gen ~pgid ~with_fs =
       vm_oids := oid :: !vm_oids;
       record_oids := Oidspace.vmobj oid :: !record_oids;
       match Store.read_record store gen ~oid:(Oidspace.vmobj oid) with
-      | None -> failwith (Printf.sprintf "Sendrecv: missing vm object %d" oid)
+      | None ->
+        raise
+          (Restore.Error
+             (Restore.Missing_record
+                { gen; oid = Oidspace.vmobj oid; what = "vm object" }))
       | Some data ->
         Option.iter add_vm (Serialize.parse_vmobj data).Serialize.shadow_oid
     end
@@ -32,7 +36,7 @@ let image_oids store ~gen ~pgid ~with_fs =
       let oid = Oidspace.proc pid in
       record_oids := oid :: !record_oids;
       match Store.read_record store gen ~oid with
-      | None -> failwith (Printf.sprintf "Sendrecv: missing process %d" pid)
+      | None -> raise (Restore.Error (Restore.Missing_record { gen; oid; what = "process" }))
       | Some data ->
         List.iter
           (fun (e : Serialize.vm_entry_rec) -> add_vm e.Serialize.obj_oid)
@@ -74,7 +78,8 @@ let export store ~gen ~pgid ?base ?(with_fs = true) () =
       Serial.w_int w oid;
       match Store.read_record store gen ~oid with
       | Some data -> Serial.w_string w data
-      | None -> failwith (Printf.sprintf "Sendrecv: missing record %d" oid))
+      | None ->
+        raise (Restore.Error (Restore.Missing_record { gen; oid; what = "image" })))
     record_oids;
   Serial.w_list w (fun w oid ->
       Serial.w_int w oid;
@@ -115,7 +120,11 @@ let export store ~gen ~pgid ?base ?(with_fs = true) () =
 
 let import store image =
   let r = Serial.reader image in
-  if Serial.r_string r <> magic then failwith "Sendrecv.import: bad image magic";
+  (match Serial.r_string r with
+   | s when String.equal s magic -> ()
+   | _ -> raise (Restore.Error (Restore.Bad_image "bad magic"))
+   | exception Serial.Corrupt msg ->
+     raise (Restore.Error (Restore.Bad_image msg)));
   let _pgid = Serial.r_int r in
   ignore (Store.begin_generation store ());
   let records =

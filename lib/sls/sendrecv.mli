@@ -23,11 +23,14 @@ val export :
     pages and blobs identical in the base generation are omitted (an
     incremental shipment; the receiver must already hold the base).
     [with_fs] defaults to true. Reads are charged to the clock (the
-    sender really reads its store). *)
+    sender really reads its store). Raises {!Restore.Error} when the
+    generation holds no checkpoint of [pgid] or a referenced record
+    is missing. *)
 
 val import : Store.t -> string -> Store.gen * Duration.t
 (** Write an exported image into the store as a new generation; returns
-    it with its durability instant. *)
+    it with its durability instant. Raises {!Restore.Error}
+    ([Bad_image]) when the payload is not an Aurora image. *)
 
 val ship :
   Netlink.t -> from_:Netlink.side -> Store.t -> gen:Store.gen -> pgid:int ->

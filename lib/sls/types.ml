@@ -12,6 +12,7 @@ type target = [ `Container of int | `Pids of int list ]
 type ckpt_breakdown = {
   gen : Store.gen;
   mode : [ `Full | `Incremental ];
+  quiesce : Duration.t;
   metadata_copy : Duration.t;
   lazy_data_copy : Duration.t;
   stop_time : Duration.t;
@@ -77,10 +78,11 @@ let member_pids kernel g =
 
 let pp_ckpt_breakdown ppf b =
   Format.fprintf ppf
-    "gen=%d %s metadata=%aus lazy-copy=%aus stop=%aus pages=%d records=%d%s"
+    "gen=%d %s quiesce=%aus metadata=%aus lazy-copy=%aus stop=%aus pages=%d records=%d%s"
     b.gen
     (match b.mode with `Full -> "full" | `Incremental -> "incr")
-    Duration.pp_us b.metadata_copy Duration.pp_us b.lazy_data_copy Duration.pp_us
+    Duration.pp_us b.quiesce Duration.pp_us b.metadata_copy Duration.pp_us
+    b.lazy_data_copy Duration.pp_us
     b.stop_time b.pages_captured b.records_written
     (match b.status with
      | `Ok -> ""

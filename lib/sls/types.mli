@@ -25,6 +25,7 @@ type target = [ `Container of int | `Pids of int list ]
 type ckpt_breakdown = {
   gen : Store.gen;
   mode : [ `Full | `Incremental ];
+  quiesce : Duration.t;         (** parking the group's threads at the barrier *)
   metadata_copy : Duration.t;
   lazy_data_copy : Duration.t;  (** COW arming during the barrier *)
   stop_time : Duration.t;

@@ -108,6 +108,52 @@ let test_errors () =
       check_bool "send without checkpoint rejected" true
         (sls [ "send"; tmp "never.bin"; "-u"; u ] <> 0))
 
+let test_recv_garbage_exits_2 () =
+  with_universe "cli-garbage.universe" (fun u ->
+      let bogus = tmp "cli-bogus.bin" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists bogus then Sys.remove bogus)
+        (fun () ->
+          let oc = open_out_bin bogus in
+          output_string oc "not an aurora image at all";
+          close_out oc;
+          (* A malformed image is an operational failure (typed restore
+             error), reported like a store failure: exit code 2. *)
+          check_int "recv of garbage exits 2" 2 (sls [ "recv"; bogus; "-u"; u ])))
+
+let test_stats () =
+  with_universe "cli-stats.universe" (fun u ->
+      check_int "spawn" 0 (sls [ "spawn"; "app"; "--app"; "counter"; "-u"; u ]);
+      check_int "checkpoint" 0 (sls [ "checkpoint"; "-u"; u ]);
+      let rc, out = capture (fun () -> sls [ "stats"; "-u"; u ]) in
+      check_int "stats table" 0 rc;
+      (* Metrics are per-boot: this invocation booted from the device
+         and resurrected the app, so the restore counters are live. *)
+      check_bool "restore counter reported" true (contains out "restore.count");
+      check_bool "device gauges reported" true (contains out "dev.nvme");
+      let rc, out = capture (fun () -> sls [ "stats"; "--json"; "-u"; u ]) in
+      check_int "stats json" 0 rc;
+      check_bool "json envelope" true (contains out "\"metrics\"");
+      check_bool "sim-time stamp" true (contains out "\"at_us\""))
+
+let test_trace () =
+  with_universe "cli-trace.universe" (fun u ->
+      let out_file = tmp "cli-trace.json" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists out_file then Sys.remove out_file)
+        (fun () ->
+          check_int "spawn" 0 (sls [ "spawn"; "app"; "--app"; "counter"; "-u"; u ]);
+          check_int "run" 0 (sls [ "run"; "--ms"; "20"; "-u"; u ]);
+          check_int "trace" 0 (sls [ "trace"; "--out"; out_file; "-u"; u ]);
+          let ic = open_in out_file in
+          let json = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          check_bool "chrome trace envelope" true (contains json "traceEvents");
+          check_bool "checkpoint root span" true (contains json "\"ckpt\"");
+          check_bool "quiesce phase span" true (contains json "ckpt.quiesce");
+          check_bool "restore phase span" true (contains json "restore.pagein");
+          check_bool "complete events" true (contains json "\"ph\": \"X\"")))
+
 let () =
   Alcotest.run "cli"
     [
@@ -119,5 +165,8 @@ let () =
             test_send_recv_between_universes;
           Alcotest.test_case "attach/detach" `Quick test_attach_detach;
           Alcotest.test_case "error paths" `Quick test_errors;
+          Alcotest.test_case "recv garbage exits 2" `Quick test_recv_garbage_exits_2;
+          Alcotest.test_case "stats table + json" `Quick test_stats;
+          Alcotest.test_case "trace export" `Quick test_trace;
         ] );
     ]

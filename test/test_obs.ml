@@ -1,0 +1,409 @@
+(* Tests for the observability layer: the metrics registry (counters,
+   gauges, fixed-bucket histograms), the span recorder (nesting,
+   orphans, Chrome export), the tracelog drop counter, and the
+   end-to-end checkpoint/restore phase trees a Machine produces. *)
+
+open Aurora_simtime
+open Aurora_objstore
+open Aurora_proc
+open Aurora_sls
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+let us d = Duration.to_us d
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters and gauges                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  let m = Metrics.create (Clock.create ()) in
+  let c = Metrics.counter m "a.b" in
+  check_int "starts at zero" 0 (Metrics.count c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  check_int "accumulates" 5 (Metrics.count c);
+  let c' = Metrics.counter m "a.b" in
+  Metrics.incr c';
+  check_int "find-or-create returns the same handle" 6 (Metrics.count c)
+
+let test_counter_monotone () =
+  let m = Metrics.create (Clock.create ()) in
+  let c = Metrics.counter m "mono" in
+  Metrics.add c 3;
+  check_bool "negative add raises" true
+    (try
+       Metrics.add c (-1);
+       false
+     with Invalid_argument _ -> true);
+  check_int "value unchanged after the rejected add" 3 (Metrics.count c)
+
+let test_kind_mismatch () =
+  let m = Metrics.create (Clock.create ()) in
+  ignore (Metrics.counter m "name");
+  check_bool "gauge over counter raises" true
+    (try
+       ignore (Metrics.gauge m "name");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "histogram over counter raises" true
+    (try
+       ignore (Metrics.histogram m "name");
+       false
+     with Invalid_argument _ -> true)
+
+let test_gauge () =
+  let m = Metrics.create (Clock.create ()) in
+  let g = Metrics.gauge m "g" in
+  Metrics.set g 2.5;
+  check_float "set" 2.5 (Metrics.value g);
+  Metrics.set_int g 7;
+  check_float "set_int" 7.0 (Metrics.value g)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: histograms                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_list h =
+  List.map snd (Metrics.bucket_counts h)
+
+let test_histogram_bucket_edges () =
+  let m = Metrics.create (Clock.create ()) in
+  let h = Metrics.histogram m ~bounds:[| 1.; 2.; 5. |] "h" in
+  (* Upper edges are inclusive: a sample lands in the first bucket
+     whose edge is >= the value. *)
+  Metrics.observe h 0.5;
+  Metrics.observe h 1.0;
+  (* both <= 1 *)
+  Metrics.observe h 1.5;
+  Metrics.observe h 2.0;
+  (* both in (1, 2] *)
+  Metrics.observe h 10.0;
+  (* above every edge: overflow *)
+  check_int "4 buckets (3 finite + overflow)" 4
+    (List.length (Metrics.bucket_counts h));
+  (match bucket_list h with
+   | [ b0; b1; b2; over ] ->
+     check_int "bucket <=1" 2 b0;
+     check_int "bucket (1,2]" 2 b1;
+     check_int "bucket (2,5]" 0 b2;
+     check_int "overflow" 1 over
+   | _ -> Alcotest.fail "unexpected bucket shape");
+  check_int "count" 5 (Metrics.hist_count h);
+  check_float "sum" 15.0 (Metrics.hist_sum h);
+  check_float "mean" 3.0 (Metrics.hist_mean h)
+
+let test_histogram_invalid_bounds () =
+  let m = Metrics.create (Clock.create ()) in
+  check_bool "empty bounds raise" true
+    (try
+       ignore (Metrics.histogram m ~bounds:[||] "e");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "non-increasing bounds raise" true
+    (try
+       ignore (Metrics.histogram m ~bounds:[| 1.; 1. |] "ni");
+       false
+     with Invalid_argument _ -> true)
+
+let test_quantile_interpolation () =
+  let m = Metrics.create (Clock.create ()) in
+  let h = Metrics.histogram m ~bounds:[| 10.; 20.; 30. |] "q" in
+  (* 10 samples in the first bucket, 10 in the second. The median rank
+     sits exactly at the first bucket's upper edge; the 0.75 quantile
+     is halfway through the second bucket. *)
+  for _ = 1 to 10 do
+    Metrics.observe h 5.0
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 15.0
+  done;
+  check_float "p50 at the first edge" 10.0 (Metrics.quantile h 0.5);
+  check_float "p75 interpolates" 15.0 (Metrics.quantile h 0.75);
+  check_float "p100 is the covering edge" 20.0 (Metrics.quantile h 1.0)
+
+let test_quantile_overflow_and_empty () =
+  let m = Metrics.create (Clock.create ()) in
+  let h = Metrics.histogram m ~bounds:[| 10.; 20. |] "qo" in
+  check_bool "empty quantile is nan" true (Float.is_nan (Metrics.quantile h 0.5));
+  Metrics.observe h 1000.0;
+  check_float "overflow pinned to the last edge" 20.0 (Metrics.quantile h 0.99)
+
+let test_snapshot_and_json () =
+  let clock = Clock.create () in
+  Clock.advance clock (Duration.microseconds 42);
+  let m = Metrics.create clock in
+  Metrics.incr (Metrics.counter m "c1");
+  Metrics.set (Metrics.gauge m "g1") 1.5;
+  Metrics.observe (Metrics.histogram m ~bounds:[| 1.; 2. |] "h1") 1.0;
+  (match Metrics.snapshot m with
+   | [ ("c1", Metrics.Counter 1); ("g1", Metrics.Gauge 1.5);
+       ("h1", Metrics.Histogram { count = 1; _ }) ] ->
+     ()
+   | _ -> Alcotest.fail "snapshot shape/order");
+  check_bool "find hit" true (Metrics.find m "g1" <> None);
+  check_bool "find miss" true (Metrics.find m "nope" = None);
+  let json = Metrics.to_json m in
+  let has needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "sim-time stamp" true (has "\"at_us\": 42");
+  check_bool "counter" true (has "\"c1\"");
+  check_bool "histogram quantiles" true (has "\"p99\"");
+  check_bool "overflow bucket edge" true (has "\"+inf\"")
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let clock = Clock.create () in
+  let t = Span.create clock in
+  let a = Span.start t "a" in
+  Clock.advance clock (Duration.microseconds 10);
+  let b = Span.start t "b" in
+  Clock.advance clock (Duration.microseconds 5);
+  let db = Span.finish t b in
+  Clock.advance clock (Duration.microseconds 5);
+  let da = Span.finish t a in
+  check_float "child duration" 5.0 (us db);
+  check_float "parent duration" 20.0 (us da);
+  check_int "b parented to a" a.Span.id b.Span.parent;
+  check_int "a is a root" (-1) a.Span.parent;
+  check_int "one root" 1 (List.length (Span.roots t));
+  (match Span.children t a with
+   | [ c ] -> check_string "child name" "b" c.Span.name
+   | _ -> Alcotest.fail "children");
+  check_int "no orphans" 0 (Span.orphan_finishes t);
+  check_int "nothing open" 0 (Span.open_count t)
+
+let test_span_orphans () =
+  let clock = Clock.create () in
+  let t = Span.create clock in
+  let a = Span.start t "a" in
+  let b = Span.start t "b" in
+  Clock.advance clock (Duration.microseconds 3);
+  (* Finishing the parent closes the abandoned child. *)
+  ignore (Span.finish t a);
+  check_bool "child force-closed" true b.Span.closed;
+  check_int "counted as an orphan" 1 (Span.orphan_finishes t);
+  (* Finishing an already-closed span is also an orphan finish. *)
+  ignore (Span.finish t b);
+  check_int "double finish counted" 2 (Span.orphan_finishes t)
+
+let test_span_record_autoparent () =
+  let clock = Clock.create () in
+  let t = Span.create clock in
+  let a = Span.start t "a" in
+  Span.record t ~name:"xfer" ~start_at:(Duration.microseconds 1)
+    ~end_at:(Duration.microseconds 2) ();
+  ignore (Span.finish t a);
+  (match Span.find t ~name:"xfer" with
+   | Some s -> check_int "recorded interval parented to open span" a.Span.id s.Span.parent
+   | None -> Alcotest.fail "recorded span missing")
+
+let test_span_capacity () =
+  let clock = Clock.create () in
+  let t = Span.create ~capacity:2 clock in
+  ignore (Span.finish t (Span.start t "a"));
+  ignore (Span.finish t (Span.start t "b"));
+  ignore (Span.finish t (Span.start t "c"));
+  check_int "retains up to capacity" 2 (List.length (Span.spans t));
+  check_int "drops counted" 1 (Span.dropped t);
+  Span.clear t;
+  check_int "clear resets" 0 (Span.dropped t)
+
+let test_span_chrome_json () =
+  let clock = Clock.create () in
+  let t = Span.create clock in
+  Span.with_span t ~track:"cpu" "outer" (fun () ->
+      Clock.advance clock (Duration.microseconds 7));
+  let json = Span.to_chrome_json t in
+  let has needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "traceEvents array" true (has "\"traceEvents\"");
+  check_bool "complete event" true (has "\"ph\": \"X\"");
+  check_bool "track name metadata" true (has "thread_name");
+  check_bool "span name present" true (has "\"outer\"")
+
+(* ------------------------------------------------------------------ *)
+(* Tracelog: bounded buffer accounting                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracelog_dropped () =
+  let clock = Clock.create () in
+  let t = Tracelog.create ~capacity:2 clock in
+  Tracelog.record t ~subsystem:"t" "a";
+  Tracelog.record t ~subsystem:"t" "b";
+  check_int "nothing dropped yet" 0 (Tracelog.dropped t);
+  Tracelog.record t ~subsystem:"t" "c";
+  check_int "overwrite counted" 1 (Tracelog.dropped t);
+  check_int "ring keeps the newest" 2 (List.length (Tracelog.events t));
+  check_bool "events memoized between records" true
+    (Tracelog.events t == Tracelog.events t);
+  Tracelog.record t ~subsystem:"t" "d";
+  check_int "cache invalidated on record" 2 (List.length (Tracelog.events t))
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a Machine's checkpoint/restore span tree                *)
+(* ------------------------------------------------------------------ *)
+
+let machine_with_app () =
+  let m = Machine.create () in
+  let k = m.Machine.kernel in
+  let c = Kernel.new_container k ~name:"app" in
+  let p =
+    Kernel.spawn k ~container:c.Container.cid ~name:"w"
+      ~program:"aurora/kv-client" ()
+  in
+  let e = Syscall.mmap_anon k p ~npages:32 in
+  for i = 0 to 31 do
+    Syscall.mem_write k p ~vpn:(e.Aurora_vm.Vmmap.start_vpn + i) ~offset:0
+      ~value:(Int64.of_int (i + 1))
+  done;
+  let g = Machine.persist m (`Container c.Container.cid) in
+  (m, g)
+
+let span_duration_exn t name =
+  match Span.find t ~name with
+  | Some s -> Span.duration s
+  | None -> Alcotest.failf "span %s missing" name
+
+let test_ckpt_span_tree () =
+  let m, g = machine_with_app () in
+  let spans = Machine.spans m in
+  Span.clear spans;
+  let b = Machine.checkpoint_now m g ~mode:`Full () in
+  let root =
+    match Span.find spans ~name:"ckpt" with
+    | Some s -> s
+    | None -> Alcotest.fail "no ckpt root"
+  in
+  let names = List.map (fun (s : Span.span) -> s.Span.name) (Span.children spans root) in
+  check_bool "quiesce child" true (List.mem "ckpt.quiesce" names);
+  check_bool "serialize child" true (List.mem "ckpt.serialize" names);
+  check_bool "cow_mark child" true (List.mem "ckpt.cow_mark" names);
+  check_bool "background flush child" true (List.mem "store.flush" names);
+  (* The three stop-the-world phases tile the stop window exactly. *)
+  let sum =
+    Duration.add
+      (span_duration_exn spans "ckpt.quiesce")
+      (Duration.add
+         (span_duration_exn spans "ckpt.serialize")
+         (span_duration_exn spans "ckpt.cow_mark"))
+  in
+  Alcotest.(check (float 1e-6))
+    "phases sum to the stop time" (us b.Types.stop_time) (us sum);
+  check_bool "breakdown carries the quiesce phase" true
+    Duration.(b.Types.quiesce > Duration.zero);
+  check_int "no open spans after checkpoint" 0 (Span.open_count spans)
+
+let test_restore_span_tree () =
+  let m, g = machine_with_app () in
+  let b = Machine.checkpoint_now m g () in
+  Store.wait_durable m.Machine.disk_store b.Types.durable_at;
+  Store.drop_caches m.Machine.disk_store;
+  let spans = Machine.spans m in
+  Span.clear spans;
+  let _, r = Machine.restore_group m g ~policy:Types.Lazy_prefetch () in
+  let root =
+    match Span.find spans ~name:"restore" with
+    | Some s -> s
+    | None -> Alcotest.fail "no restore root"
+  in
+  let names = List.map (fun (s : Span.span) -> s.Span.name) (Span.children spans root) in
+  check_bool "metadata child" true (List.mem "restore.metadata" names);
+  check_bool "pagein child" true (List.mem "restore.pagein" names);
+  let sum =
+    Duration.add
+      (span_duration_exn spans "restore.metadata")
+      (span_duration_exn spans "restore.pagein")
+  in
+  Alcotest.(check (float 1e-6))
+    "phases sum to the restore latency" (us r.Types.total_latency) (us sum);
+  (* Lazy_prefetch pages the recorded hot set in during the pagein
+     phase; the prefetch interval nests under it. *)
+  (match Span.find spans ~name:"restore.prefetch" with
+   | Some s ->
+     let pagein =
+       match Span.find spans ~name:"restore.pagein" with
+       | Some p -> p
+       | None -> Alcotest.fail "no pagein span"
+     in
+     check_int "prefetch nests under pagein" pagein.Span.id s.Span.parent
+   | None -> Alcotest.fail "no prefetch span");
+  check_int "no open spans after restore" 0 (Span.open_count spans)
+
+let test_machine_metrics_flow () =
+  let m, g = machine_with_app () in
+  ignore (Machine.checkpoint_now m g ());
+  let mm = Machine.metrics m in
+  (match Metrics.find mm "ckpt.count" with
+   | Some (Metrics.Counter n) -> check_bool "ckpt counted" true (n >= 1)
+   | _ -> Alcotest.fail "ckpt.count missing");
+  (match Metrics.find mm "ckpt.stop_us" with
+   | Some (Metrics.Histogram { count; _ }) ->
+     check_bool "stop histogram sampled" true (count >= 1)
+   | _ -> Alcotest.fail "ckpt.stop_us missing");
+  Machine.sync_metrics m;
+  check_bool "device gauges folded in" true
+    (Metrics.find mm "dev.nvme.writes" <> None)
+
+let test_restore_typed_error () =
+  let m, g = machine_with_app () in
+  let b = Machine.checkpoint_now m g () in
+  Store.wait_durable m.Machine.disk_store b.Types.durable_at;
+  let k = m.Machine.kernel in
+  let gen = match g.Types.last_gen with Some n -> n | None -> Alcotest.fail "no gen" in
+  (match
+     Restore.restore_result k ~store:m.Machine.disk_store ~gen ~pgid:9999 ()
+   with
+   | Error (Restore.No_manifest { pgid = 9999; _ }) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Restore.describe_error e)
+   | Ok _ -> Alcotest.fail "restore of a never-checkpointed group succeeded");
+  check_bool "describe is human-readable" true
+    (String.length (Restore.describe_error (Restore.Bad_image "x")) > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counter monotone" `Quick test_counter_monotone;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
+          Alcotest.test_case "invalid bounds" `Quick test_histogram_invalid_bounds;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_quantile_interpolation;
+          Alcotest.test_case "quantile overflow/empty" `Quick
+            test_quantile_overflow_and_empty;
+          Alcotest.test_case "snapshot and json" `Quick test_snapshot_and_json;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "orphans" `Quick test_span_orphans;
+          Alcotest.test_case "record auto-parent" `Quick test_span_record_autoparent;
+          Alcotest.test_case "capacity" `Quick test_span_capacity;
+          Alcotest.test_case "chrome json" `Quick test_span_chrome_json;
+        ] );
+      ( "tracelog",
+        [ Alcotest.test_case "dropped + cache" `Quick test_tracelog_dropped ] );
+      ( "machine",
+        [
+          Alcotest.test_case "ckpt span tree" `Quick test_ckpt_span_tree;
+          Alcotest.test_case "restore span tree" `Quick test_restore_span_tree;
+          Alcotest.test_case "metrics flow" `Quick test_machine_metrics_flow;
+          Alcotest.test_case "typed restore error" `Quick test_restore_typed_error;
+        ] );
+    ]
