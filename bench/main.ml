@@ -943,6 +943,125 @@ let phase_breakdown () =
     exit 1
   end
 
+(* The provenance cross-check: full + incremental checkpoint of a
+   striped Redis-scale image, then verify the three attribution
+   invariants end to end — (1) the per-process and per-object rows sum
+   {e exactly} to the checkpoint breakdown's page/byte totals, (2) the
+   store's reachable-vs-live block cross-check holds within 1% on the
+   live store, and (3) after a crash and recovery the persisted
+   generation-table provenance still matches and the same cross-check
+   holds on the reopened store (the offline, fsck-style path). *)
+let provenance () =
+  section "G-provenance: attribution sums + storage provenance (64 MiB, 4 stripes)";
+  let m, c, p, _ = redis_fixture ~mib:64 ~stripes:4 () in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  let full = Machine.checkpoint_now m g ~mode:`Full () in
+  Store.wait_durable m.Machine.disk_store full.Types.durable_at;
+  dirty_until m p ~target:(Vmmap.resident_pages p.Process.vm * 10 / 100);
+  let b = Machine.checkpoint_now m g ~mode:`Incremental () in
+  Store.wait_durable m.Machine.disk_store b.Types.durable_at;
+  (* (1) exact attribution sums, on the incremental checkpoint. *)
+  let a =
+    match Machine.last_attribution g with
+    | Some a -> a
+    | None -> prerr_endline "provenance: checkpoint produced no attribution"; exit 1
+  in
+  let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  let proc_pages = sum (fun (r : Types.proc_attribution) -> r.Types.p_pages) a.Types.at_procs in
+  let proc_bytes = sum (fun (r : Types.proc_attribution) -> r.Types.p_bytes) a.Types.at_procs in
+  let obj_pages = sum (fun (r : Types.obj_attribution) -> r.Types.a_pages) a.Types.at_objects in
+  let attrib_exact =
+    proc_pages = a.Types.at_pages_total
+    && obj_pages = a.Types.at_pages_total
+    && proc_bytes = a.Types.at_bytes_total
+    && a.Types.at_pages_total = b.Types.pages_captured
+  in
+  row "\n%-40s %12s\n" "Invariant" "result";
+  row "%-40s %12s   (%d pages, %d bytes over %d procs / %d objects)\n"
+    "attribution rows sum to breakdown"
+    (if attrib_exact then "exact" else "MISMATCH")
+    a.Types.at_pages_total a.Types.at_bytes_total
+    (List.length a.Types.at_procs) (List.length a.Types.at_objects);
+  (* (2) live-store cross-check + per-generation reports. *)
+  let store = m.Machine.disk_store in
+  let x_mem = Store.crosscheck store in
+  row "%-40s %12s   (%d reachable vs %d live blocks)\n" "reachable vs live (in-memory)"
+    (if x_mem.Store.x_within_1pct then "within 1%" else "MISMATCH")
+    x_mem.Store.x_reachable_blocks x_mem.Store.x_live_blocks;
+  let prov_pre =
+    match Store.gen_provenance store b.Types.gen with
+    | Some p -> p
+    | None -> prerr_endline "provenance: committed generation has no provenance"; exit 1
+  in
+  let report_pre =
+    match Store.gen_report store b.Types.gen with
+    | Some r -> r
+    | None -> prerr_endline "provenance: gen_report failed on live store"; exit 1
+  in
+  row "%-40s %12d   (%d data + %d meta + %d mirror + %d commit blocks)\n"
+    "bytes written by incremental gen" (Store.bytes_written prov_pre)
+    prov_pre.Store.pv_data_blocks prov_pre.Store.pv_meta_blocks
+    prov_pre.Store.pv_mirror_blocks prov_pre.Store.pv_commit_blocks;
+  (* (3) crash, recover, re-verify offline: persisted provenance and the
+     walked report agree with what the live store said. *)
+  Machine.crash m;
+  let m2 = Machine.recover m in
+  let store2 = m2.Machine.disk_store in
+  let x_disk = Store.crosscheck store2 in
+  let prov_match, report_match =
+    match (Store.gen_provenance store2 b.Types.gen, Store.gen_report store2 b.Types.gen) with
+    | Some p2, Some r2 ->
+      ( p2.Store.pv_pages = prov_pre.Store.pv_pages
+        && p2.Store.pv_records = prov_pre.Store.pv_records
+        && p2.Store.pv_logical_bytes = prov_pre.Store.pv_logical_bytes
+        && p2.Store.pv_data_blocks = prov_pre.Store.pv_data_blocks
+        && p2.Store.pv_dedup_hits = prov_pre.Store.pv_dedup_hits,
+        r2.Store.r_data_blocks = report_pre.Store.r_data_blocks
+        && r2.Store.r_page_entries = report_pre.Store.r_page_entries
+        && r2.Store.r_logical_bytes = report_pre.Store.r_logical_bytes )
+    | _ -> (false, false)
+  in
+  row "%-40s %12s   (%d reachable vs %d live blocks)\n" "reachable vs live (reopened)"
+    (if x_disk.Store.x_within_1pct then "within 1%" else "MISMATCH")
+    x_disk.Store.x_reachable_blocks x_disk.Store.x_live_blocks;
+  row "%-40s %12s\n" "gentable provenance survives reopen"
+    (if prov_match then "match" else "MISMATCH");
+  row "%-40s %12s\n" "walked report identical after reopen"
+    (if report_match then "match" else "MISMATCH");
+  (* The generation diff, full -> incremental, for the record. *)
+  let d = Store.diff store2 ~from_gen:full.Types.gen ~to_gen:b.Types.gen in
+  row "%-40s %+12d   (+%d/-%d pages, %d changed)\n" "page-payload delta full->incr"
+    d.Store.df_bytes_delta d.Store.df_pages_added d.Store.df_pages_removed
+    d.Store.df_pages_changed;
+  json_record "provenance"
+    [
+      ("pages_total", jint a.Types.at_pages_total);
+      ("bytes_total", jint a.Types.at_bytes_total);
+      ("metadata_bytes_total", jint a.Types.at_metadata_bytes_total);
+      ("procs", jint (List.length a.Types.at_procs));
+      ("objects", jint (List.length a.Types.at_objects));
+      ("bytes_written_incr", jint (Store.bytes_written prov_pre));
+      ("dedup_hits_incr", jint prov_pre.Store.pv_dedup_hits);
+      ("dedup_saved_bytes_incr", jint prov_pre.Store.pv_dedup_saved_bytes);
+      ("reachable_blocks_mem", jint x_mem.Store.x_reachable_blocks);
+      ("live_blocks_mem", jint x_mem.Store.x_live_blocks);
+      ("reachable_blocks_disk", jint x_disk.Store.x_reachable_blocks);
+      ("live_blocks_disk", jint x_disk.Store.x_live_blocks);
+      ("diff_pages_changed", jint d.Store.df_pages_changed);
+      ("attrib_sum_exact", jint (if attrib_exact then 1 else 0));
+      ("explain_within_1pct_mem", jint (if x_mem.Store.x_within_1pct then 1 else 0));
+      ("explain_within_1pct_disk", jint (if x_disk.Store.x_within_1pct then 1 else 0));
+      ("prov_persists", jint (if prov_match && report_match then 1 else 0));
+    ];
+  if
+    not
+      (attrib_exact && x_mem.Store.x_within_1pct && x_disk.Store.x_within_1pct
+       && prov_match && report_match)
+  then begin
+    prerr_endline "provenance: attribution/provenance cross-check failed";
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks                                 *)
 (* ------------------------------------------------------------------ *)
@@ -1020,6 +1139,7 @@ let all_targets =
     ("stripe-sweep", stripe_sweep);
     ("fault-sweep", fault_sweep);
     ("phase-breakdown", phase_breakdown);
+    ("provenance", provenance);
     ("bechamel", run_bechamel);
   ]
 

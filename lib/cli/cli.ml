@@ -309,7 +309,8 @@ let cmd_fsck path scrub =
 
 let cmd_stats path json =
   let u = load path in
-  Machine.sync_metrics u.machine;
+  (* No explicit sync needed: Machine registers sync_metrics as a
+     snapshot hook, so the export below always sees fresh gauges. *)
   let m = Machine.metrics u.machine in
   if json then print_string (Metrics.to_json m ^ "\n")
   else begin
@@ -358,6 +359,226 @@ let cmd_trace path out =
        (load in Perfetto or chrome://tracing)"
     out
     (List.length (Span.spans spans));
+  0
+
+(* --- provenance commands ---------------------------------------------- *)
+
+let jbool b = if b then "true" else "false"
+
+let json_obj_attr (a : Types.obj_attribution) =
+  Printf.sprintf
+    "{\"oid\": %d, \"store_oid\": %d, \"owner_pid\": %s, \"pages\": %d, \
+     \"bytes\": %d, \"metadata_bytes\": %d, \"cow_breaks\": %d, \
+     \"chain_depth\": %d}"
+    a.Types.a_oid a.Types.a_store_oid
+    (match a.Types.a_owner_pid with Some p -> string_of_int p | None -> "null")
+    a.Types.a_pages a.Types.a_bytes a.Types.a_metadata_bytes a.Types.a_cow_breaks
+    a.Types.a_chain_depth
+
+let json_proc_attr (p : Types.proc_attribution) =
+  Printf.sprintf
+    "{\"pid\": %d, \"name\": %S, \"pages\": %d, \"bytes\": %d, \
+     \"metadata_bytes\": %d, \"cow_breaks\": %d, \"objects\": %d}"
+    p.Types.p_pid p.Types.p_name p.Types.p_pages p.Types.p_bytes
+    p.Types.p_metadata_bytes p.Types.p_cow_breaks p.Types.p_objects
+
+(* `sls top`: live who-pays-for-checkpoints. A measurement, not a
+   mutation: each group is checkpointed to refresh its attribution, the
+   rows are printed, and the universe file is left untouched (same
+   convention as `sls trace`). *)
+let cmd_top path json k =
+  let u = load path in
+  let rows =
+    List.filter_map
+      (fun (entry, g) ->
+        if Types.member_pids u.machine.Machine.kernel g = [] then None
+        else begin
+          let b = Machine.checkpoint_now u.machine g () in
+          match (b.Types.status, Machine.last_attribution g) with
+          | `Ok, Some a -> Some (entry, g, b, a)
+          | _ -> None
+        end)
+      u.apps
+  in
+  if rows = [] then failwith "no running persisted applications to attribute";
+  let exact (a : Types.ckpt_attribution) =
+    let sp = List.fold_left (fun acc p -> acc + p.Types.p_pages) 0 a.Types.at_procs in
+    let sb = List.fold_left (fun acc p -> acc + p.Types.p_bytes) 0 a.Types.at_procs in
+    let so =
+      List.fold_left (fun acc o -> acc + o.Types.a_pages) 0 a.Types.at_objects
+    in
+    sp = a.Types.at_pages_total && sb = a.Types.at_bytes_total
+    && so = a.Types.at_pages_total
+  in
+  if json then begin
+    let jrow (entry, g, (b : Types.ckpt_breakdown), a) =
+      Printf.sprintf
+        "{\"pgid\": %d, \"app\": %S, \"gen\": %d, \"stop_us\": %.1f, \
+         \"pages\": %d, \"bytes\": %d, \"metadata_bytes\": %d, \
+         \"sums_exact\": %s, \"top_procs\": [%s], \"top_objects\": [%s]}"
+        g.Types.pgid entry.app_name b.Types.gen
+        (Duration.to_us b.Types.stop_time)
+        a.Types.at_pages_total a.Types.at_bytes_total
+        a.Types.at_metadata_bytes_total
+        (jbool (exact a))
+        (String.concat ", " (List.map json_proc_attr (Types.top_procs ~k a)))
+        (String.concat ", " (List.map json_obj_attr (Types.top_objects ~k a)))
+    in
+    say "{\"groups\": [%s]}" (String.concat ", " (List.map jrow rows))
+  end
+  else
+    List.iter
+      (fun (entry, g, (b : Types.ckpt_breakdown), a) ->
+        say "pgroup %d (%s): generation %d, stop %.1f us, %d pages / %d bytes%s"
+          g.Types.pgid entry.app_name b.Types.gen
+          (Duration.to_us b.Types.stop_time)
+          a.Types.at_pages_total a.Types.at_bytes_total
+          (if exact a then "" else "  [ATTRIBUTION MISMATCH]");
+        say "  %6s %-16s %8s %10s %6s %8s" "PID" "NAME" "PAGES" "BYTES" "COW" "OBJECTS";
+        List.iter
+          (fun (p : Types.proc_attribution) ->
+            say "  %6d %-16s %8d %10d %6d %8d" p.Types.p_pid p.Types.p_name
+              p.Types.p_pages p.Types.p_bytes p.Types.p_cow_breaks p.Types.p_objects)
+          (Types.top_procs ~k a);
+        say "  %6s %-16s %8s %10s %6s %8s" "OID" "OWNER" "PAGES" "BYTES" "COW" "CHAIN";
+        List.iter
+          (fun (o : Types.obj_attribution) ->
+            say "  %6d %-16s %8d %10d %6d %8d" o.Types.a_oid
+              (match o.Types.a_owner_pid with
+               | Some p -> "pid " ^ string_of_int p
+               | None -> "-")
+              o.Types.a_pages o.Types.a_bytes o.Types.a_cow_breaks
+              o.Types.a_chain_depth)
+          (Types.top_objects ~k a))
+      rows;
+  if List.for_all (fun (_, _, _, a) -> exact a) rows then 0
+  else failwith "attribution rows do not sum to the checkpoint breakdown"
+
+let json_provenance (p : Store.provenance) =
+  Printf.sprintf
+    "{\"records\": %d, \"pages\": %d, \"blobs\": %d, \"logical_bytes\": %d, \
+     \"data_blocks\": %d, \"meta_blocks\": %d, \"mirror_blocks\": %d, \
+     \"commit_blocks\": %d, \"dedup_hits\": %d, \"dedup_saved_bytes\": %d, \
+     \"bytes_written\": %d}"
+    p.Store.pv_records p.Store.pv_pages p.Store.pv_blobs p.Store.pv_logical_bytes
+    p.Store.pv_data_blocks p.Store.pv_meta_blocks p.Store.pv_mirror_blocks
+    p.Store.pv_commit_blocks p.Store.pv_dedup_hits p.Store.pv_dedup_saved_bytes
+    (Store.bytes_written p)
+
+(* `sls explain <gen>`: the storage provenance of one generation, from
+   both sides — the write-time accumulation persisted in the generation
+   table, and an fsck-style walk of what is reachable right now — plus
+   the store-wide reachable-vs-live cross-check. *)
+let cmd_explain path gen json =
+  let u = load path in
+  let store = u.machine.Machine.disk_store in
+  let gen =
+    match gen with
+    | Some g -> g
+    | None -> (
+      match Store.latest store with
+      | Some g -> g
+      | None -> failwith "store has no committed generations")
+  in
+  let r =
+    match Store.gen_report store gen with
+    | Some r -> r
+    | None -> failwith (Printf.sprintf "unknown generation %d" gen)
+  in
+  let prov = Store.gen_provenance store gen in
+  let x = Store.crosscheck store in
+  if json then
+    say
+      "{\"gen\": %d, \"provenance\": %s, \"report\": {\"meta_blocks\": %d, \
+       \"data_blocks\": %d, \"mirror_blocks\": %d, \"records\": %d, \
+       \"pages\": %d, \"blobs\": %d, \"record_bytes\": %d, \
+       \"logical_bytes\": %d, \"exclusive_blocks\": %d, \"shared_blocks\": %d}, \
+       \"crosscheck\": {\"reachable_blocks\": %d, \"live_blocks\": %d, \
+       \"within_1pct\": %s}, \"capacity_blocks\": %s}"
+      gen
+      (match prov with Some p -> json_provenance p | None -> "null")
+      r.Store.r_meta_blocks r.Store.r_data_blocks r.Store.r_mirror_blocks
+      r.Store.r_record_entries r.Store.r_page_entries r.Store.r_blob_entries
+      r.Store.r_record_bytes r.Store.r_logical_bytes r.Store.r_exclusive_blocks
+      r.Store.r_shared_blocks x.Store.x_reachable_blocks x.Store.x_live_blocks
+      (jbool x.Store.x_within_1pct)
+      (match Store.capacity_blocks store with
+       | Some c -> string_of_int c
+       | None -> "null")
+  else begin
+    say "generation %d" gen;
+    (match prov with
+     | Some p ->
+       say "  written:   %d records, %d pages, %d blobs (%d logical bytes)"
+         p.Store.pv_records p.Store.pv_pages p.Store.pv_blobs
+         p.Store.pv_logical_bytes;
+       say "  blocks:    %d data + %d meta + %d mirror + %d commit = %d bytes on device"
+         p.Store.pv_data_blocks p.Store.pv_meta_blocks p.Store.pv_mirror_blocks
+         p.Store.pv_commit_blocks (Store.bytes_written p);
+       say "  dedup:     %d avoided writes, %d bytes saved" p.Store.pv_dedup_hits
+         p.Store.pv_dedup_saved_bytes
+     | None -> say "  written:   (no provenance: imported or pre-provenance generation)");
+    say "  reachable: %d meta + %d data blocks (%d mirrored); %d exclusive, %d shared"
+      r.Store.r_meta_blocks r.Store.r_data_blocks r.Store.r_mirror_blocks
+      r.Store.r_exclusive_blocks r.Store.r_shared_blocks;
+    say "  contents:  %d records (%d bytes), %d pages, %d blobs (%d logical bytes)"
+      r.Store.r_record_entries r.Store.r_record_bytes r.Store.r_page_entries
+      r.Store.r_blob_entries r.Store.r_logical_bytes;
+    say "  crosscheck: %d reachable vs %d live blocks (%s)"
+      x.Store.x_reachable_blocks x.Store.x_live_blocks
+      (if x.Store.x_within_1pct then "within 1%" else "MISMATCH");
+    (match Store.capacity_blocks store with
+     | Some c ->
+       say "  capacity:  %d / %d blocks live (%.1f%%)" x.Store.x_live_blocks c
+         (100.0 *. float_of_int x.Store.x_live_blocks /. float_of_int c)
+     | None -> ())
+  end;
+  if x.Store.x_within_1pct then 0
+  else failwith "crosscheck failed: reachable and live block counts diverge"
+
+(* `sls diff <genA> <genB>`: what changed between two checkpoints, at
+   object/page granularity, plus the dedup deltas. *)
+let cmd_diff path gen_a gen_b json =
+  let u = load path in
+  let store = u.machine.Machine.disk_store in
+  let d = Store.diff store ~from_gen:gen_a ~to_gen:gen_b in
+  if json then begin
+    let jdelta (c : Store.oid_delta) =
+      Printf.sprintf
+        "{\"oid\": %d, \"pages_added\": %d, \"pages_removed\": %d, \
+         \"pages_changed\": %d}"
+        c.Store.d_oid c.Store.d_pages_added c.Store.d_pages_removed
+        c.Store.d_pages_changed
+    in
+    say
+      "{\"from\": %d, \"to\": %d, \"oids_added\": [%s], \"oids_removed\": [%s], \
+       \"changed\": [%s], \"pages_added\": %d, \"pages_removed\": %d, \
+       \"pages_changed\": %d, \"bytes_delta\": %d, \"dedup_hits_delta\": %d, \
+       \"dedup_saved_delta\": %d}"
+      d.Store.df_from d.Store.df_to
+      (String.concat ", " (List.map string_of_int d.Store.df_oids_added))
+      (String.concat ", " (List.map string_of_int d.Store.df_oids_removed))
+      (String.concat ", " (List.map jdelta d.Store.df_changed))
+      d.Store.df_pages_added d.Store.df_pages_removed d.Store.df_pages_changed
+      d.Store.df_bytes_delta d.Store.df_dedup_hits_delta
+      d.Store.df_dedup_saved_delta
+  end
+  else begin
+    say "generation %d -> %d" d.Store.df_from d.Store.df_to;
+    say "  objects:   %d added, %d removed, %d changed"
+      (List.length d.Store.df_oids_added)
+      (List.length d.Store.df_oids_removed)
+      (List.length d.Store.df_changed);
+    List.iter
+      (fun (c : Store.oid_delta) ->
+        say "    oid %d: +%d / -%d pages, %d changed" c.Store.d_oid
+          c.Store.d_pages_added c.Store.d_pages_removed c.Store.d_pages_changed)
+      d.Store.df_changed;
+    say "  pages:     +%d / -%d, %d changed (%+d bytes)" d.Store.df_pages_added
+      d.Store.df_pages_removed d.Store.df_pages_changed d.Store.df_bytes_delta;
+    say "  dedup:     %+d avoided writes, %+d bytes saved"
+      d.Store.df_dedup_hits_delta d.Store.df_dedup_saved_delta
+  end;
   0
 
 let cmd_crash path =
@@ -516,6 +737,48 @@ let crash_cmd =
   Cmd.v (Cmd.info "crash" ~doc:"Simulate a power failure.")
     Term.(const (fun path -> wrap (fun () -> cmd_crash path)) $ universe_arg)
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of a table.")
+
+let top_cmd =
+  let k =
+    Arg.(value & opt int 5 & info [ "k"; "top" ] ~docv:"N"
+           ~doc:"Rows shown per attribution kind.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Checkpoint every group and show who pays: top-k processes and VM \
+             objects by captured pages/bytes (with the exact-sum cross-check). \
+             The universe file is not modified.")
+    Term.(
+      const (fun path json k -> wrap (fun () -> cmd_top path json k))
+      $ universe_arg $ json_arg $ k)
+
+let explain_cmd =
+  let gen =
+    Arg.(value & pos 0 (some int) None & info [] ~docv:"GEN"
+           ~doc:"Generation to explain (default: latest).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Storage provenance of one generation: write-time accounting from \
+             the generation table, an fsck-style reachability walk, and the \
+             store-wide reachable-vs-live cross-check.")
+    Term.(
+      const (fun path gen json -> wrap (fun () -> cmd_explain path gen json))
+      $ universe_arg $ gen $ json_arg)
+
+let diff_cmd =
+  let gen_a = Arg.(required & pos 0 (some int) None & info [] ~docv:"GENA") in
+  let gen_b = Arg.(required & pos 1 (some int) None & info [] ~docv:"GENB") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Object/page-level delta between two checkpoint generations, with \
+             dedup deltas.")
+    Term.(
+      const (fun path a b json -> wrap (fun () -> cmd_diff path a b json))
+      $ universe_arg $ gen_a $ gen_b $ json_arg)
+
 let fsck_cmd =
   let scrub =
     Arg.(value & flag & info [ "scrub" ]
@@ -533,7 +796,7 @@ let group =
     [
       init_cmd; spawn_cmd; run_cmd; ps_cmd; checkpoint_cmd; gens_cmd; restore_cmd;
       send_cmd; recv_cmd; attach_cmd; detach_cmd; crash_cmd; fsck_cmd; stats_cmd;
-      trace_cmd;
+      trace_cmd; top_cmd; explain_cmd; diff_cmd;
     ]
 
 let main () = Cmd.eval' group

@@ -39,6 +39,10 @@ val alloc_extent : t -> int -> int array
 
 val stripes : t -> int
 
+val capacity_blocks : t -> int option
+(** The capacity cap given at {!create}, if any ([None] = unbounded).
+    Lets inspection tools report utilisation without guessing. *)
+
 val incref : t -> int -> unit
 val decref : t -> int -> unit
 (** Frees at zero (block returns to the free list and the [on_free]

@@ -3,11 +3,12 @@ type t = {
   by_block : (int, int64) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable bytes_saved : int;
 }
 
 let create ~alloc =
   let t = { by_hash = Hashtbl.create 4096; by_block = Hashtbl.create 4096;
-            hits = 0; misses = 0 } in
+            hits = 0; misses = 0; bytes_saved = 0 } in
   Alloc.add_on_free alloc (fun block ->
       match Hashtbl.find_opt t.by_block block with
       | Some hash ->
@@ -38,10 +39,16 @@ let add t ~hash ~block =
 let entries t = Hashtbl.length t.by_hash
 let hits t = t.hits
 let misses t = t.misses
+let bytes_saved t = t.bytes_saved
+
+let note_saved t ~bytes =
+  if bytes < 0 then invalid_arg "Dedup.note_saved: negative size";
+  t.bytes_saved <- t.bytes_saved + bytes
 
 let reset_counters t =
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.bytes_saved <- 0
 
 let reset t =
   Hashtbl.reset t.by_hash;

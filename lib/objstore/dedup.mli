@@ -32,6 +32,16 @@ val hits : t -> int
 val misses : t -> int
 (** Running counters maintained by {!find}. *)
 
+val bytes_saved : t -> int
+(** Total payload bytes whose write was avoided because a duplicate
+    block already existed. The index cannot see payload sizes, so the
+    store reports each avoided write via {!note_saved}. *)
+
+val note_saved : t -> bytes:int -> unit
+(** Credit [bytes] of avoided writes to the savings counter (called by
+    the store on every dedup hit, including intra-batch duplicates).
+    Raises [Invalid_argument] on a negative size. *)
+
 val reset_counters : t -> unit
 
 val reset : t -> unit

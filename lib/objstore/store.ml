@@ -53,6 +53,35 @@ type counters = {
   c_flush_us : Metrics.histogram;
 }
 
+(* Per-generation storage provenance, accumulated at write time (from
+   [begin_generation] through [commit]) and persisted in the
+   generation table so offline inspection sees the same numbers. The
+   fields are physically mutable but the interface exports the type
+   [private]: only this module accumulates. *)
+type provenance = {
+  pv_gen : gen;
+  mutable pv_records : int;
+  mutable pv_pages : int;
+  mutable pv_blobs : int;
+  mutable pv_logical_bytes : int;
+  mutable pv_data_blocks : int;
+  mutable pv_dedup_hits : int;
+  mutable pv_dedup_saved_bytes : int;
+  mutable pv_mirror_blocks : int;
+  mutable pv_meta_blocks : int;
+  mutable pv_commit_blocks : int;
+}
+
+let fresh_provenance gen =
+  { pv_gen = gen; pv_records = 0; pv_pages = 0; pv_blobs = 0;
+    pv_logical_bytes = 0; pv_data_blocks = 0; pv_dedup_hits = 0;
+    pv_dedup_saved_bytes = 0; pv_mirror_blocks = 0; pv_meta_blocks = 0;
+    pv_commit_blocks = 0 }
+
+let bytes_written p =
+  (p.pv_data_blocks + p.pv_mirror_blocks + p.pv_meta_blocks + p.pv_commit_blocks)
+  * Blockdev.block_size
+
 type t = {
   dev : Devarray.t;
   alloc : Alloc.t;
@@ -79,9 +108,15 @@ type t = {
   io : io_stats;
   mutable repair_log : (int * repair_origin) list;
   mutable quarantined : (gen * string) list;
+  provs : (gen, provenance) Hashtbl.t;
   mutable obs_counters : counters option;
   mutable obs_spans : Span.t option;
 }
+
+let open_prov t =
+  match t.open_gen with
+  | Some (g, _) -> Hashtbl.find_opt t.provs g
+  | None -> None
 
 (* --- key encoding ---------------------------------------------------
    key = oid * 2^34 + kind * 2^32 + index
@@ -221,7 +256,8 @@ let make ?(dedup = true) ?prot dev =
       prot; csums = Hashtbl.create 4096; mirrors = Hashtbl.create 256;
       io = { read_retries = 0; checksum_failures = 0; repaired_from_mirror = 0;
              repaired_from_dedup = 0; lost_blocks = 0 };
-      repair_log = []; quarantined = []; obs_counters = None; obs_spans = None }
+      repair_log = []; quarantined = []; provs = Hashtbl.create 16;
+      obs_counters = None; obs_spans = None }
   in
   Alloc.add_on_free alloc (fun b ->
       Hashtbl.remove t.csums b;
@@ -311,6 +347,27 @@ let encode_gentable t =
         Serial.w_int w m)
       ms
   end;
+  (* Provenance of committed generations rides in the table so offline
+     inspection of a reopened store sees write-time accounting too. *)
+  let pvs =
+    Hashtbl.fold
+      (fun g p acc -> if Hashtbl.mem t.gens g then (g, p) :: acc else acc)
+      t.provs []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Serial.w_list w (fun w (_, p) ->
+      Serial.w_int w p.pv_gen;
+      Serial.w_int w p.pv_records;
+      Serial.w_int w p.pv_pages;
+      Serial.w_int w p.pv_blobs;
+      Serial.w_int w p.pv_logical_bytes;
+      Serial.w_int w p.pv_data_blocks;
+      Serial.w_int w p.pv_dedup_hits;
+      Serial.w_int w p.pv_dedup_saved_bytes;
+      Serial.w_int w p.pv_mirror_blocks;
+      Serial.w_int w p.pv_meta_blocks;
+      Serial.w_int w p.pv_commit_blocks)
+    pvs;
   Serial.contents w
 
 let decode_gentable ~verify ~mirror data =
@@ -338,7 +395,24 @@ let decode_gentable ~verify ~mirror data =
           (b, m))
     else []
   in
-  (entries, csums, mirrors)
+  let provs =
+    Serial.r_list r (fun r ->
+        let pv_gen = Serial.r_int r in
+        let pv_records = Serial.r_int r in
+        let pv_pages = Serial.r_int r in
+        let pv_blobs = Serial.r_int r in
+        let pv_logical_bytes = Serial.r_int r in
+        let pv_data_blocks = Serial.r_int r in
+        let pv_dedup_hits = Serial.r_int r in
+        let pv_dedup_saved_bytes = Serial.r_int r in
+        let pv_mirror_blocks = Serial.r_int r in
+        let pv_meta_blocks = Serial.r_int r in
+        let pv_commit_blocks = Serial.r_int r in
+        { pv_gen; pv_records; pv_pages; pv_blobs; pv_logical_bytes;
+          pv_data_blocks; pv_dedup_hits; pv_dedup_saved_bytes;
+          pv_mirror_blocks; pv_meta_blocks; pv_commit_blocks })
+  in
+  (entries, csums, mirrors, provs)
 
 let format ?dedup ?protection ~dev () =
   let t = make ?dedup ?prot:protection dev in
@@ -405,6 +479,7 @@ let begin_generation t ?base () =
         e.root)
   in
   t.open_gen <- Some (g, root);
+  Hashtbl.replace t.provs g (fresh_provenance g);
   g
 
 let tree_insert t key value =
@@ -421,16 +496,39 @@ let note_csum t block content =
 let queue_data t block content =
   note_csum t block content;
   t.pending_pages <- (block, content) :: t.pending_pages;
+  (match open_prov t with
+   | Some p -> p.pv_data_blocks <- p.pv_data_blocks + 1
+   | None -> ());
   if t.prot.mirror && not (Hashtbl.mem t.mirrors block) then begin
     let m = Alloc.alloc t.alloc in
     Hashtbl.replace t.mirrors block m;
-    t.pending_pages <- (m, content) :: t.pending_pages
+    t.pending_pages <- (m, content) :: t.pending_pages;
+    match open_prov t with
+    | Some p -> p.pv_mirror_blocks <- p.pv_mirror_blocks + 1
+    | None -> ()
+  end
+
+(* A dedup hit (or an intra-batch duplicate) is one avoided write:
+   credit the generation's provenance and the index's savings ledger. *)
+let note_dedup_saved t ~hits ~bytes =
+  if hits > 0 then begin
+    Dedup.note_saved t.dedup ~bytes;
+    match open_prov t with
+    | Some p ->
+      p.pv_dedup_hits <- p.pv_dedup_hits + hits;
+      p.pv_dedup_saved_bytes <- p.pv_dedup_saved_bytes + bytes
+    | None -> ()
   end
 
 let put_record t ~oid data =
   let _, root = require_open t in
   (match t.obs_counters with
    | Some c -> Metrics.incr c.c_records_put
+   | None -> ());
+  (match open_prov t with
+   | Some p ->
+     p.pv_records <- p.pv_records + 1;
+     p.pv_logical_bytes <- p.pv_logical_bytes + String.length data
    | None -> ());
   (* Stale chunks from a longer previous record are overwritten with
      immediates so their blocks are released. *)
@@ -464,11 +562,17 @@ let put_page t ~oid ~pindex ~seed =
   (match t.obs_counters with
    | Some c -> Metrics.incr c.c_pages_put
    | None -> ());
+  (match open_prov t with
+   | Some p ->
+     p.pv_pages <- p.pv_pages + 1;
+     p.pv_logical_bytes <- p.pv_logical_bytes + Blockdev.block_size
+   | None -> ());
   let hash = Content.hash (Content.of_seed seed) in
   let block =
     match (if t.dedup_enabled then Dedup.find t.dedup ~hash else None) with
     | Some block ->
       Alloc.incref t.alloc block;
+      note_dedup_saved t ~hits:1 ~bytes:Blockdev.block_size;
       block
     | None ->
       let block = Alloc.alloc t.alloc in
@@ -488,6 +592,11 @@ let put_pages t ~oid pages =
   let n = Array.length pages in
   (match t.obs_counters with
    | Some c -> Metrics.add c.c_pages_put n
+   | None -> ());
+  (match open_prov t with
+   | Some p ->
+     p.pv_pages <- p.pv_pages + n;
+     p.pv_logical_bytes <- p.pv_logical_bytes + (n * Blockdev.block_size)
    | None -> ());
   if n > 0 then begin
     let hit = Array.make n (-1) in       (* resolved dedup-hit block, or -1 *)
@@ -519,6 +628,9 @@ let put_pages t ~oid pages =
               slot_of.(i) <- s)
         end)
       pages;
+    (* Every page that did not need a fresh slot — a dedup hit or an
+       intra-batch duplicate — is one avoided block write. *)
+    note_dedup_saved t ~hits:(n - !nmiss) ~bytes:((n - !nmiss) * Blockdev.block_size);
     let ext = Alloc.alloc_extent t.alloc !nmiss in
     let seeds = Array.of_list (List.rev !fresh_seeds) in
     Array.iteri
@@ -551,11 +663,17 @@ let put_blob t ~oid ~index data =
   let _ = require_open t in
   if String.length data > Blockdev.block_size then
     invalid_arg "Store.put_blob: blob exceeds block size";
+  (match open_prov t with
+   | Some p ->
+     p.pv_blobs <- p.pv_blobs + 1;
+     p.pv_logical_bytes <- p.pv_logical_bytes + String.length data
+   | None -> ());
   let hash = hash_string data in
   let block =
     match (if t.dedup_enabled then Dedup.find t.dedup ~hash else None) with
     | Some block ->
       Alloc.incref t.alloc block;
+      note_dedup_saved t ~hits:1 ~bytes:(String.length data);
       block
     | None ->
       let block = Alloc.alloc t.alloc in
@@ -694,6 +812,7 @@ let recover_refcounts t =
     | () -> ()
     | exception Quarantine (g, reason) ->
       Hashtbl.remove t.gens g;
+      Hashtbl.remove t.provs g;
       t.quarantined <- (g, reason) :: t.quarantined;
       attempt ()
   in
@@ -751,10 +870,31 @@ let commit_unchecked t ?name () =
   t.pending_pages <- [];
   let data_blocks = List.length data_batch in
   if data_batch <> [] then ignore (Devarray.write_async t.dev data_batch);
-  ignore
-    (if t.prot.verify || t.prot.mirror then
-       Btree.flush_dirty ~tee:(meta_tee t) t.tree
-     else Btree.flush_dirty t.tree);
+  let prov = Hashtbl.find_opt t.provs g in
+  (* The tee sees every flushed tree node, so provenance counts them
+     even when the protection machinery (the tee's other job) is off. *)
+  let counting_tee writes =
+    let extra =
+      if t.prot.verify || t.prot.mirror then meta_tee t writes else []
+    in
+    (match prov with
+     | Some p ->
+       p.pv_meta_blocks <- p.pv_meta_blocks + List.length writes;
+       p.pv_mirror_blocks <- p.pv_mirror_blocks + List.length extra
+     | None -> ());
+    extra
+  in
+  ignore (Btree.flush_dirty ~tee:counting_tee t.tree);
+  (* The gentable carries the provenance rows, so the commit-block
+     count must be final before the table is encoded. Ints serialize
+     fixed-width: a trial encoding has the same size as the real one,
+     so the chunk count measured here is exact. *)
+  (match prov with
+   | Some p ->
+     let chunks = List.length (chunk_string (encode_gentable t)) in
+     p.pv_commit_blocks <-
+       1 (* superblock *) + (chunks * if t.prot.mirror then 2 else 1)
+   | None -> ());
   let durable_at = write_superblock t in
   let g, durable_at =
     if (Devarray.profile t.dev).Profile.volatile_cache then begin
@@ -770,6 +910,7 @@ let commit_unchecked t ?name () =
 
 let rollback t g =
   Hashtbl.remove t.gens g;
+  Hashtbl.remove t.provs g;
   t.open_gen <- None;
   t.pending_pages <- [];
   rebuild t
@@ -793,11 +934,12 @@ let commit t ?name () =
 let abort_generation t =
   match t.open_gen with
   | None -> ()
-  | Some _ ->
+  | Some (g, _) ->
     (* Discard the working tree wholesale and recompute allocator,
        dedup and protection state from the committed generations —
        robust even when the abort was triggered halfway through an
        allocation failure. *)
+    Hashtbl.remove t.provs g;
     t.open_gen <- None;
     t.pending_pages <- [];
     rebuild t
@@ -1001,6 +1143,7 @@ let gc t ~keep =
       match Hashtbl.find_opt t.gens g with
       | Some e ->
         Hashtbl.remove t.gens g;
+        Hashtbl.remove t.provs g;
         Btree.release_root t.tree e.root
       | None -> ())
     victims;
@@ -1083,10 +1226,11 @@ let open_ ~dev =
       | Some data -> (
         match decode_gentable ~verify:t.prot.verify ~mirror:t.prot.mirror data with
         | exception Serial.Corrupt msg -> Error (Bad_generation_table msg)
-        | entries, csums, mirrors ->
+        | entries, csums, mirrors, provs ->
           List.iter (fun (g, e) -> Hashtbl.replace t.gens g e) entries;
           List.iter (fun (b, c) -> Hashtbl.replace t.csums b c) csums;
           List.iter (fun (b, m) -> Hashtbl.replace t.mirrors b m) mirrors;
+          List.iter (fun p -> Hashtbl.replace t.provs p.pv_gen p) provs;
           Ok t)
     end
   in
@@ -1115,6 +1259,7 @@ type stats = {
   dedup_entries : int;
   dedup_hits : int;
   dedup_misses : int;
+  dedup_bytes_saved : int;
   committed_generations : int;
 }
 
@@ -1124,7 +1269,263 @@ let stats t =
     dedup_entries = Dedup.entries t.dedup;
     dedup_hits = Dedup.hits t.dedup;
     dedup_misses = Dedup.misses t.dedup;
+    dedup_bytes_saved = Dedup.bytes_saved t.dedup;
     committed_generations = Hashtbl.length t.gens;
+  }
+
+let capacity_blocks t = Alloc.capacity_blocks t.alloc
+
+(* --- provenance inspection ------------------------------------------- *)
+
+let gen_provenance t g = Hashtbl.find_opt t.provs g
+
+(* Blocks reachable from a generation root, split into tree nodes and
+   data blocks. Reads go through the verifying/self-repairing path, so
+   the walk works identically on a live store and on one just reopened
+   from disk (the fsck-style offline path). *)
+let reachable_blocks t root =
+  let meta = Hashtbl.create 256 in
+  let data = Hashtbl.create 1024 in
+  let rec walk block =
+    if not (Hashtbl.mem meta block) then begin
+      Hashtbl.replace meta block ();
+      match Btree.view t.tree block with
+      | Btree.Internal_view children -> List.iter walk children
+      | Btree.Leaf_view entries ->
+        List.iter
+          (fun (_, v) ->
+            match v with
+            | Btree.Ptr b -> Hashtbl.replace data b ()
+            | Btree.Imm _ -> ())
+          entries
+    end
+  in
+  walk root;
+  (meta, data)
+
+let kind_of_key k = Int64.to_int (Int64.rem (Int64.div k 0x1_0000_0000L) 4L)
+let oid_of_key k = Int64.to_int (Int64.div k 0x4_0000_0000L)
+let index_of_key k = Int64.to_int (Int64.logand k 0xFFFF_FFFFL)
+
+type gen_report = {
+  r_gen : gen;
+  r_meta_blocks : int;
+  r_data_blocks : int;
+  r_mirror_blocks : int;
+  r_record_entries : int;
+  r_page_entries : int;
+  r_blob_entries : int;
+  r_record_bytes : int;
+  r_logical_bytes : int;
+  r_exclusive_blocks : int;
+  r_shared_blocks : int;
+}
+
+let gen_report t g =
+  match gen_root t g with
+  | None -> None
+  | Some root ->
+    let meta, data = reachable_blocks t root in
+    let record_entries = ref 0 in
+    let page_entries = ref 0 in
+    let blob_entries = ref 0 in
+    let record_bytes = ref 0 in
+    Btree.fold_range t.tree ~root ~lo:Int64.min_int ~hi:Int64.max_int ~init:()
+      ~f:(fun () k v ->
+        match (v, kind_of_key k) with
+        | Btree.Imm len, 0 when index_of_key k = 0 ->
+          incr record_entries;
+          record_bytes := !record_bytes + Int64.to_int len
+        | Btree.Ptr _, 2 -> incr page_entries
+        | Btree.Ptr _, 3 -> incr blob_entries
+        | _ -> ());
+    let mirror_count set =
+      Hashtbl.fold
+        (fun b () acc -> if Hashtbl.mem t.mirrors b then acc + 1 else acc)
+        set 0
+    in
+    (* Blocks also reachable from any other committed generation are
+       shared (the COW B+tree structure sharing plus dedup). *)
+    let others = Hashtbl.create 4096 in
+    Hashtbl.iter
+      (fun g' e ->
+        if g' <> g then begin
+          let m, d = reachable_blocks t e.root in
+          Hashtbl.iter (fun b () -> Hashtbl.replace others b ()) m;
+          Hashtbl.iter (fun b () -> Hashtbl.replace others b ()) d
+        end)
+      t.gens;
+    let classify set (excl, shared) =
+      Hashtbl.fold
+        (fun b () (e, s) ->
+          if Hashtbl.mem others b then (e, s + 1) else (e + 1, s))
+        set (excl, shared)
+    in
+    let excl, shared = classify data (classify meta (0, 0)) in
+    Some
+      {
+        r_gen = g;
+        r_meta_blocks = Hashtbl.length meta;
+        r_data_blocks = Hashtbl.length data;
+        r_mirror_blocks = mirror_count meta + mirror_count data;
+        r_record_entries = !record_entries;
+        r_page_entries = !page_entries;
+        r_blob_entries = !blob_entries;
+        r_record_bytes = !record_bytes;
+        r_logical_bytes = (!page_entries * Blockdev.block_size) + !record_bytes;
+        r_exclusive_blocks = excl;
+        r_shared_blocks = shared;
+      }
+
+type crosscheck = {
+  x_reachable_blocks : int;
+  x_live_blocks : int;
+  x_within_1pct : bool;
+}
+
+(* The attribution-sum acceptance gate: every allocated block must be
+   accounted for by walking the committed generations (tree nodes, data
+   blocks, their mirrors) plus the commit machinery's own blocks (both
+   generation-table copies and their mirrors). *)
+let crosscheck t =
+  require_closed t;
+  let seen = Hashtbl.create 4096 in
+  let add b = Hashtbl.replace seen b () in
+  List.iter add t.gentable_blocks;
+  List.iter add t.prev_gentable_blocks;
+  List.iter add t.gentable_mirror_blocks;
+  List.iter add t.prev_gentable_mirror_blocks;
+  Hashtbl.iter
+    (fun _ e ->
+      let m, d = reachable_blocks t e.root in
+      let with_mirrors tbl =
+        Hashtbl.iter
+          (fun b () ->
+            add b;
+            match Hashtbl.find_opt t.mirrors b with
+            | Some mb -> add mb
+            | None -> ())
+          tbl
+      in
+      with_mirrors m;
+      with_mirrors d)
+    t.gens;
+  let reachable = Hashtbl.length seen in
+  let live = Alloc.live_blocks t.alloc in
+  let within = abs (reachable - live) * 100 <= max live reachable in
+  { x_reachable_blocks = reachable; x_live_blocks = live; x_within_1pct = within }
+
+type oid_delta = {
+  d_oid : int;
+  d_pages_added : int;
+  d_pages_removed : int;
+  d_pages_changed : int;
+}
+
+type gen_diff = {
+  df_from : gen;
+  df_to : gen;
+  df_oids_added : int list;
+  df_oids_removed : int list;
+  df_changed : oid_delta list;
+  df_pages_added : int;
+  df_pages_removed : int;
+  df_pages_changed : int;
+  df_bytes_delta : int;
+  df_dedup_hits_delta : int;
+  df_dedup_saved_delta : int;
+}
+
+(* Per-oid page-index -> block map of a generation. Under dedup,
+   pointer equality is content equality, so comparing block pointers
+   across generations detects changed pages without reading payloads;
+   without dedup an unchanged page keeps its block (incremental
+   checkpoints skip it), so the comparison still holds. *)
+let page_map t root =
+  let tbl = Hashtbl.create 64 in
+  Btree.fold_range t.tree ~root ~lo:Int64.min_int ~hi:Int64.max_int ~init:()
+    ~f:(fun () k v ->
+      match v with
+      | Btree.Ptr block when kind_of_key k = 2 ->
+        let oid = oid_of_key k in
+        let m =
+          match Hashtbl.find_opt tbl oid with
+          | Some m -> m
+          | None ->
+            let m = Hashtbl.create 64 in
+            Hashtbl.replace tbl oid m;
+            m
+        in
+        Hashtbl.replace m (index_of_key k) block
+      | _ -> ());
+  tbl
+
+let diff t ~from_gen ~to_gen =
+  let root g =
+    match gen_root t g with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Store.diff: unknown generation %d" g)
+  in
+  let ma = page_map t (root from_gen) in
+  let mb = page_map t (root to_gen) in
+  let oids_added =
+    Hashtbl.fold (fun o _ acc -> if Hashtbl.mem ma o then acc else o :: acc) mb []
+    |> List.sort Int.compare
+  in
+  let oids_removed =
+    Hashtbl.fold (fun o _ acc -> if Hashtbl.mem mb o then acc else o :: acc) ma []
+    |> List.sort Int.compare
+  in
+  let all_oids = Hashtbl.create 64 in
+  Hashtbl.iter (fun o _ -> Hashtbl.replace all_oids o ()) ma;
+  Hashtbl.iter (fun o _ -> Hashtbl.replace all_oids o ()) mb;
+  let empty = Hashtbl.create 1 in
+  let changed =
+    Hashtbl.fold
+      (fun o () acc ->
+        let pa = Option.value ~default:empty (Hashtbl.find_opt ma o) in
+        let pb = Option.value ~default:empty (Hashtbl.find_opt mb o) in
+        let added = ref 0 and removed = ref 0 and chg = ref 0 in
+        Hashtbl.iter
+          (fun pindex block ->
+            match Hashtbl.find_opt pa pindex with
+            | None -> incr added
+            | Some b when b <> block -> incr chg
+            | Some _ -> ())
+          pb;
+        Hashtbl.iter
+          (fun pindex _ -> if not (Hashtbl.mem pb pindex) then incr removed)
+          pa;
+        if !added = 0 && !removed = 0 && !chg = 0 then acc
+        else
+          { d_oid = o; d_pages_added = !added; d_pages_removed = !removed;
+            d_pages_changed = !chg }
+          :: acc)
+      all_oids []
+    |> List.sort (fun a b -> Int.compare a.d_oid b.d_oid)
+  in
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 changed in
+  let pages_added = sum (fun d -> d.d_pages_added) in
+  let pages_removed = sum (fun d -> d.d_pages_removed) in
+  let prov_field f g =
+    match Hashtbl.find_opt t.provs g with Some p -> f p | None -> 0
+  in
+  {
+    df_from = from_gen;
+    df_to = to_gen;
+    df_oids_added = oids_added;
+    df_oids_removed = oids_removed;
+    df_changed = changed;
+    df_pages_added = pages_added;
+    df_pages_removed = pages_removed;
+    df_pages_changed = sum (fun d -> d.d_pages_changed);
+    df_bytes_delta = (pages_added - pages_removed) * Blockdev.block_size;
+    df_dedup_hits_delta =
+      prov_field (fun p -> p.pv_dedup_hits) to_gen
+      - prov_field (fun p -> p.pv_dedup_hits) from_gen;
+    df_dedup_saved_delta =
+      prov_field (fun p -> p.pv_dedup_saved_bytes) to_gen
+      - prov_field (fun p -> p.pv_dedup_saved_bytes) from_gen;
   }
 
 let io_stats t =
@@ -1194,6 +1595,7 @@ let scrub_pass t scanned =
       try scrub_gen e.root
       with Bad_gen reason ->
         Hashtbl.remove t.gens g;
+        Hashtbl.remove t.provs g;
         t.quarantined <- (g, reason) :: t.quarantined;
         dropped := true)
     gens_sorted;

@@ -211,10 +211,117 @@ type stats = {
   dedup_entries : int;
   dedup_hits : int;
   dedup_misses : int;
+  dedup_bytes_saved : int;
   committed_generations : int;
 }
 
 val stats : t -> stats
+
+val capacity_blocks : t -> int option
+(** The allocator's capacity cap ([None] = unbounded); inspection
+    tools report utilisation against it. *)
+
+(* --- provenance ----------------------------------------------------- *)
+
+(** Write-time storage provenance of one generation, accumulated from
+    {!begin_generation} through {!commit} and persisted in the
+    generation table (so a reopened store reports the same numbers —
+    the offline inspection path). [pv_logical_bytes] is what the
+    checkpoint logically captured (page payloads + record/blob bytes);
+    [pv_data_blocks]/[pv_meta_blocks]/[pv_mirror_blocks]/
+    [pv_commit_blocks] are the blocks physically written (fresh data,
+    flushed tree nodes, replicas, generation table + superblock).
+    [pv_dedup_hits] counts avoided block writes (index hits plus
+    intra-batch duplicates), [pv_dedup_saved_bytes] their payload. The
+    type is [private]: only the store accumulates. *)
+type provenance = private {
+  pv_gen : gen;
+  mutable pv_records : int;
+  mutable pv_pages : int;
+  mutable pv_blobs : int;
+  mutable pv_logical_bytes : int;
+  mutable pv_data_blocks : int;
+  mutable pv_dedup_hits : int;
+  mutable pv_dedup_saved_bytes : int;
+  mutable pv_mirror_blocks : int;
+  mutable pv_meta_blocks : int;
+  mutable pv_commit_blocks : int;
+}
+
+val gen_provenance : t -> gen -> provenance option
+(** [None] for unknown (or aborted/quarantined/collected) generations. *)
+
+val bytes_written : provenance -> int
+(** Physical bytes the generation wrote:
+    [(data + mirror + meta + commit blocks) * block_size]. *)
+
+(** The derived (walked, fsck-style) view of a generation: what is
+    actually reachable from its root right now. Unlike {!provenance}
+    this is not an accumulation — it is recomputed from the tree, so it
+    works identically on a live store and on one just reopened from
+    disk, and it reflects sharing: [r_shared_blocks] are reachable from
+    at least one other committed generation too (COW structure sharing
+    and dedup), [r_exclusive_blocks] from this one only (what {!gc}
+    would free). [r_logical_bytes] counts page payloads + record bytes
+    (blob payloads are counted as entries only). *)
+type gen_report = {
+  r_gen : gen;
+  r_meta_blocks : int;
+  r_data_blocks : int;
+  r_mirror_blocks : int;
+  r_record_entries : int;
+  r_page_entries : int;
+  r_blob_entries : int;
+  r_record_bytes : int;
+  r_logical_bytes : int;
+  r_exclusive_blocks : int;
+  r_shared_blocks : int;
+}
+
+val gen_report : t -> gen -> gen_report option
+(** Walk the generation and report. Reads go through the verifying,
+    self-repairing path; [None] for unknown generations. *)
+
+(** The attribution-sum cross-check: blocks reachable by walking every
+    committed generation (plus mirrors and the commit machinery's own
+    blocks) against the allocator's live count. On a consistent store
+    they are equal; the acceptance gate allows 1%. *)
+type crosscheck = {
+  x_reachable_blocks : int;
+  x_live_blocks : int;
+  x_within_1pct : bool;
+}
+
+val crosscheck : t -> crosscheck
+(** Raises [Invalid_argument] while a generation is open. *)
+
+(** Page-level delta of one object between two generations. *)
+type oid_delta = {
+  d_oid : int;
+  d_pages_added : int;
+  d_pages_removed : int;
+  d_pages_changed : int;
+}
+
+type gen_diff = {
+  df_from : gen;
+  df_to : gen;
+  df_oids_added : int list;    (** oids with pages in [to] only *)
+  df_oids_removed : int list;  (** oids with pages in [from] only *)
+  df_changed : oid_delta list; (** oids whose page sets differ *)
+  df_pages_added : int;
+  df_pages_removed : int;
+  df_pages_changed : int;
+  df_bytes_delta : int;        (** page-payload growth, may be negative *)
+  df_dedup_hits_delta : int;   (** [to]'s provenance minus [from]'s *)
+  df_dedup_saved_delta : int;
+}
+
+val diff : t -> from_gen:gen -> to_gen:gen -> gen_diff
+(** Compare two committed generations by page block pointers (under
+    dedup, pointer equality is content equality; without it, unchanged
+    pages keep their blocks, so the comparison holds either way).
+    Raises [Invalid_argument] on unknown generations. *)
 
 (** Fault-path counters: transient-read retries issued, checksum
     verification failures, blocks healed per repair source, and blocks

@@ -17,10 +17,25 @@ type t = {
   clock : Clock.t;
   tbl : (string, metric) Hashtbl.t;
   mutable order : string list;     (* reverse registration order *)
+  mutable hooks : (unit -> unit) list;  (* reverse registration order *)
+  mutable in_hooks : bool;
 }
 
-let create clock = { clock; tbl = Hashtbl.create 64; order = [] }
+let create clock =
+  { clock; tbl = Hashtbl.create 64; order = []; hooks = []; in_hooks = false }
+
 let clock t = t.clock
+
+let on_snapshot t f = t.hooks <- f :: t.hooks
+
+(* A hook that itself snapshots (directly or via a sync routine that
+   reads gauges) must not recurse into the hook list. *)
+let run_hooks t =
+  if not t.in_hooks && t.hooks <> [] then begin
+    t.in_hooks <- true;
+    Fun.protect ~finally:(fun () -> t.in_hooks <- false)
+      (fun () -> List.iter (fun f -> f ()) (List.rev t.hooks))
+  end
 
 let register t name m =
   Hashtbl.replace t.tbl name m;
@@ -170,9 +185,12 @@ let value_of = function
         count = h.n; sum = h.sum }
 
 let snapshot t =
+  run_hooks t;
   List.rev_map (fun name -> (name, value_of (Hashtbl.find t.tbl name))) t.order
 
-let find t name = Option.map value_of (Hashtbl.find_opt t.tbl name)
+let find t name =
+  run_hooks t;
+  Option.map value_of (Hashtbl.find_opt t.tbl name)
 
 let jfloat b v =
   if Float.is_finite v then

@@ -19,6 +19,14 @@ type histogram
 val create : Clock.t -> t
 val clock : t -> Clock.t
 
+val on_snapshot : t -> (unit -> unit) -> unit
+(** Register a pre-export hook. Hooks run (in registration order) at
+    the start of every {!snapshot}, {!find}, and {!to_json} call, so a
+    subsystem whose gauges are derived from live state can refresh
+    them lazily and exported values are never stale. Re-entrant
+    exports from inside a hook skip the hook pass rather than
+    recursing. *)
+
 (* --- registration (find-or-create) ---------------------------------- *)
 
 val counter : t -> string -> counter

@@ -30,6 +30,137 @@ let persistent_opens (k : Kernel.t) (g : Types.pgroup) =
     (Kernel.processes k);
   fun vid -> Option.value ~default:0 (Hashtbl.find_opt counts vid)
 
+(* --- attribution ----------------------------------------------------- *)
+
+(* Simulated page payload: one 4 KiB block per captured page. *)
+let page_bytes = 4096
+
+(* Build the who-caused-what view of one capture set. Object rows come
+   straight from the arrays the barrier captured, so their page sums
+   equal [pages_captured] by construction; process rows partition the
+   object rows (each object goes to the lowest-pid member that maps it,
+   or to the pid-0 kernel/shared row when nothing does — shm backing
+   reachable only through the registry, for instance), so the two views
+   sum to the same totals exactly. *)
+let attribution (k : Kernel.t) (g : Types.pgroup) ~gen
+    (records : Serialize.records) captures =
+  let rec_len = Hashtbl.create 64 in
+  List.iter
+    (fun (oid, r) -> Hashtbl.replace rec_len oid (String.length r))
+    records.Serialize.items;
+  let len_of oid = Option.value ~default:0 (Hashtbl.find_opt rec_len oid) in
+  let procs =
+    Kernel.processes k
+    |> List.filter (fun p -> Types.member k g p && not (Process.is_zombie p))
+    |> List.sort (fun (a : Process.t) b -> Int.compare a.Process.pid b.Process.pid)
+  in
+  let owner = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Process.t) ->
+      List.iter
+        (fun e ->
+          if e.Vmmap.persisted then begin
+            (* Claim the whole shadow chain: a fork's COW layers belong
+               to whichever member saw the chain first (lowest pid). *)
+            let rec claim obj =
+              if not (Hashtbl.mem owner (Vmobject.oid obj)) then
+                Hashtbl.replace owner (Vmobject.oid obj) p.Process.pid;
+              Option.iter claim (Vmobject.shadow_of obj)
+            in
+            claim e.Vmmap.obj
+          end)
+        (Vmmap.entries p.Process.vm))
+    procs;
+  let objects =
+    List.map2
+      (fun (obj, _) (store_oid, _items, npages) ->
+        let metadata_bytes = len_of store_oid in
+        let cow_breaks = Vmobject.cow_breaks obj in
+        Vmobject.reset_cow_breaks obj;
+        {
+          Types.a_oid = Vmobject.oid obj;
+          a_store_oid = store_oid;
+          a_pages = npages;
+          a_bytes = (npages * page_bytes) + metadata_bytes;
+          a_metadata_bytes = metadata_bytes;
+          a_cow_breaks = cow_breaks;
+          a_chain_depth = Vmobject.chain_depth obj;
+          a_owner_pid = Hashtbl.find_opt owner (Vmobject.oid obj);
+        })
+      records.Serialize.vm_objects captures
+  in
+  let by_pid = Hashtbl.create 16 in
+  let bump pid ~pages ~bytes ~meta ~cow ~objs =
+    let p0, b0, m0, c0, o0 =
+      Option.value ~default:(0, 0, 0, 0, 0) (Hashtbl.find_opt by_pid pid)
+    in
+    Hashtbl.replace by_pid pid
+      (p0 + pages, b0 + bytes, m0 + meta, c0 + cow, o0 + objs)
+  in
+  List.iter
+    (fun (a : Types.obj_attribution) ->
+      bump
+        (Option.value ~default:0 a.Types.a_owner_pid)
+        ~pages:a.Types.a_pages ~bytes:a.Types.a_bytes
+        ~meta:a.Types.a_metadata_bytes ~cow:a.Types.a_cow_breaks ~objs:1)
+    objects;
+  List.iter
+    (fun (p : Process.t) ->
+      let len = len_of (Oidspace.proc p.Process.pid) in
+      bump p.Process.pid ~pages:0 ~bytes:len ~meta:len ~cow:0 ~objs:0)
+    procs;
+  (* Whatever metadata is neither an object record nor a process record
+     (manifest, kernel objects, fs image) lands on the shared row, so
+     the process rows keep summing to the full byte total. *)
+  let manifest_len = String.length records.Serialize.manifest in
+  let items_bytes =
+    List.fold_left (fun acc (_, r) -> acc + String.length r) 0
+      records.Serialize.items
+  in
+  let object_meta =
+    List.fold_left (fun acc a -> acc + a.Types.a_metadata_bytes) 0 objects
+  in
+  let proc_meta =
+    List.fold_left
+      (fun acc (p : Process.t) -> acc + len_of (Oidspace.proc p.Process.pid))
+      0 procs
+  in
+  let shared_meta = items_bytes + manifest_len - object_meta - proc_meta in
+  bump 0 ~pages:0 ~bytes:shared_meta ~meta:shared_meta ~cow:0 ~objs:0;
+  let name_of pid =
+    if pid = 0 then "(shared)"
+    else
+      match List.find_opt (fun (p : Process.t) -> p.Process.pid = pid) procs with
+      | Some p -> p.Process.name
+      | None -> Printf.sprintf "pid%d" pid
+  in
+  let proc_rows =
+    Hashtbl.fold
+      (fun pid (pages, bytes, meta, cow, objs) acc ->
+        {
+          Types.p_pid = pid;
+          p_name = name_of pid;
+          p_pages = pages;
+          p_bytes = bytes;
+          p_metadata_bytes = meta;
+          p_cow_breaks = cow;
+          p_objects = objs;
+        }
+        :: acc)
+      by_pid []
+    |> List.sort (fun a b -> Int.compare a.Types.p_pid b.Types.p_pid)
+  in
+  let pages_total = List.fold_left (fun acc a -> acc + a.Types.a_pages) 0 objects in
+  let metadata_total = items_bytes + manifest_len in
+  {
+    Types.at_gen = gen;
+    at_pages_total = pages_total;
+    at_bytes_total = (pages_total * page_bytes) + metadata_total;
+    at_metadata_bytes_total = metadata_total;
+    at_objects = objects;
+    at_procs = proc_rows;
+  }
+
 let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
   let store =
     match Types.primary_store g with
@@ -100,6 +231,11 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
   (* The orchestrator core does this work while the application runs;
      it consumes device-queue time but not application CPU time. *)
   let gen = Store.begin_generation store () in
+  (* Attribution is barrier-side data (who dirtied what), valid even if
+     the flush below degrades; reading it also resets the per-object
+     COW-break counters for the next cycle. *)
+  let attrib = attribution k g ~gen records captures in
+  g.Types.last_attribution <- Some attrib;
   (* A full or failing device must degrade the checkpoint, not kill
      the machine: abort the open generation (the store rebuilds its
      state from committed generations) and keep serving from the last
@@ -161,6 +297,11 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
      durability) only exists for committed checkpoints. *)
   Metrics.incr (Metrics.counter metrics "ckpt.count");
   Metrics.add (Metrics.counter metrics "ckpt.pages_captured") pages_captured;
+  Metrics.add
+    (Metrics.counter metrics "ckpt.cow_breaks")
+    (List.fold_left
+       (fun acc a -> acc + a.Types.a_cow_breaks)
+       0 attrib.Types.at_objects);
   Metrics.observe_duration (Metrics.histogram metrics "ckpt.stop_us") stop_time;
   Metrics.observe_duration (Metrics.histogram metrics "ckpt.quiesce_us") quiesce;
   Metrics.observe_duration (Metrics.histogram metrics "ckpt.serialize_us") metadata_copy;

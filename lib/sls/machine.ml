@@ -17,54 +17,8 @@ type t = {
   extcons : Extconsist.t;
   mutable history_window : int;
   mutable recorded : Types.pgroup list;
+  slo : Slo.t;
 }
-
-let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
-  (* (Re)bind every layer's instrumentation to this kernel's registry
-     and span recorder. On [boot] the devices survive from the previous
-     incarnation (possibly unmarshaled from a universe file) and must
-     not keep reporting into the dead kernel's handles. *)
-  let metrics = kernel.Kernel.metrics and spans = kernel.Kernel.spans in
-  Devarray.set_observability nvme ~metrics ~spans ();
-  Devarray.set_observability memdev ~metrics ~spans ();
-  Store.set_observability disk_store ~metrics ~spans ();
-  Store.set_observability mem_store ~metrics ~spans ();
-  let swap_dev =
-    Blockdev.create ~metrics ~spans ~clock:kernel.Kernel.clock
-      ~profile:(Devarray.profile nvme) "swap0"
-  in
-  let swap = Swap.create ~dev:swap_dev ~pool:kernel.Kernel.pool in
-  let rec t =
-    lazy
-      {
-        kernel; nvme; memdev; swap; disk_store; mem_store; pgroups = [];
-        next_pgid = 1;
-        extcons =
-          Extconsist.install kernel ~groups:(fun () -> (Lazy.force t).pgroups);
-        history_window = 8;
-        recorded = [];
-      }
-  in
-  Lazy.force t
-
-let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
-    ?(fs_with_disk = false) ?dedup ?faults ?storage_blocks () =
-  let kernel0 = Kernel.create ?capacity_pages () in
-  let clock = kernel0.Kernel.clock in
-  let fs =
-    if fs_with_disk then
-      Memfs.create ~backing:(Blockdev.create ~clock ~profile:storage_profile "fsdev0") ()
-    else Memfs.create ()
-  in
-  kernel0.Kernel.fs <- fs;
-  let nvme =
-    Devarray.create ?stripes ?faults ?capacity_blocks:storage_blocks ~clock
-      ~profile:storage_profile "nvme"
-  in
-  let memdev = Devarray.create ~stripes:1 ~clock ~profile:Profile.dram "memdev" in
-  let disk_store = Store.format ?dedup ~dev:nvme () in
-  let mem_store = Store.format ~dev:memdev () in
-  build_on ~kernel:kernel0 ~nvme ~memdev ~disk_store ~mem_store
 
 let clock t = t.kernel.Kernel.clock
 let now t = Clock.now (clock t)
@@ -73,7 +27,10 @@ let spans t = t.kernel.Kernel.spans
 
 (* Fold the pull-style counters (device/fault/store state kept by each
    layer) into gauges, so one snapshot carries both the push-style
-   instrumentation and the layers' own accounting. *)
+   instrumentation and the layers' own accounting. Registered as a
+   [Metrics.on_snapshot] hook at build time, so every export path
+   (snapshot, find, to_json) sees fresh values without callers having
+   to remember to sync. *)
 let sync_metrics t =
   let m = metrics t in
   let set name v = Metrics.set_int (Metrics.gauge m name) v in
@@ -99,11 +56,69 @@ let sync_metrics t =
       set ("store." ^ label ^ ".io.checksum_failures") io.Store.checksum_failures;
       set ("store." ^ label ^ ".io.repaired_from_mirror") io.Store.repaired_from_mirror;
       set ("store." ^ label ^ ".io.repaired_from_dedup") io.Store.repaired_from_dedup;
-      set ("store." ^ label ^ ".io.lost_blocks") io.Store.lost_blocks)
+      set ("store." ^ label ^ ".io.lost_blocks") io.Store.lost_blocks;
+      let st = Store.stats store in
+      set ("store." ^ label ^ ".live_blocks") st.Store.live_blocks;
+      set ("store." ^ label ^ ".generations") st.Store.committed_generations;
+      set ("store." ^ label ^ ".dedup.entries") st.Store.dedup_entries;
+      set ("store." ^ label ^ ".dedup.hits") st.Store.dedup_hits;
+      set ("store." ^ label ^ ".dedup.misses") st.Store.dedup_misses;
+      set ("store." ^ label ^ ".dedup.bytes_saved") st.Store.dedup_bytes_saved)
     [ t.disk_store; t.mem_store ];
   set "trace.events_dropped" (Tracelog.dropped t.kernel.Kernel.trace);
   set "trace.spans_dropped" (Span.dropped (spans t));
   set "trace.span_orphans" (Span.orphan_finishes (spans t))
+
+let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
+  (* (Re)bind every layer's instrumentation to this kernel's registry
+     and span recorder. On [boot] the devices survive from the previous
+     incarnation (possibly unmarshaled from a universe file) and must
+     not keep reporting into the dead kernel's handles. *)
+  let metrics = kernel.Kernel.metrics and spans = kernel.Kernel.spans in
+  Devarray.set_observability nvme ~metrics ~spans ();
+  Devarray.set_observability memdev ~metrics ~spans ();
+  Store.set_observability disk_store ~metrics ~spans ();
+  Store.set_observability mem_store ~metrics ~spans ();
+  let swap_dev =
+    Blockdev.create ~metrics ~spans ~clock:kernel.Kernel.clock
+      ~profile:(Devarray.profile nvme) "swap0"
+  in
+  let swap = Swap.create ~dev:swap_dev ~pool:kernel.Kernel.pool in
+  let rec t =
+    lazy
+      {
+        kernel; nvme; memdev; swap; disk_store; mem_store; pgroups = [];
+        next_pgid = 1;
+        extcons =
+          Extconsist.install kernel ~groups:(fun () -> (Lazy.force t).pgroups);
+        history_window = 8;
+        recorded = [];
+        slo = Slo.create ();
+      }
+  in
+  let m = Lazy.force t in
+  (* Gauges derived from layer state refresh on every export. *)
+  Metrics.on_snapshot metrics (fun () -> sync_metrics m);
+  m
+
+let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
+    ?(fs_with_disk = false) ?dedup ?faults ?storage_blocks () =
+  let kernel0 = Kernel.create ?capacity_pages () in
+  let clock = kernel0.Kernel.clock in
+  let fs =
+    if fs_with_disk then
+      Memfs.create ~backing:(Blockdev.create ~clock ~profile:storage_profile "fsdev0") ()
+    else Memfs.create ()
+  in
+  kernel0.Kernel.fs <- fs;
+  let nvme =
+    Devarray.create ?stripes ?faults ?capacity_blocks:storage_blocks ~clock
+      ~profile:storage_profile "nvme"
+  in
+  let memdev = Devarray.create ~stripes:1 ~clock ~profile:Profile.dram "memdev" in
+  let disk_store = Store.format ?dedup ~dev:nvme () in
+  let mem_store = Store.format ~dev:memdev () in
+  build_on ~kernel:kernel0 ~nvme ~memdev ~disk_store ~mem_store
 
 (* --- persistence groups --------------------------------------------- *)
 
@@ -148,6 +163,13 @@ let gc_history t =
 
 let checkpoint_now t g ?mode ?name () =
   let b = Ckpt.checkpoint t.kernel g ?mode ?name () in
+  (* Feed the watchdog before any secondary-backend work moves the
+     clock: the stop window ends when the application resumes. *)
+  (if b.Types.status = `Ok then
+     ignore
+       (Slo.observe_stop t.slo ~metrics:(metrics t) ~spans:(spans t)
+          ~pgid:g.Types.pgid ?attribution:g.Types.last_attribution ~now:(now t)
+          b.Types.stop_time));
   (match b.Types.status with
    | `Degraded _ ->
      (* The generation never committed: nothing to stamp, export or
@@ -357,7 +379,14 @@ let restore_group t g ?gen ?policy ?from () =
       | None -> invalid_arg "Machine.restore_group: store has no checkpoints")
   in
   Restore.kill_group t.kernel g;
-  Restore.restore t.kernel ~store ~gen ~pgid:g.Types.pgid ?policy ()
+  let pids, rb =
+    Restore.restore t.kernel ~store ~gen ~pgid:g.Types.pgid ?policy ()
+  in
+  ignore
+    (Slo.observe_restore t.slo ~metrics:(metrics t) ~spans:(spans t)
+       ~pgid:g.Types.pgid ?attribution:g.Types.last_attribution ~now:(now t)
+       rb.Types.total_latency);
+  (pids, rb)
 
 let clone_group t g ?gen ?policy () =
   let store =
@@ -386,6 +415,14 @@ let rollback_and_replay t g =
       ~gen ~pgid:g.Types.pgid () in
   let replayed = Rr.replay t.kernel g in
   (pids, replayed)
+
+let set_slo_targets t ?stop_time ?restore_latency () =
+  Slo.set_stop_target t.slo stop_time;
+  Slo.set_restore_target t.slo restore_latency
+
+let slo_alerts t = Slo.alerts t.slo
+
+let last_attribution g = g.Types.last_attribution
 
 let ps t =
   List.map

@@ -30,6 +30,7 @@ type t = {
   extcons : Extconsist.t;
   mutable history_window : int;  (** generations kept on disk (plus named ones) *)
   mutable recorded : Types.pgroup list;  (** groups with input recording on *)
+  slo : Slo.t;  (** stop-time / restore-latency watchdog *)
 }
 
 val create :
@@ -67,9 +68,28 @@ val spans : t -> Span.t
     {!Span.to_chrome_json}. *)
 
 val sync_metrics : t -> unit
-(** Fold pull-style state — device/fault counters, store IO-repair
-    stats, tracelog/span drop counts — into gauges in {!metrics}.
-    Call before taking a snapshot. *)
+(** Fold pull-style state — device/fault counters, store IO-repair and
+    dedup/occupancy stats, tracelog/span drop counts — into gauges in
+    {!metrics}. Registered as a [Metrics.on_snapshot] hook at build
+    time, so every snapshot/export already sees fresh values; calling
+    it explicitly is only needed to refresh a gauge handle read
+    directly via [Metrics.value]. *)
+
+val set_slo_targets :
+  t -> ?stop_time:Duration.t -> ?restore_latency:Duration.t -> unit -> unit
+(** Configure the SLO watchdog ({!Slo}): omitted targets are cleared.
+    Every committed checkpoint's stop time and every
+    {!restore_group}'s total latency is checked; a breach records an
+    {!Slo.alert} (carrying the group's top-k attribution rows), bumps
+    the [slo.breach.*] counters, and lands on the ["slo"] span
+    track. *)
+
+val slo_alerts : t -> Slo.alert list
+(** Recorded breaches, newest first. *)
+
+val last_attribution : Types.pgroup -> Types.ckpt_attribution option
+(** The per-process / per-object cost attribution of the group's most
+    recent committed checkpoint, if any. *)
 
 (* --- persistence groups (the Table 1 CLI surface) ------------------- *)
 

@@ -375,7 +375,8 @@ let restore_body (k : Kernel.t) ~store ~gen ~pgid ~policy ?from_disk
     Span.finish spans s_pagein
       ~attrs:
         [ ("resident", string_of_int !pages_resident);
-          ("lazy", string_of_int !pages_lazy) ]
+          ("lazy", string_of_int !pages_lazy);
+          ("objects", string_of_int (Hashtbl.length obj_map)) ]
   in
   let pids = List.map (fun (_, p) -> p.Process.pid) procs |> List.sort Int.compare in
   let total_latency = Duration.sub (Clock.now clock) started in
@@ -384,6 +385,10 @@ let restore_body (k : Kernel.t) ~store ~gen ~pgid ~policy ?from_disk
   Metrics.incr (Metrics.counter metrics "restore.count");
   Metrics.add (Metrics.counter metrics "restore.pages_resident") !pages_resident;
   Metrics.add (Metrics.counter metrics "restore.pages_lazy") !pages_lazy;
+  Metrics.add (Metrics.counter metrics "restore.objects") (Hashtbl.length obj_map);
+  Metrics.add
+    (Metrics.counter metrics "restore.bytes_read")
+    (!pages_resident * Blockdev.block_size);
   Metrics.observe_duration (Metrics.histogram metrics "restore.total_us") total_latency;
   Metrics.observe_duration
     (Metrics.histogram metrics "restore.metadata_us")

@@ -1,0 +1,148 @@
+open Aurora_simtime
+
+type kind = Stop_time | Restore_latency
+
+type alert = {
+  al_kind : kind;
+  al_pgid : int;
+  al_at : Duration.t;
+  al_observed_us : float;
+  al_target_us : float;
+  al_window_p99_us : float;
+  al_top_procs : Types.proc_attribution list;
+  al_top_objects : Types.obj_attribution list;
+}
+
+(* Fixed-size circular sample window; quantiles sort a copy on demand
+   (the window is tens of entries, and only inspection paths ask). *)
+type window = {
+  buf : float array;
+  mutable n : int;                 (* samples stored, <= Array.length buf *)
+  mutable next : int;              (* write cursor *)
+}
+
+let make_window size = { buf = Array.make size 0.0; n = 0; next = 0 }
+
+let window_add w v =
+  w.buf.(w.next) <- v;
+  w.next <- (w.next + 1) mod Array.length w.buf;
+  if w.n < Array.length w.buf then w.n <- w.n + 1
+
+let window_quantile w p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Slo.quantile: p outside [0,100]";
+  if w.n = 0 then Float.nan
+  else begin
+    let s = Array.sub w.buf 0 w.n in
+    Array.sort Float.compare s;
+    (* Nearest rank, matching Stats.percentile. *)
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int w.n)) in
+    s.(Int.max 0 (Int.min (w.n - 1) (rank - 1)))
+  end
+
+type t = {
+  mutable stop_target : Duration.t option;
+  mutable restore_target : Duration.t option;
+  stop_window : window;
+  restore_window : window;
+  mutable alerts : alert list;     (* newest first *)
+  max_alerts : int;
+  top_k : int;
+  mutable stop_breaches : int;
+  mutable restore_breaches : int;
+}
+
+let create ?(window = 32) ?(max_alerts = 64) ?(top_k = 3) () =
+  if window < 1 then invalid_arg "Slo.create: window must be >= 1";
+  if max_alerts < 1 then invalid_arg "Slo.create: max_alerts must be >= 1";
+  if top_k < 0 then invalid_arg "Slo.create: negative top_k";
+  { stop_target = None; restore_target = None;
+    stop_window = make_window window; restore_window = make_window window;
+    alerts = []; max_alerts; top_k; stop_breaches = 0; restore_breaches = 0 }
+
+let set_stop_target t d = t.stop_target <- d
+let set_restore_target t d = t.restore_target <- d
+let stop_target t = t.stop_target
+let restore_target t = t.restore_target
+
+let window_of t = function
+  | Stop_time -> t.stop_window
+  | Restore_latency -> t.restore_window
+
+let samples t k = (window_of t k).n
+let quantile t k p = window_quantile (window_of t k) p
+let alerts t = t.alerts
+
+let breaches t = function
+  | Stop_time -> t.stop_breaches
+  | Restore_latency -> t.restore_breaches
+
+let kind_label = function
+  | Stop_time -> "stop_time"
+  | Restore_latency -> "restore_latency"
+
+let retain t alert =
+  let kept =
+    List.filteri (fun i _ -> i < t.max_alerts - 1) t.alerts
+  in
+  t.alerts <- alert :: kept
+
+let observe t ~kind ?metrics ?spans ~pgid ?attribution ~now observed =
+  let w = window_of t kind in
+  let observed_us = Duration.to_us observed in
+  window_add w observed_us;
+  let target =
+    match kind with Stop_time -> t.stop_target | Restore_latency -> t.restore_target
+  in
+  match target with
+  | Some target_d when Duration.(observed > target_d) ->
+    (match kind with
+     | Stop_time -> t.stop_breaches <- t.stop_breaches + 1
+     | Restore_latency -> t.restore_breaches <- t.restore_breaches + 1);
+    let top_procs, top_objects =
+      match attribution with
+      | Some a -> (Types.top_procs ~k:t.top_k a, Types.top_objects ~k:t.top_k a)
+      | None -> ([], [])
+    in
+    let alert =
+      { al_kind = kind; al_pgid = pgid; al_at = now;
+        al_observed_us = observed_us;
+        al_target_us = Duration.to_us target_d;
+        al_window_p99_us = window_quantile w 99.0;
+        al_top_procs = top_procs; al_top_objects = top_objects }
+    in
+    retain t alert;
+    Option.iter
+      (fun m -> Metrics.incr (Metrics.counter m ("slo.breach." ^ kind_label kind)))
+      metrics;
+    Option.iter
+      (fun s ->
+        let start_at =
+          if Duration.(now > observed) then Duration.sub now observed
+          else Duration.zero
+        in
+        Span.record s ~track:"slo"
+          ~attrs:
+            [ ("kind", kind_label kind);
+              ("pgid", string_of_int pgid);
+              ("observed_us", Printf.sprintf "%.1f" observed_us);
+              ("target_us", Printf.sprintf "%.1f" alert.al_target_us) ]
+          ~name:("slo.breach." ^ kind_label kind)
+          ~start_at ~end_at:now ())
+      spans;
+    Some alert
+  | Some _ | None -> None
+
+let observe_stop t ?metrics ?spans ~pgid ?attribution ~now observed =
+  observe t ~kind:Stop_time ?metrics ?spans ~pgid ?attribution ~now observed
+
+let observe_restore t ?metrics ?spans ~pgid ?attribution ~now observed =
+  observe t ~kind:Restore_latency ?metrics ?spans ~pgid ?attribution ~now observed
+
+let clear t =
+  t.stop_window.n <- 0;
+  t.stop_window.next <- 0;
+  t.restore_window.n <- 0;
+  t.restore_window.next <- 0;
+  t.alerts <- [];
+  t.stop_breaches <- 0;
+  t.restore_breaches <- 0

@@ -1,0 +1,81 @@
+(** Service-level-objective watchdog for the checkpoint pipeline.
+
+    Aurora's pitch is a bounded application stop time (§3: "the
+    application only stops for the serialization phase") and fast
+    restores; this module turns those promises into watched numbers.
+    It keeps a bounded rolling window of stop-time and restore-latency
+    samples per machine, compares each new sample against optional
+    targets, and on a breach records a typed {!alert} carrying the
+    offending group's top-k attribution rows — so the alert answers
+    not just "the stop time blew the budget" but "and these processes
+    / VM objects paid for it".
+
+    Breaches are also pushed into the observability plane: a
+    [slo.breach.stop_time] / [slo.breach.restore_latency] counter in
+    the metrics registry and an interval on the ["slo"] span track
+    (visible in the Chrome trace next to the checkpoint that caused
+    it). Targets are unset by default: an unconfigured watchdog only
+    accumulates quantiles. *)
+
+open Aurora_simtime
+
+type kind = Stop_time | Restore_latency
+
+type alert = {
+  al_kind : kind;
+  al_pgid : int;
+  al_at : Duration.t;              (** sim-time instant of the breach *)
+  al_observed_us : float;
+  al_target_us : float;
+  al_window_p99_us : float;        (** rolling p99 including this sample *)
+  al_top_procs : Types.proc_attribution list;
+  al_top_objects : Types.obj_attribution list;
+      (** top-k rows of the attribution current at breach time;
+          empty when the group has never been attributed (e.g. a
+          restore before any checkpoint this boot). *)
+}
+
+type t
+
+val create : ?window:int -> ?max_alerts:int -> ?top_k:int -> unit -> t
+(** [window] (default 32) bounds the rolling sample windows;
+    [max_alerts] (default 64) bounds retained alerts (oldest dropped);
+    [top_k] (default 3) rows of each attribution kind are copied into
+    an alert. *)
+
+val set_stop_target : t -> Duration.t option -> unit
+val set_restore_target : t -> Duration.t option -> unit
+(** [None] stops watching that objective (existing alerts are kept). *)
+
+val stop_target : t -> Duration.t option
+val restore_target : t -> Duration.t option
+
+val observe_stop :
+  t -> ?metrics:Metrics.t -> ?spans:Span.t -> pgid:int ->
+  ?attribution:Types.ckpt_attribution -> now:Duration.t -> Duration.t ->
+  alert option
+(** Record one checkpoint stop-time sample; returns the alert when the
+    sample exceeds the target. [now] is the instant the sample ended
+    (the breach interval [now - observed, now] is what lands on the
+    ["slo"] span track). *)
+
+val observe_restore :
+  t -> ?metrics:Metrics.t -> ?spans:Span.t -> pgid:int ->
+  ?attribution:Types.ckpt_attribution -> now:Duration.t -> Duration.t ->
+  alert option
+
+val alerts : t -> alert list
+(** Newest first, at most [max_alerts]. *)
+
+val breaches : t -> kind -> int
+(** Total breaches observed (not bounded by [max_alerts]). *)
+
+val samples : t -> kind -> int
+(** Samples currently in the rolling window (at most [window]). *)
+
+val quantile : t -> kind -> float -> float
+(** [quantile t k p]: the [p]-th percentile ([0..100], nearest-rank)
+    of the rolling window in microseconds; [nan] when empty. *)
+
+val clear : t -> unit
+(** Drop windows, alerts and breach counts (targets are kept). *)

@@ -38,6 +38,36 @@ type restore_breakdown = {
 
 type restore_policy = Eager | Lazy | Lazy_prefetch
 
+type obj_attribution = {
+  a_oid : int;
+  a_store_oid : int;
+  a_pages : int;
+  a_bytes : int;
+  a_metadata_bytes : int;
+  a_cow_breaks : int;
+  a_chain_depth : int;
+  a_owner_pid : int option;
+}
+
+type proc_attribution = {
+  p_pid : int;
+  p_name : string;
+  p_pages : int;
+  p_bytes : int;
+  p_metadata_bytes : int;
+  p_cow_breaks : int;
+  p_objects : int;
+}
+
+type ckpt_attribution = {
+  at_gen : Store.gen;
+  at_pages_total : int;
+  at_bytes_total : int;
+  at_metadata_bytes_total : int;
+  at_objects : obj_attribution list;
+  at_procs : proc_attribution list;
+}
+
 type pgroup = {
   pgid : int;
   mutable target : target;
@@ -48,6 +78,7 @@ type pgroup = {
   mutable last_barrier : Duration.t;
   mutable next_ckpt_at : Duration.t;
   mutable last_breakdown : ckpt_breakdown option;
+  mutable last_attribution : ckpt_attribution option;
   mutable log_counts : (int * int) list;
   stop_stats : Stats.t;
 }
@@ -55,7 +86,7 @@ type pgroup = {
 let make_pgroup ~pgid ~target ~interval =
   { pgid; target; backends = []; interval; incremental = true; last_gen = None;
     last_barrier = Duration.zero; next_ckpt_at = interval; last_breakdown = None;
-    log_counts = []; stop_stats = Stats.create () }
+    last_attribution = None; log_counts = []; stop_stats = Stats.create () }
 
 let primary_store g =
   List.find_map (function Local { store; _ } -> Some store | Remote _ -> None) g.backends
@@ -87,6 +118,30 @@ let pp_ckpt_breakdown ppf b =
     (match b.status with
      | `Ok -> ""
      | `Degraded reason -> " DEGRADED (" ^ reason ^ ")")
+
+(* Attribution rows ordered by checkpoint cost: pages captured, then
+   bytes, then id for determinism. *)
+let top_objects ?(k = max_int) a =
+  let cmp (x : obj_attribution) (y : obj_attribution) =
+    match Int.compare y.a_pages x.a_pages with
+    | 0 -> (
+      match Int.compare y.a_bytes x.a_bytes with
+      | 0 -> Int.compare x.a_oid y.a_oid
+      | c -> c)
+    | c -> c
+  in
+  List.filteri (fun i _ -> i < k) (List.sort cmp a.at_objects)
+
+let top_procs ?(k = max_int) a =
+  let cmp (x : proc_attribution) (y : proc_attribution) =
+    match Int.compare y.p_pages x.p_pages with
+    | 0 -> (
+      match Int.compare y.p_bytes x.p_bytes with
+      | 0 -> Int.compare x.p_pid y.p_pid
+      | c -> c)
+    | c -> c
+  in
+  List.filteri (fun i _ -> i < k) (List.sort cmp a.at_procs)
 
 let pp_restore_breakdown ppf b =
   Format.fprintf ppf

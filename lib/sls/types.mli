@@ -56,6 +56,43 @@ type restore_policy =
   | Lazy_prefetch  (** eagerly page in the checkpoint's hot set (§3's
                        clock-driven optimization), fault the rest *)
 
+(** Who-caused-what accounting for one checkpoint. The invariant the
+    whole provenance layer rests on: object rows partition the
+    breakdown ([Σ a_pages = pages_captured], and likewise bytes), and
+    process rows partition the object rows (each captured object is
+    attributed to exactly one owner), so both views sum {e exactly} to
+    the totals the engine reported. *)
+
+type obj_attribution = {
+  a_oid : int;            (** VM object id *)
+  a_store_oid : int;      (** oid its pages live under in the store *)
+  a_pages : int;          (** pages captured from this object *)
+  a_bytes : int;          (** page payload + serialized object record *)
+  a_metadata_bytes : int; (** serialized object record alone *)
+  a_cow_breaks : int;     (** writes that raced the flush since last ckpt *)
+  a_chain_depth : int;    (** shadow-chain depth walked at capture *)
+  a_owner_pid : int option; (** owning process ([None]: kernel/shared) *)
+}
+
+type proc_attribution = {
+  p_pid : int;            (** 0 stands for the kernel/shared row *)
+  p_name : string;
+  p_pages : int;
+  p_bytes : int;
+  p_metadata_bytes : int; (** proc record + owned object records *)
+  p_cow_breaks : int;
+  p_objects : int;        (** objects attributed to this process *)
+}
+
+type ckpt_attribution = {
+  at_gen : Store.gen;
+  at_pages_total : int;
+  at_bytes_total : int;
+  at_metadata_bytes_total : int;
+  at_objects : obj_attribution list;
+  at_procs : proc_attribution list;
+}
+
 type pgroup = {
   pgid : int;
   mutable target : target;
@@ -66,6 +103,7 @@ type pgroup = {
   mutable last_barrier : Duration.t;
   mutable next_ckpt_at : Duration.t;
   mutable last_breakdown : ckpt_breakdown option;
+  mutable last_attribution : ckpt_attribution option;
   mutable log_counts : (int * int) list; (** cached log lengths, by store oid *)
   stop_stats : Stats.t;                 (** stop time per checkpoint, us *)
 }
@@ -76,6 +114,12 @@ val remotes : pgroup -> (Aurora_device.Netlink.t * Aurora_device.Netlink.side) l
 val member : Kernel.t -> pgroup -> Process.t -> bool
 val member_pids : Kernel.t -> pgroup -> int list
 (** Live pids in the group, ascending (zombies excluded). *)
+
+val top_objects : ?k:int -> ckpt_attribution -> obj_attribution list
+(** Object rows by descending checkpoint cost (pages, then bytes),
+    truncated to the top [k] (default: all). *)
+
+val top_procs : ?k:int -> ckpt_attribution -> proc_attribution list
 
 val pp_ckpt_breakdown : Format.formatter -> ckpt_breakdown -> unit
 val pp_restore_breakdown : Format.formatter -> restore_breakdown -> unit

@@ -16,6 +16,7 @@ type t = {
   dirty : (int, unit) Hashtbl.t;
   armed : (int, unit) Hashtbl.t;
   heat : (int, int) Hashtbl.t;
+  mutable cow_breaks : int;
 }
 
 let next_oid = ref 0
@@ -24,7 +25,7 @@ let create ~pool kind =
   incr next_oid;
   { oid = !next_oid; kind; pool; pages = Hashtbl.create 64; shadow = None;
     refcount = 1; dirty = Hashtbl.create 64; armed = Hashtbl.create 64;
-    heat = Hashtbl.create 64 }
+    heat = Hashtbl.create 64; cow_breaks = 0 }
 
 let oid t = t.oid
 let kind t = t.kind
@@ -162,6 +163,8 @@ let release_flush_item ~pool item =
   | None -> ()
 
 let is_armed t pindex = Hashtbl.mem t.armed pindex
+let cow_breaks t = t.cow_breaks
+let reset_cow_breaks t = t.cow_breaks <- 0
 let armed_count t = Hashtbl.length t.armed
 let dirty_count t = Hashtbl.length t.dirty
 
@@ -179,6 +182,7 @@ let disarm_for_write t pindex =
     Frame.decref t.pool old_frame;
     Hashtbl.replace t.pages pindex (Resident fresh);
     Hashtbl.remove t.armed pindex;
+    t.cow_breaks <- t.cow_breaks + 1;
     mark_dirty t pindex;
     fresh
   | Some (Paged_out _) | None ->

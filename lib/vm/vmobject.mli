@@ -100,6 +100,15 @@ val disarm_for_write : t -> int -> Frame.t
     unarm, mark dirty; returns the new frame. Raises
     [Invalid_argument] if the page is not armed-resident. *)
 
+val cow_breaks : t -> int
+(** COW breaks ({!disarm_for_write} faults) taken against this object
+    since the last {!reset_cow_breaks} — the "writes that raced a
+    checkpoint" attribution signal. *)
+
+val reset_cow_breaks : t -> unit
+(** Zero the COW-break counter (the checkpoint engine resets it after
+    folding the count into the attribution it publishes). *)
+
 (* --- heat / clock ------------------------------------------------- *)
 
 val touch : t -> int -> unit

@@ -154,6 +154,70 @@ let test_trace () =
           check_bool "restore phase span" true (contains json "restore.pagein");
           check_bool "complete events" true (contains json "\"ph\": \"X\"")))
 
+let test_top () =
+  with_universe "cli-top.universe" (fun u ->
+      check_int "spawn" 0 (sls [ "spawn"; "app"; "--app"; "counter"; "-u"; u ]);
+      check_int "run" 0 (sls [ "run"; "--ms"; "20"; "-u"; u ]);
+      let rc, out = capture (fun () -> sls [ "top"; "-u"; u ]) in
+      check_int "top" 0 rc;
+      (* The exact-sum cross-check runs inside the command: a non-zero
+         exit would mean the rows don't add up. *)
+      check_bool "group header" true (contains out "pgroup");
+      check_bool "process table" true (contains out "PID");
+      check_bool "shared metadata row" true (contains out "(shared)");
+      check_bool "object table" true (contains out "OID");
+      let rc, out = capture (fun () -> sls [ "top"; "--json"; "-u"; u ]) in
+      check_int "top json" 0 rc;
+      check_bool "json groups array" true (contains out "\"groups\"");
+      check_bool "json sum cross-check flag" true (contains out "\"sums_exact\": true"))
+
+let test_explain_and_diff () =
+  with_universe "cli-explain.universe" (fun u ->
+      check_int "spawn" 0 (sls [ "spawn"; "app"; "--app"; "counter"; "-u"; u ]);
+      check_int "run" 0 (sls [ "run"; "--ms"; "20"; "-u"; u ]);
+      check_int "checkpoint" 0 (sls [ "checkpoint"; "-u"; u ]);
+      check_int "run more" 0 (sls [ "run"; "--ms"; "20"; "-u"; u ]);
+      check_int "checkpoint again" 0 (sls [ "checkpoint"; "-u"; u ]);
+      (* No generation argument: explain the latest. The command exits
+         non-zero if the walked report disagrees with the allocator by
+         more than 1%. *)
+      let rc, out = capture (fun () -> sls [ "explain"; "-u"; u ]) in
+      check_int "explain" 0 rc;
+      check_bool "provenance section" true (contains out "written");
+      check_bool "crosscheck verdict" true (contains out "crosscheck");
+      let rc, out = capture (fun () -> sls [ "explain"; "--json"; "-u"; u ]) in
+      check_int "explain json" 0 rc;
+      check_bool "json provenance" true (contains out "\"provenance\"");
+      check_bool "json crosscheck flag" true (contains out "\"within_1pct\": true");
+      (* Pick two real generations off `gens` output for the diff. *)
+      let _, gens_out = capture (fun () -> sls [ "gens"; "-u"; u ]) in
+      let nums =
+        List.filter_map int_of_string_opt
+          (String.split_on_char ' '
+             (String.map
+                (fun c -> if c = '\n' || c = '\t' || c = ',' then ' ' else c)
+                gens_out))
+      in
+      (match List.sort_uniq compare nums with
+       | a :: (_ :: _ as rest) ->
+         let b = List.nth rest (List.length rest - 1) in
+         let ga = string_of_int a and gb = string_of_int b in
+         let rc, out =
+           capture (fun () -> sls [ "diff"; ga; gb; "-u"; u ])
+         in
+         check_int "diff" 0 rc;
+         check_bool "diff header names both gens" true (contains out gb);
+         let rc, out =
+           capture (fun () -> sls [ "diff"; "--json"; ga; gb; "-u"; u ])
+         in
+         check_int "diff json" 0 rc;
+         check_bool "json delta fields" true (contains out "\"pages_changed\"")
+       | _ -> Alcotest.fail "gens did not list two generations");
+      check_bool "diff of unknown generation fails" true
+        (sls [ "diff"; "998"; "999"; "-u"; u ] <> 0);
+      check_bool "explain of unknown generation fails" true
+        (sls [ "explain"; "999"; "-u"; u ] <> 0))
+
 let () =
   Alcotest.run "cli"
     [
@@ -168,5 +232,7 @@ let () =
           Alcotest.test_case "recv garbage exits 2" `Quick test_recv_garbage_exits_2;
           Alcotest.test_case "stats table + json" `Quick test_stats;
           Alcotest.test_case "trace export" `Quick test_trace;
+          Alcotest.test_case "top attribution tables" `Quick test_top;
+          Alcotest.test_case "explain + diff" `Quick test_explain_and_diff;
         ] );
     ]
