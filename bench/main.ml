@@ -103,8 +103,11 @@ let json_write () =
 
 (* A Redis-scale instance: [gib] gibibytes of resident working set,
    preloaded. Returns (machine, container id, process, config). *)
-let redis_fixture ?(profile = Profile.optane_900p) ?stripes ~mib () =
-  let m = Machine.create ~storage_profile:profile ?stripes () in
+let redis_fixture ?(profile = Profile.optane_900p) ?stripes ?max_inflight ~mib () =
+  let m =
+    Machine.create ~storage_profile:profile ?stripes
+      ?max_inflight_ckpts:max_inflight ()
+  in
   let k = m.Machine.kernel in
   let c = Kernel.new_container k ~name:"redis" in
   let nkeys = mib * 1024 * 1024 / 8 in
@@ -1120,6 +1123,102 @@ let run_bechamel () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* H-rate: pipelined checkpoint epochs                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The cost the application actually pays per checkpoint is the
+   barrier stop time plus any backpressure wait when the in-flight
+   window is full. Synchronous checkpointing (window 1) charges the
+   whole flush to the app; a window of 2 hides one flush under
+   execution, so at steady state the amortized overhead collapses to
+   the barrier alone. Sweep interval x stripes x window and report the
+   amortized per-checkpoint overhead from the registry's histogram
+   deltas over a measured run. *)
+let ckpt_rate () =
+  section "H-rate: amortized checkpoint overhead vs pipeline depth (64 MiB)";
+  row "%14s %8s %8s %8s %12s %12s %12s %12s\n" "interval (ms)" "stripes"
+    "window" "ckpts" "stop (us)" "backpr (us)" "amort (us)" "p99 stop";
+  let measure ~interval_ms ~stripes ~inflight =
+    let m, c, _p, _ =
+      redis_fixture ~stripes ~max_inflight:inflight ~mib:64 ()
+    in
+    let g =
+      Machine.persist m
+        ~interval:(Duration.milliseconds interval_ms)
+        (`Container c.Container.cid)
+    in
+    (* Warm a full checkpoint and retire it so the measured window is
+       the steady-state incremental cycle. *)
+    ignore (Machine.checkpoint_now m g ~mode:`Full ());
+    Machine.drain_storage m;
+    let mm = Machine.metrics m in
+    let stop_h = Metrics.histogram mm "ckpt.stop_us" in
+    let bp_h = Metrics.histogram mm "ckpt.backpressure_us" in
+    let stop0 = Metrics.hist_sum stop_h and bp0 = Metrics.hist_sum bp_h in
+    let n0 = Metrics.hist_count bp_h in
+    Machine.run m (Duration.milliseconds 300);
+    Machine.drain_storage m;
+    let n = Metrics.hist_count bp_h - n0 in
+    let d_stop = Metrics.hist_sum stop_h -. stop0 in
+    let d_bp = Metrics.hist_sum bp_h -. bp0 in
+    let per x = if n = 0 then Float.nan else x /. float_of_int n in
+    let amort = per (d_stop +. d_bp) in
+    let p99_stop = Metrics.quantile stop_h 0.99 in
+    let key = Printf.sprintf "i%d_s%d_k%d" interval_ms stripes inflight in
+    json_record "ckpt-rate"
+      [
+        (key ^ "_ckpts", jint n);
+        (key ^ "_stop_us", jnum (per d_stop));
+        (key ^ "_backpressure_us", jnum (per d_bp));
+        (key ^ "_amort_us", jnum amort);
+        (key ^ "_p99_stop_us", jnum p99_stop);
+      ];
+    row "%14d %8d %8d %8d %12.1f %12.1f %12.1f %12.1f\n" interval_ms stripes
+      inflight n (per d_stop) (per d_bp) amort p99_stop;
+    (amort, p99_stop)
+  in
+  (* The acceptance triple: the 4-stripe fixture at the default 10 ms
+     interval, synchronous vs the default window vs a deep window. *)
+  let a1, p99_1 = measure ~interval_ms:10 ~stripes:4 ~inflight:1 in
+  let a2, p99_2 = measure ~interval_ms:10 ~stripes:4 ~inflight:2 in
+  ignore (measure ~interval_ms:10 ~stripes:4 ~inflight:4);
+  (* Higher checkpoint frequencies: backpressure starts to bite when
+     the flush no longer fits inside the interval. *)
+  ignore (measure ~interval_ms:5 ~stripes:4 ~inflight:1);
+  ignore (measure ~interval_ms:5 ~stripes:4 ~inflight:2);
+  ignore (measure ~interval_ms:2 ~stripes:4 ~inflight:1);
+  ignore (measure ~interval_ms:2 ~stripes:4 ~inflight:2);
+  (* A single queue: slower flush, pipelining matters even more. *)
+  ignore (measure ~interval_ms:10 ~stripes:1 ~inflight:1);
+  ignore (measure ~interval_ms:10 ~stripes:1 ~inflight:2);
+  let reduction =
+    if Float.is_finite a1 && a1 > 0. then (a1 -. a2) /. a1 *. 100. else Float.nan
+  in
+  let overhead_ok = Float.is_finite reduction && reduction >= 30. in
+  let stop_ok =
+    Float.is_finite p99_1 && Float.is_finite p99_2 && p99_2 <= 1.1 *. p99_1
+  in
+  json_record "ckpt-rate"
+    [
+      ("amort_reduction_pct", jnum reduction);
+      ("p99_stop_k1_us", jnum p99_1);
+      ("p99_stop_k2_us", jnum p99_2);
+      ("pipeline_overhead_flag", jint (if overhead_ok then 1 else 0));
+      ("pipeline_stop_flag", jint (if stop_ok then 1 else 0));
+    ];
+  row "\namortized overhead at 10 ms / 4 stripes: %.1f us sync -> %.1f us" a1 a2;
+  row " pipelined (%.1f%% lower, %s)\n" reduction
+    (if overhead_ok then "ok" else "BELOW 30% TARGET");
+  row "p99 stop time: %.1f us sync vs %.1f us pipelined (%s)\n" p99_1 p99_2
+    (if stop_ok then "within 10%" else "REGRESSED");
+  row "(the barrier cost is CPU-side and window-independent; the window\n";
+  row " only moves the flush wait off the application's critical path)\n";
+  if not (overhead_ok && stop_ok) then begin
+    prerr_endline "ckpt-rate: pipelining acceptance criteria not met";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1140,6 +1239,7 @@ let all_targets =
     ("fault-sweep", fault_sweep);
     ("phase-breakdown", phase_breakdown);
     ("provenance", provenance);
+    ("ckpt-rate", ckpt_rate);
     ("bechamel", run_bechamel);
   ]
 

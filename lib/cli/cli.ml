@@ -106,7 +106,7 @@ let load path =
   let (uf : universe_file) = (Marshal.from_channel ic : universe_file) in
   close_in ic;
   let machine =
-    match Machine.boot ~nvme:uf.uf_nvme with
+    match Machine.boot ~nvme:uf.uf_nvme () with
     | Ok m -> m
     | Error e -> raise (Store.Fail e)
   in

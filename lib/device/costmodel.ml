@@ -32,3 +32,5 @@ let vmspace_create = Duration.microseconds 120
 let restore_orchestrator_base = Duration.microseconds 230
 
 let implicit_restore_discount = 0.85
+
+let ckpt_retire = Duration.microseconds 2

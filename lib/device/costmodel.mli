@@ -97,3 +97,10 @@ val implicit_restore_discount : float
     checkpoint is being read from a backing store, because "reading in
     the checkpoint implicitly restores some application state"
     (Table 4's disk column). *)
+
+val ckpt_retire : Duration.t
+(** Completion-side cost of retiring one pipelined checkpoint epoch
+    when its generation's writes land: finalizing the breakdown,
+    closing the flush span, releasing the epoch's bookkeeping (~2 us,
+    charged off the stop path — this is the CPU half of "background
+    flush"). *)

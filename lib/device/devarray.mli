@@ -68,6 +68,10 @@ val read_many : t -> int list -> Blockdev.content list
     instant; the clock advances to the slowest device's completion.
     Results are in request order. *)
 
+val read_many_arr : t -> int array -> Blockdev.content array
+(** Array variant of {!read_many} for preallocated hot paths: same
+    batching and timing, results in request order, no list churn. *)
+
 val write : t -> int -> Blockdev.content -> unit
 val write_many : t -> (int * Blockdev.content) list -> unit
 (** Striped synchronous write: submits per-device extents in parallel
@@ -87,6 +91,38 @@ val write_barrier : t -> (int * Blockdev.content) list -> Duration.t
 
 val busy_until : t -> Duration.t
 (** Max over the devices: when the whole array is idle. *)
+
+(* --- completion groups ----------------------------------------------- *)
+
+type group
+(** Per-stripe completion horizon for one commit epoch's writes. While
+    a group is open, every async submission's per-device completion is
+    recorded into it; awaiting the group then covers exactly that
+    epoch's I/O — not unrelated app traffic or younger epochs that
+    happen to share the queues. Plain data (no closures): arrays are
+    marshalled into CLI universe files. *)
+
+val begin_group : t -> group
+(** Open a group and make it current. Submissions from now until
+    {!end_group} are attributed to it. *)
+
+val end_group : t -> group
+(** Close the current group and return it. Raises [Invalid_argument]
+    when no group is open. *)
+
+val discard_group : t -> unit
+(** Drop any open group without returning it (error-path cleanup). *)
+
+val group_completion : group -> Duration.t
+(** Max completion over the group's stripes — when all of the epoch's
+    writes are durable. [Duration.zero] for an empty group. *)
+
+val await_group : t -> group -> unit
+(** Advance the clock to {!group_completion} and settle the devices. *)
+
+val group_extents : group -> int
+val group_blocks : group -> int
+(** Transfer and block counts attributed to the group. *)
 
 val await : t -> Duration.t -> unit
 val flush : t -> unit

@@ -7,6 +7,9 @@ type t = {
   mutable next_fresh : int;
   mutable live : int;
   mutable on_free : (int -> unit) list;
+  mutable defer_frees : bool;
+  mutable parked : int list;
+  mutable on_pressure : (unit -> bool) option;
 }
 
 exception Out_of_space
@@ -15,30 +18,48 @@ let create ~first_block ?capacity_blocks ?(stripes = 1) () =
   if first_block < 0 then invalid_arg "Alloc.create: negative first_block";
   if stripes < 1 then invalid_arg "Alloc.create: stripe count must be >= 1";
   { first_block; capacity_blocks; stripes; refs = Hashtbl.create 4096;
-    free_list = []; next_fresh = first_block; live = 0; on_free = [] }
+    free_list = []; next_fresh = first_block; live = 0; on_free = [];
+    defer_frees = false; parked = []; on_pressure = None }
 
 let stripes t = t.stripes
 let capacity_blocks t = t.capacity_blocks
 
 let add_on_free t f = t.on_free <- t.on_free @ [ f ]
 
-let alloc t =
-  let block =
-    match t.free_list with
-    | b :: rest ->
-      t.free_list <- rest;
-      b
-    | [] ->
-      let b = t.next_fresh in
-      (match t.capacity_blocks with
-       | Some cap when b >= cap -> raise Out_of_space
-       | _ -> ());
-      t.next_fresh <- b + 1;
-      b
-  in
-  Hashtbl.replace t.refs block 1;
-  t.live <- t.live + 1;
-  block
+let set_deferred_frees t v = t.defer_frees <- v
+let set_pressure_hook t f = t.on_pressure <- Some f
+
+let take_parked t =
+  let p = t.parked in
+  t.parked <- [];
+  p
+
+let release t blocks = t.free_list <- blocks @ t.free_list
+
+(* Capacity pressure: before declaring the device full, give the owner
+   a chance to settle deferred frees (blocks parked until the
+   superblock that stops referencing them is durable). The hook
+   returns true when it released something worth retrying for. *)
+let under_pressure t =
+  match t.on_pressure with None -> false | Some f -> f ()
+
+let rec alloc t =
+  match t.free_list with
+  | b :: rest ->
+    t.free_list <- rest;
+    Hashtbl.replace t.refs b 1;
+    t.live <- t.live + 1;
+    b
+  | [] ->
+    let b = t.next_fresh in
+    (match t.capacity_blocks with
+     | Some cap when b >= cap ->
+       if under_pressure t then alloc t else raise Out_of_space
+     | _ ->
+       t.next_fresh <- b + 1;
+       Hashtbl.replace t.refs b 1;
+       t.live <- t.live + 1;
+       b)
 
 (* A stripe-aware extent: [n] fresh {e contiguous} logical blocks.
    Under the device array's round-robin striping a contiguous logical
@@ -47,7 +68,7 @@ let alloc t =
    device instead of one per block. Extents larger than one stripe
    round are aligned to a stripe boundary so every device's share
    starts at the same physical offset. *)
-let alloc_extent t n =
+let rec alloc_extent t n =
   if n < 0 then invalid_arg "Alloc.alloc_extent: negative size";
   if n = 0 then [||]
   else begin
@@ -63,15 +84,20 @@ let alloc_extent t n =
         aligned
       end
     in
-    (match t.capacity_blocks with
-     | Some cap when start + n > cap -> raise Out_of_space
-     | _ -> ());
-    t.next_fresh <- start + n;
-    t.live <- t.live + n;
-    Array.init n (fun i ->
-        let b = start + i in
-        Hashtbl.replace t.refs b 1;
-        b)
+    match t.capacity_blocks with
+    | Some cap when start + n > cap ->
+      (* Extents only take fresh space, so the pressure hook can't
+         satisfy us directly — but settling deferred frees lets the
+         caller fall back to singleton allocations from the free
+         list. Retry once in case the pen covered the fresh tail. *)
+      if under_pressure t then alloc_extent t n else raise Out_of_space
+    | _ ->
+      t.next_fresh <- start + n;
+      t.live <- t.live + n;
+      Array.init n (fun i ->
+          let b = start + i in
+          Hashtbl.replace t.refs b 1;
+          b)
   end
 
 let refcount t block = Option.value ~default:0 (Hashtbl.find_opt t.refs block)
@@ -86,12 +112,18 @@ let decref t block =
   | Some n when n > 1 -> Hashtbl.replace t.refs block (n - 1)
   | Some 1 ->
     Hashtbl.remove t.refs block;
-    t.free_list <- block :: t.free_list;
+    (* Side tables (checksums, dedup, mirrors) are cleaned at free
+       time either way; deferral only gates when the block becomes
+       reusable (see Store's superblock-durability pen). *)
+    if t.defer_frees then t.parked <- block :: t.parked
+    else t.free_list <- block :: t.free_list;
     t.live <- t.live - 1;
     List.iter (fun f -> f block) t.on_free
   | Some _ | None -> invalid_arg (Printf.sprintf "Alloc.decref: dead block %d" block)
 
 let live_blocks t = t.live
+
+let bump_fresh t block = if block >= t.next_fresh then t.next_fresh <- block + 1
 
 let mark_live t block =
   (match Hashtbl.find_opt t.refs block with
@@ -104,5 +136,6 @@ let mark_live t block =
 let reset t =
   Hashtbl.reset t.refs;
   t.free_list <- [];
+  t.parked <- [];
   t.next_fresh <- t.first_block;
   t.live <- 0

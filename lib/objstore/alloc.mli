@@ -61,5 +61,34 @@ val mark_live : t -> int -> unit
 (** Recovery: force the block's refcount up by one (from zero if
     unallocated). *)
 
+val set_deferred_frees : t -> bool -> unit
+(** When on, blocks freed by {!decref} are parked instead of returned
+    to the free list. The owner drains the pen with {!take_parked} and
+    gives blocks back with {!release} once it is safe to reuse them —
+    the object store gates reuse on the durability of the first
+    superblock written after the free, so a crash can never recover a
+    state that references a since-reused block. [on_free] hooks still
+    fire at free time. *)
+
+val take_parked : t -> int list
+(** Drain the deferred-free pen (empties it). *)
+
+val release : t -> int list -> unit
+(** Return previously parked blocks to the free list. *)
+
+val bump_fresh : t -> int -> unit
+(** Push [next_fresh] past [block] without allocating it. After a
+    mid-run recovery rebuild, blocks still gated by an in-flight
+    superblock are quarantined this way: they leak (a hole the fresh
+    pointer skips) rather than risk reuse while an older superblock
+    that references them could still win recovery. *)
+
+val set_pressure_hook : t -> (unit -> bool) -> unit
+(** Invoked when an allocation would raise {!Out_of_space}; return
+    [true] to retry the allocation (e.g. after settling deferred frees
+    by advancing the clock). Must make progress monotonically: a hook
+    that keeps returning [true] without growing the free list will
+    loop. *)
+
 val reset : t -> unit
 (** Drop all state (before a recovery walk repopulates it). *)

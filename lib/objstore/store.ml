@@ -111,6 +111,22 @@ type t = {
   provs : (gen, provenance) Hashtbl.t;
   mutable obs_counters : counters option;
   mutable obs_spans : Span.t option;
+  gen_durable : (gen, Duration.t) Hashtbl.t;
+  (* Committed generation -> when its superblock (hence everything it
+     references) is durable. The pipeline's per-generation horizon:
+     awaiting this covers exactly one epoch's writes, unlike the old
+     whole-array [busy_until] barrier. *)
+  mutable sb_horizon : Duration.t;
+  (* Completion time of the newest superblock write. Each superblock
+     is ordered after the previous one (written with [not_before] at
+     least this), so superblock durability is monotone in commit
+     order: recovery always sees a committed *prefix* of generations,
+     never a torn suffix. *)
+  mutable deferred : (Duration.t * int list) list;
+  (* Freed blocks parked until the first superblock written after the
+     free is durable (release time, blocks), ascending. Reusing them
+     earlier could tear a crash that falls back to an older superblock
+     still referencing them. *)
 }
 
 let open_prov t =
@@ -228,6 +244,34 @@ let verified_read t block =
     | _ -> c)
   | Error e -> try_repair t block expected (Fault.describe e)
 
+(* --- deferred frees --------------------------------------------------
+   With pipelined commits, several superblocks can be in flight at
+   once. A block freed between superblocks S_{j-1} and S_j becomes
+   reusable only once S_j is durable: superblock durability is
+   monotone (each is ordered after the previous), so from then on no
+   recoverable state references the block. *)
+
+let release_ready_frees t =
+  let now = Clock.now (Devarray.clock t.dev) in
+  let ready, waiting =
+    List.partition (fun (at, _) -> Duration.(at <= now)) t.deferred
+  in
+  t.deferred <- waiting;
+  List.iter (fun (_, blocks) -> Alloc.release t.alloc blocks) ready;
+  ready <> []
+
+(* Capacity-pressure hook: rather than declare the device full while
+   freed blocks sit gated behind an in-flight superblock, block until
+   the earliest gating superblock lands and hand the blocks back. *)
+let settle_deferred_frees t =
+  let released = release_ready_frees t in
+  match t.deferred with
+  | [] -> released
+  | (at, _) :: _ ->
+    Devarray.await t.dev at;
+    ignore (release_ready_frees t);
+    true
+
 (* --- construction --------------------------------------------------- *)
 
 let make ?(dedup = true) ?prot dev =
@@ -257,7 +301,9 @@ let make ?(dedup = true) ?prot dev =
       io = { read_retries = 0; checksum_failures = 0; repaired_from_mirror = 0;
              repaired_from_dedup = 0; lost_blocks = 0 };
       repair_log = []; quarantined = []; provs = Hashtbl.create 16;
-      obs_counters = None; obs_spans = None }
+      obs_counters = None; obs_spans = None;
+      gen_durable = Hashtbl.create 16; sb_horizon = Duration.zero;
+      deferred = [] }
   in
   Alloc.add_on_free alloc (fun b ->
       Hashtbl.remove t.csums b;
@@ -266,6 +312,8 @@ let make ?(dedup = true) ?prot dev =
         Hashtbl.remove t.mirrors b;
         Alloc.decref alloc m
       | None -> ());
+  Alloc.set_deferred_frees alloc true;
+  Alloc.set_pressure_hook alloc (fun () -> settle_deferred_frees t);
   Btree.set_reader tree (fun b -> verified_read t b);
   t
 
@@ -704,19 +752,24 @@ let meta_tee t writes =
     writes;
   List.rev !extra
 
-let write_superblock t =
+let write_superblock ?(after = Duration.zero) t =
   (* Allocate and queue the new generation table (and its mirror)
      before touching any in-memory state: an out-of-space or device
      failure here unwinds cleanly, with the fresh blocks reclaimed by
      the rollback rebuild. Only then free the table referenced by the
-     superblock slot this write is about to overwrite (two commits old
-     — the other slot still points at [t.gentable_blocks], which
-     therefore must not be reused yet), and write the superblock
-     behind a commit barrier: it starts only after every device's
-     in-flight writes complete, so a durable superblock implies
-     durable contents even when the stripes drain at different times,
-     and a dropped superblock leaves the other slot's table untouched
-     on disk. *)
+     superblock slot this write is about to overwrite (the other slot
+     still points at [t.gentable_blocks]; the deferral pen keeps both
+     tables unreusable until this superblock lands).
+
+     The superblock is ordered after exactly its own dependencies —
+     the table chunks just queued, the caller's completion group
+     ([after], covering this generation's data and tree writes), and
+     the previous superblock ([sb_horizon], which transitively covers
+     every older generation). That replaces the old whole-array
+     commit barrier: unrelated app I/O and *younger* epochs sharing
+     the queues no longer gate this commit, yet a durable superblock
+     still implies durable contents, and superblock durability stays
+     monotone in commit order (the crash-prefix invariant). *)
   let table = encode_gentable t in
   let chunks = chunk_string table in
   let blocks = List.map (fun chunk -> (Alloc.alloc t.alloc, chunk)) chunks in
@@ -724,9 +777,10 @@ let write_superblock t =
     if t.prot.mirror then List.map (fun chunk -> (Alloc.alloc t.alloc, chunk)) chunks
     else []
   in
-  ignore
-    (Devarray.write_async t.dev
-       (List.map (fun (b, chunk) -> (b, Blockdev.Data chunk)) (blocks @ mirror_blocks)));
+  let table_done =
+    Devarray.write_async t.dev
+      (List.map (fun (b, chunk) -> (b, Blockdev.Data chunk)) (blocks @ mirror_blocks))
+  in
   List.iter (fun b -> Alloc.decref t.alloc b) t.prev_gentable_blocks;
   List.iter (fun b -> Alloc.decref t.alloc b) t.prev_gentable_mirror_blocks;
   t.prev_gentable_blocks <- t.gentable_blocks;
@@ -736,7 +790,19 @@ let write_superblock t =
   t.gentable_csum <- hash_string table;
   t.commit_seq <- t.commit_seq + 1;
   let slot = t.commit_seq mod superblock_slots in
-  Devarray.write_barrier t.dev [ (slot, Blockdev.Data (encode_superblock t)) ]
+  let not_before = Duration.max after (Duration.max table_done t.sb_horizon) in
+  let durable_at =
+    Devarray.write_async ~not_before t.dev
+      [ (slot, Blockdev.Data (encode_superblock t)) ]
+  in
+  (* Blocks freed since the previous superblock become reusable once
+     this one is durable. *)
+  (match Alloc.take_parked t.alloc with
+   | [] -> ()
+   | parked -> t.deferred <- t.deferred @ [ (durable_at, parked) ]);
+  t.sb_horizon <- durable_at;
+  ignore (release_ready_frees t);
+  durable_at
 
 (* --- recovery core (shared by open, rollback and scrub) -------------- *)
 
@@ -839,7 +905,15 @@ let rebuild t =
      of an aborted generation); recovery trusts only the device. *)
   Btree.reset_cache t.tree;
   recover_refcounts t;
-  prune_protection t
+  prune_protection t;
+  (* Deferred frees still gated by an in-flight superblock are
+     quarantined rather than released: an older superblock referencing
+     them could still win a post-crash recovery. They leak as holes
+     the fresh pointer skips — reclaimed at the next full reopen. *)
+  List.iter
+    (fun (_, blocks) -> List.iter (Alloc.bump_fresh t.alloc) blocks)
+    t.deferred;
+  t.deferred <- []
 
 (* --- commit (continued) ---------------------------------------------- *)
 
@@ -865,7 +939,10 @@ let commit_unchecked t ?name () =
   (* Data pages fan out across all stripes (per-device extents,
      overlapping in simulated time); tree nodes follow on whichever
      stripes their blocks map to; the superblock waits on the max of
-     the per-device completion times. *)
+     this epoch's per-device completion times — tracked by a
+     completion group so younger epochs and unrelated traffic sharing
+     the queues don't gate it. *)
+  ignore (Devarray.begin_group t.dev);
   let data_batch = List.rev t.pending_pages in
   t.pending_pages <- [];
   let data_blocks = List.length data_batch in
@@ -895,7 +972,8 @@ let commit_unchecked t ?name () =
      p.pv_commit_blocks <-
        1 (* superblock *) + (chunks * if t.prot.mirror then 2 else 1)
    | None -> ());
-  let durable_at = write_superblock t in
+  let after = Devarray.group_completion (Devarray.end_group t.dev) in
+  let durable_at = write_superblock ~after t in
   let g, durable_at =
     if (Devarray.profile t.dev).Profile.volatile_cache then begin
       (* No power-loss protection: a synchronous flush is the only way
@@ -905,14 +983,17 @@ let commit_unchecked t ?name () =
     end
     else (g, durable_at)
   in
+  Hashtbl.replace t.gen_durable g durable_at;
   note_flush t ~gen:g ~started:flush_started ~durable_at ~data_blocks;
   (g, durable_at)
 
 let rollback t g =
   Hashtbl.remove t.gens g;
   Hashtbl.remove t.provs g;
+  Hashtbl.remove t.gen_durable g;
   t.open_gen <- None;
   t.pending_pages <- [];
+  Devarray.discard_group t.dev;
   rebuild t
 
 let commit_result t ?name () =
@@ -942,9 +1023,28 @@ let abort_generation t =
     Hashtbl.remove t.provs g;
     t.open_gen <- None;
     t.pending_pages <- [];
+    Devarray.discard_group t.dev;
     rebuild t
 
 let wait_durable t at = Devarray.await t.dev at
+
+(* --- pipeline durability --------------------------------------------- *)
+
+let gen_durable_at t g = Hashtbl.find_opt t.gen_durable g
+
+let wait_all_durable t =
+  if (Devarray.profile t.dev).Profile.volatile_cache then Devarray.flush t.dev
+  else Devarray.await t.dev t.sb_horizon;
+  ignore (release_ready_frees t)
+
+let inflight_generations t =
+  let now = Clock.now (Devarray.clock t.dev) in
+  Hashtbl.fold
+    (fun g at acc -> if Duration.(at > now) then g :: acc else acc)
+    t.gen_durable []
+  |> List.sort Int.compare
+
+let has_open_generation t = t.open_gen <> None
 
 (* --- reading --------------------------------------------------------- *)
 
@@ -1006,32 +1106,43 @@ let read_page t g ~oid ~pindex =
 
 let read_pages_batch t g ~oid ~pindexes =
   match gen_root t g with
-  | None -> []
+  | None -> [||]
   | Some root ->
-    let located =
-      List.filter_map
-        (fun pindex ->
-          match Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindex) with
-          | Some (Btree.Ptr block) -> Some (pindex, block)
-          | Some (Btree.Imm _) | None -> None)
-        pindexes
-    in
-    let contents = Devarray.read_many t.dev (List.map snd located) in
-    List.map2
-      (fun (pindex, block) content ->
+    (* Preallocated arrays end to end: locate into fixed buffers, one
+       striped array read, map in place — no list churn on the restore
+       hot path. *)
+    let n = Array.length pindexes in
+    let found = Array.make n 0 in
+    let blocks = Array.make n 0 in
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      match
+        Btree.find t.tree ~root (key ~oid ~kind:kind_page ~index:pindexes.(i))
+      with
+      | Some (Btree.Ptr block) ->
+        found.(!m) <- pindexes.(i);
+        blocks.(!m) <- block;
+        incr m
+      | Some (Btree.Imm _) | None -> ()
+    done;
+    let m = !m in
+    let contents = Devarray.read_many_arr t.dev (Array.sub blocks 0 m) in
+    Array.init m (fun i ->
+        let block = blocks.(i) in
         (* Batch reads are best-effort DMA: a latent sector comes back
            [Zero]. The checksum catches the substitution (and any
            silent corruption) and the single-block verified path
            re-reads and repairs. *)
         let content =
-          match (if t.prot.verify then Hashtbl.find_opt t.csums block else None) with
-          | Some h when checksum_content content <> h ->
+          match
+            (if t.prot.verify then Hashtbl.find_opt t.csums block else None)
+          with
+          | Some h when checksum_content contents.(i) <> h ->
             t.io.checksum_failures <- t.io.checksum_failures + 1;
             verified_read t block
-          | _ -> content
+          | _ -> contents.(i)
         in
-        (pindex, page_of_content block content))
-      located contents
+        (found.(i), page_of_content block content))
 
 let peek_page t g ~oid ~pindex =
   match gen_root t g with
@@ -1144,10 +1255,19 @@ let gc t ~keep =
       | Some e ->
         Hashtbl.remove t.gens g;
         Hashtbl.remove t.provs g;
+        Hashtbl.remove t.gen_durable g;
         Btree.release_root t.tree e.root
       | None -> ())
     victims;
-  if victims <> [] then settle_durable t (write_superblock t);
+  (* The release superblock drains in the background like any other
+     commit; the deferral pen keeps the victims' blocks unreusable
+     until it is durable, so there is nothing to await here. A
+     volatile write cache still needs the explicit flush — completion
+     times are not durability there. *)
+  if victims <> [] then begin
+    ignore (write_superblock t);
+    if (Devarray.profile t.dev).Profile.volatile_cache then Devarray.flush t.dev
+  end;
   before - Alloc.live_blocks t.alloc
 
 (* --- recovery -------------------------------------------------------- *)

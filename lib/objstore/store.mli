@@ -155,17 +155,38 @@ val abort_generation : t -> unit
 val wait_durable : t -> Duration.t -> unit
 (** Block (advance the clock) until the given durability time. *)
 
+val gen_durable_at : t -> gen -> Duration.t option
+(** When the generation's superblock (hence everything it references)
+    is durable. [None] for unknown generations and for generations
+    recovered from disk (already durable by construction). Superblock
+    durability is monotone in commit order, so a crash exposes a
+    committed {e prefix} of generations — never a torn suffix. *)
+
+val wait_all_durable : t -> unit
+(** Drain the commit pipeline: block until the newest superblock is
+    durable (flush, on a volatile-cache device) and settle any
+    deferred frees that became releasable. Unlike the old whole-array
+    barrier this awaits only the store's own writes. *)
+
+val inflight_generations : t -> gen list
+(** Committed generations whose superblock is not yet durable at the
+    current simulated time, ascending. *)
+
+val has_open_generation : t -> bool
+
 (* --- reading -------------------------------------------------------- *)
 
 val read_record : t -> gen -> oid:int -> string option
 val read_page : t -> gen -> oid:int -> pindex:int -> int64 option
 val read_blob : t -> gen -> oid:int -> index:int -> string option
 
-val read_pages_batch : t -> gen -> oid:int -> pindexes:int list -> (int * int64) list
+val read_pages_batch :
+  t -> gen -> oid:int -> pindexes:int array -> (int * int64) array
 (** Read several pages as one device command (latency paid once —
     the restore prefetch path). Missing indexes are omitted. Blocks
     the batch DMA could not deliver (latent sectors) are re-read and
-    repaired through the verified single-block path. *)
+    repaired through the verified single-block path. Array in, array
+    out: the hot path works from preallocated buffers. *)
 
 val peek_page : t -> gen -> oid:int -> pindex:int -> int64 option
 (** Like {!read_page} but the data block read is not charged to the

@@ -161,7 +161,7 @@ let attribution (k : Kernel.t) (g : Types.pgroup) ~gen
     at_procs = proc_rows;
   }
 
-let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
+let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
   let store =
     match Types.primary_store g with
     | Some s -> s
@@ -306,12 +306,11 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
   Metrics.observe_duration (Metrics.histogram metrics "ckpt.quiesce_us") quiesce;
   Metrics.observe_duration (Metrics.histogram metrics "ckpt.serialize_us") metadata_copy;
   Metrics.observe_duration (Metrics.histogram metrics "ckpt.cow_mark_us") lazy_data_copy;
+  (* The flush window (barrier end to durability) is observed by
+     {!finalize} when the generation's writes land — possibly several
+     epochs later under pipelining. *)
   (match status with
-   | `Ok ->
-     (* Background-flush window: end of the stop window to durability. *)
-     Metrics.observe_duration
-       (Metrics.histogram metrics "ckpt.flush_us")
-       (Duration.sub durable_at (Duration.add barrier_at stop_time))
+   | `Ok -> ()
    | `Degraded _ -> Metrics.incr (Metrics.counter metrics "ckpt.degraded"));
   let breakdown =
     {
@@ -335,3 +334,33 @@ let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) (
     (Duration.to_us stop_time) pages_captured
     (match status with `Ok -> "" | `Degraded r -> " degraded: " ^ r);
   breakdown
+
+(* Completion side of the pipeline: runs when the clock has passed the
+   generation's durability instant (the machine retires epochs oldest
+   first). Charges the small retire cost off the stop path, closes the
+   flush span on its own track and lands the flush/lag histograms. *)
+let finalize (k : Kernel.t) (g : Types.pgroup) (b : Types.ckpt_breakdown) =
+  match b.Types.status with
+  | `Degraded _ -> ()
+  | `Ok ->
+    let metrics = k.Kernel.metrics in
+    Kernel.charge k Costmodel.ckpt_retire;
+    let flush_started = Duration.add b.Types.barrier_at b.Types.stop_time in
+    (* Background-flush window: end of the stop window to durability. *)
+    Metrics.observe_duration
+      (Metrics.histogram metrics "ckpt.flush_us")
+      (Duration.sub b.Types.durable_at flush_started);
+    (* How long the epoch stayed volatile after releasing the app. *)
+    Metrics.observe_duration
+      (Metrics.histogram metrics "ckpt.durable_lag_us")
+      (Duration.sub b.Types.durable_at b.Types.barrier_at);
+    Span.record k.Kernel.spans ~track:"ckpt.pipeline" ~name:"ckpt.flush"
+      ~attrs:
+        [ ("pgid", string_of_int g.Types.pgid);
+          ("gen", string_of_int b.Types.gen) ]
+      ~start_at:flush_started ~end_at:b.Types.durable_at ()
+
+let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?with_fs () =
+  let b = capture k g ?mode ?name ?with_fs () in
+  finalize k g b;
+  b

@@ -22,6 +22,31 @@
 
 open Aurora_proc
 
+val capture :
+  Kernel.t ->
+  Types.pgroup ->
+  ?mode:[ `Full | `Incremental ] ->
+  ?name:string ->
+  ?with_fs:bool ->
+  unit ->
+  Types.ckpt_breakdown
+(** Barrier + background submission only: quiesce, serialize, arm COW,
+    queue the generation's writes and commit. Returns as soon as the
+    app can run again; the generation is committed but possibly not
+    yet durable ([durable_at] is in the future). The caller owns
+    calling {!finalize} once the clock passes [durable_at] — the
+    machine keeps a bounded pipeline of such epochs in flight.
+    [mode] defaults to the group's configured [incremental] flag;
+    [with_fs] (default true) also checkpoints the file system. Raises
+    [Invalid_argument] when the group has no local backend. *)
+
+val finalize : Kernel.t -> Types.pgroup -> Types.ckpt_breakdown -> unit
+(** Completion continuation for one captured epoch: charges the retire
+    cost, records the [ckpt.pipeline] flush span and the
+    [ckpt.flush_us] / [ckpt.durable_lag_us] histograms. Call exactly
+    once per [`Ok] capture, after the clock has reached its
+    [durable_at]; degraded captures are a no-op. *)
+
 val checkpoint :
   Kernel.t ->
   Types.pgroup ->
@@ -30,6 +55,5 @@ val checkpoint :
   ?with_fs:bool ->
   unit ->
   Types.ckpt_breakdown
-(** [mode] defaults to the group's configured [incremental] flag;
-    [with_fs] (default true) also checkpoints the file system. Raises
-    [Invalid_argument] when the group has no local backend. *)
+(** Synchronous convenience: {!capture} immediately followed by
+    {!finalize} (the unpipelined shape). Arguments as in {!capture}. *)

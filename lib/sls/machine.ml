@@ -18,6 +18,13 @@ type t = {
   mutable history_window : int;
   mutable recorded : Types.pgroup list;
   slo : Slo.t;
+  mutable max_inflight_ckpts : int;
+  (* Bound on captured-but-not-retired checkpoint epochs. 1 =
+     synchronous (every barrier waits for its own flush); k > 1 hides
+     up to k-1 flushes under execution. *)
+  mutable pending_ckpts : Types.pending_ckpt list;
+  (* Committed epochs whose writes are still draining, oldest first.
+     Superblock ordering makes their durability times ascending. *)
 }
 
 let clock t = t.kernel.Kernel.clock
@@ -67,9 +74,16 @@ let sync_metrics t =
     [ t.disk_store; t.mem_store ];
   set "trace.events_dropped" (Tracelog.dropped t.kernel.Kernel.trace);
   set "trace.spans_dropped" (Span.dropped (spans t));
-  set "trace.span_orphans" (Span.orphan_finishes (spans t))
+  set "trace.span_orphans" (Span.orphan_finishes (spans t));
+  set "ckpt.inflight_gens"
+    (List.length
+       (List.filter
+          (fun (pc : Types.pending_ckpt) ->
+            Duration.(pc.Types.pc_b.Types.durable_at > now t))
+          t.pending_ckpts))
 
-let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
+let build_on ?(max_inflight_ckpts = 2) ~kernel ~nvme ~memdev ~disk_store
+    ~mem_store () =
   (* (Re)bind every layer's instrumentation to this kernel's registry
      and span recorder. On [boot] the devices survive from the previous
      incarnation (possibly unmarshaled from a universe file) and must
@@ -94,6 +108,8 @@ let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
         history_window = 8;
         recorded = [];
         slo = Slo.create ();
+        max_inflight_ckpts;
+        pending_ckpts = [];
       }
   in
   let m = Lazy.force t in
@@ -102,7 +118,8 @@ let build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store =
   m
 
 let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
-    ?(fs_with_disk = false) ?dedup ?faults ?storage_blocks () =
+    ?(fs_with_disk = false) ?dedup ?faults ?storage_blocks ?max_inflight_ckpts
+    () =
   let kernel0 = Kernel.create ?capacity_pages () in
   let clock = kernel0.Kernel.clock in
   let fs =
@@ -118,7 +135,8 @@ let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
   let memdev = Devarray.create ~stripes:1 ~clock ~profile:Profile.dram "memdev" in
   let disk_store = Store.format ?dedup ~dev:nvme () in
   let mem_store = Store.format ~dev:memdev () in
-  build_on ~kernel:kernel0 ~nvme ~memdev ~disk_store ~mem_store
+  build_on ?max_inflight_ckpts ~kernel:kernel0 ~nvme ~memdev ~disk_store
+    ~mem_store ()
 
 (* --- persistence groups --------------------------------------------- *)
 
@@ -145,12 +163,6 @@ let detach _t g backend =
 
 (* --- checkpoints ----------------------------------------------------- *)
 
-let drain_storage t =
-  (* Advance time without scheduling the applications (they would keep
-     producing work); everything already queued becomes durable. *)
-  Devarray.await t.nvme (Devarray.busy_until t.nvme);
-  Devarray.await t.memdev (Devarray.busy_until t.memdev)
-
 let gc_history t =
   let keep_named = List.map snd (Store.named t.disk_store) in
   let gens = Store.generations t.disk_store in
@@ -161,8 +173,55 @@ let gc_history t =
   let anchors = List.filter_map (fun g -> g.Types.last_gen) t.pgroups in
   Store.gc t.disk_store ~keep:(keep_named @ live @ anchors)
 
+(* Retire one epoch whose writes have landed (the clock has reached its
+   durability time): finalize spans/histograms, then collect history —
+   the generation is durable now, so releasing its predecessors is
+   safe. *)
+let complete_one t (pc : Types.pending_ckpt) =
+  Ckpt.finalize t.kernel pc.Types.pc_group pc.Types.pc_b;
+  ignore (gc_history t)
+
+(* Retire every epoch the clock has already passed. Oldest first —
+   superblock ordering makes durability times ascending, so the prefix
+   test terminates at the first still-volatile epoch. *)
+let complete_due t =
+  let rec loop () =
+    match t.pending_ckpts with
+    | pc :: rest when Duration.(pc.Types.pc_b.Types.durable_at <= now t) ->
+      t.pending_ckpts <- rest;
+      complete_one t pc;
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+(* Drain the whole pipeline: block on each epoch's durability in
+   order. *)
+let rec drain_pipeline t =
+  match t.pending_ckpts with
+  | [] -> ()
+  | pc :: rest ->
+    (match Types.primary_store pc.Types.pc_group with
+     | Some s -> Store.wait_durable s pc.Types.pc_b.Types.durable_at
+     | None -> Clock.advance_to (clock t) pc.Types.pc_b.Types.durable_at);
+    t.pending_ckpts <- rest;
+    complete_one t pc;
+    drain_pipeline t
+
+let drain_storage t =
+  (* Advance time without scheduling the applications (they would keep
+     producing work) until every queued checkpoint epoch and store
+     write is durable. Only the stores' own pipelines are awaited —
+     unrelated raw device traffic no longer gates this. *)
+  drain_pipeline t;
+  Store.wait_all_durable t.disk_store;
+  Store.wait_all_durable t.mem_store
+
 let checkpoint_now t g ?mode ?name () =
-  let b = Ckpt.checkpoint t.kernel g ?mode ?name () in
+  (* Retire anything that landed since the last barrier first: keeps
+     the history window tight and the in-flight window honest. *)
+  complete_due t;
+  let b = Ckpt.capture t.kernel g ?mode ?name () in
   (* Feed the watchdog before any secondary-backend work moves the
      clock: the stop window ends when the application resumes. *)
   (if b.Types.status = `Ok then
@@ -170,6 +229,7 @@ let checkpoint_now t g ?mode ?name () =
        (Slo.observe_stop t.slo ~metrics:(metrics t) ~spans:(spans t)
           ~pgid:g.Types.pgid ?attribution:g.Types.last_attribution ~now:(now t)
           b.Types.stop_time));
+  let backpressure = ref Duration.zero in
   (match b.Types.status with
    | `Degraded _ ->
      (* The generation never committed: nothing to stamp, export or
@@ -183,7 +243,9 @@ let checkpoint_now t g ?mode ?name () =
      (* The checkpoint bounds the record/replay journal. *)
      if List.memq g t.recorded then Rr.on_checkpoint g;
      (* Secondary backends: memory stores get their own generation (same
-        engine, separate store); remotes receive the exported image. *)
+        engine, separate store); remotes receive the exported image.
+        Exports run barrier-side — they read the primary's current
+        device content, which is valid while the flush drains. *)
      let primary = Types.primary_store g in
      let is_primary backend =
        match (backend, primary) with
@@ -203,7 +265,30 @@ let checkpoint_now t g ?mode ?name () =
              ignore (Sendrecv.ship link ~from_:side p ~gen:b.Types.gen ~pgid:g.Types.pgid ())
            | _, None -> ())
        g.Types.backends;
-     ignore (gc_history t));
+     (* The epoch joins the pipeline; history collection happens when
+        it retires. Backpressure: a barrier may not leave more than
+        the window in flight, so block on the oldest epochs until the
+        pipeline is back under it. With a window of 1 this is exactly
+        the synchronous engine. *)
+     t.pending_ckpts <- t.pending_ckpts @ [ { Types.pc_group = g; pc_b = b } ];
+     let window = max 1 t.max_inflight_ckpts in
+     let bp_started = now t in
+     while List.length t.pending_ckpts >= window do
+       match t.pending_ckpts with
+       | [] -> assert false
+       | pc :: rest ->
+         (match Types.primary_store pc.Types.pc_group with
+          | Some s -> Store.wait_durable s pc.Types.pc_b.Types.durable_at
+          | None -> Clock.advance_to (clock t) pc.Types.pc_b.Types.durable_at);
+         t.pending_ckpts <- rest;
+         complete_one t pc
+     done;
+     backpressure := Duration.sub (now t) bp_started);
+  (* Saturation is visible, not silent: the wait (zero when the
+     pipeline had room) is a histogram aligned 1:1 with ckpt.count. *)
+  Metrics.observe_duration
+    (Metrics.histogram (metrics t) "ckpt.backpressure_us")
+    !backpressure;
   b
 
 (* --- the orchestrator loop ------------------------------------------- *)
@@ -230,6 +315,7 @@ let fire_due_checkpoints t =
 let run t span =
   let deadline = Duration.add (now t) span in
   let rec loop () =
+    complete_due t;
     ignore (Extconsist.release_due t.extcons);
     fire_due_checkpoints t;
     if Duration.(now t >= deadline) then ()
@@ -238,6 +324,14 @@ let run t span =
         match next_checkpoint_due t with
         | Some at when Duration.(at < deadline) -> at
         | Some _ | None -> deadline
+      in
+      (* Wake when the oldest in-flight epoch lands, too: retiring it
+         promptly keeps the pipeline window open for the next
+         barrier. *)
+      let horizon =
+        match t.pending_ckpts with
+        | pc :: _ -> Duration.min horizon pc.Types.pc_b.Types.durable_at
+        | [] -> horizon
       in
       (match Scheduler.run t.kernel ~until:horizon with
        | Scheduler.Deadline -> ()
@@ -253,21 +347,20 @@ let run_until_idle t =
   let rec loop guard =
     if guard = 0 then ()
     else begin
+      complete_due t;
       ignore (Extconsist.release_due t.extcons);
       match Scheduler.run_until_idle t.kernel () with
       | Scheduler.All_exited | Scheduler.Idle ->
         if Extconsist.pending t.extcons > 0 then begin
-          (* Let a checkpoint cover and release the buffered output. *)
+          (* Let a checkpoint cover and release the buffered output;
+             external consistency needs real durability, so drain the
+             pipeline before releasing. *)
           fire_due_checkpoints t;
           List.iter
             (fun g ->
-              if g.Types.backends <> [] then begin
-                let b = checkpoint_now t g () in
-                Store.wait_durable
-                  (Option.get (Types.primary_store g))
-                  b.Types.durable_at
-              end)
+              if g.Types.backends <> [] then ignore (checkpoint_now t g ()))
             t.pgroups;
+          drain_pipeline t;
           ignore (Extconsist.release_due t.extcons);
           loop (guard - 1)
         end
@@ -438,12 +531,16 @@ let ps t =
 (* --- failure ----------------------------------------------------------- *)
 
 let crash t =
+  (* In-flight epochs die with the machine: whatever their writes had
+     not reached durably is reverted by the device crash, and recovery
+     reopens to the newest durable superblock — a committed prefix. *)
+  t.pending_ckpts <- [];
   Devarray.crash t.nvme;
   Devarray.crash t.memdev;
   Memfs.crash t.kernel.Kernel.fs;
   Extconsist.uninstall t.extcons
 
-let boot ~nvme =
+let boot ?max_inflight_ckpts ~nvme () =
   (* Boot: a fresh kernel on existing hardware, sharing wall time with
      the device. *)
   match Store.open_ ~dev:nvme with
@@ -463,9 +560,13 @@ let boot ~nvme =
         "memdev"
     in
     let mem_store = Store.format ~dev:memdev () in
-    Ok (build_on ~kernel ~nvme ~memdev ~disk_store ~mem_store)
+    Ok
+      (build_on ?max_inflight_ckpts ~kernel ~nvme ~memdev ~disk_store
+         ~mem_store ())
 
-let boot_exn ~nvme =
-  match boot ~nvme with Ok t -> t | Error e -> raise (Store.Fail e)
+let boot_exn ?max_inflight_ckpts ~nvme () =
+  match boot ?max_inflight_ckpts ~nvme () with
+  | Ok t -> t
+  | Error e -> raise (Store.Fail e)
 
-let recover t = boot_exn ~nvme:t.nvme
+let recover t = boot_exn ~max_inflight_ckpts:t.max_inflight_ckpts ~nvme:t.nvme ()

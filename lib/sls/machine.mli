@@ -31,6 +31,14 @@ type t = {
   mutable history_window : int;  (** generations kept on disk (plus named ones) *)
   mutable recorded : Types.pgroup list;  (** groups with input recording on *)
   slo : Slo.t;  (** stop-time / restore-latency watchdog *)
+  mutable max_inflight_ckpts : int;
+  (** Bound on captured-but-not-retired checkpoint epochs (default 2).
+      1 = synchronous: every barrier waits for its own flush. k > 1
+      pipelines: up to k-1 flushes drain under execution; a barrier
+      that would exceed the window blocks on the oldest epoch and
+      charges the wait to [ckpt.backpressure_us]. *)
+  mutable pending_ckpts : Types.pending_ckpt list;
+  (** Committed epochs whose writes are still draining, oldest first. *)
 }
 
 val create :
@@ -41,6 +49,7 @@ val create :
   ?dedup:bool ->
   ?faults:Fault.plan ->
   ?storage_blocks:int ->
+  ?max_inflight_ckpts:int ->
   unit ->
   t
 (** A fresh machine. [storage_profile] (default Optane 900P) is the
@@ -53,7 +62,9 @@ val create :
     bench). [faults] attaches a deterministic media-fault plan to the
     disk array; the disk store then formats with checksum verification
     and mirroring on. [storage_blocks] caps the disk array's logical
-    capacity — checkpoints degrade (not crash) when it fills. *)
+    capacity — checkpoints degrade (not crash) when it fills.
+    [max_inflight_ckpts] (default 2) bounds the checkpoint pipeline —
+    see the field above. *)
 
 val clock : t -> Clock.t
 val now : t -> Duration.t
@@ -110,9 +121,24 @@ val disk_backend : t -> Types.backend
 val checkpoint_now :
   t -> Types.pgroup -> ?mode:[ `Full | `Incremental ] -> ?name:string -> unit ->
   Types.ckpt_breakdown
-(** `sls checkpoint`: immediate checkpoint to every attached backend
-    (remotes receive the exported image). Also stamps the
-    external-consistency buffer and garbage-collects history. *)
+(** `sls checkpoint`: barrier + capture to every attached backend
+    (remotes receive the exported image) and enqueue the epoch on the
+    flush pipeline. Also stamps the external-consistency buffer.
+    Returns as soon as the in-flight window has room again (see
+    [max_inflight_ckpts]); the returned breakdown's [durable_at] may
+    be in the future. Epochs that already landed are retired first —
+    finalizing their spans/histograms and garbage-collecting
+    history. *)
+
+val complete_due : t -> unit
+(** Retire every in-flight epoch whose durability time the clock has
+    passed (oldest first). {!run}, {!checkpoint_now} and
+    {!drain_storage} call this themselves; exposed for fixtures that
+    drive the clock manually. *)
+
+val drain_pipeline : t -> unit
+(** Block (advance the clock) until every in-flight epoch is durable
+    and retired. *)
 
 val run : t -> Duration.t -> unit
 (** Advance the machine by a span of simulated time. *)
@@ -161,7 +187,8 @@ val crash : t -> unit
     lost. The machine object must not be used afterwards except as the
     argument of {!recover}. *)
 
-val boot : nvme:Devarray.t -> (t, Store.error) result
+val boot :
+  ?max_inflight_ckpts:int -> nvme:Devarray.t -> unit -> (t, Store.error) result
 (** Boot a fresh machine on an existing storage device (recover its
     object store; restore the file system from the latest generation
     when one exists). The CLI uses this to resume a universe whose
@@ -169,7 +196,7 @@ val boot : nvme:Devarray.t -> (t, Store.error) result
     recovery failure (no superblock, unreadable generation table,
     ...). *)
 
-val boot_exn : nvme:Devarray.t -> t
+val boot_exn : ?max_inflight_ckpts:int -> nvme:Devarray.t -> unit -> t
 (** {!boot}, raising [Store.Fail] on error. *)
 
 val recover : t -> t
@@ -183,7 +210,8 @@ val gc_history : t -> int
 (** Apply the history window now; returns blocks freed. *)
 
 val drain_storage : t -> unit
-(** Advance the clock (without scheduling applications) until the
-    storage devices' queues are empty — everything queued so far is
-    durable. Crash-test fixtures use this to define "the device caught
-    up". *)
+(** Advance the clock (without scheduling applications) until every
+    in-flight checkpoint epoch is retired and both stores' pipelines
+    are durable. Crash-test fixtures use this to define "the store
+    caught up". Unlike the device queues' [busy_until], unrelated raw
+    device traffic does not gate this. *)

@@ -49,19 +49,41 @@ let restore_object_pages (k : Kernel.t) store ~gen ~store_oid ~policy ~hot obj =
   in
   let hot_tbl = Hashtbl.create 16 in
   List.iter (fun p -> Hashtbl.replace hot_tbl p ()) hot;
-  let indexes =
-    Store.fold_page_indexes store gen ~oid:store_oid ~init:[] ~f:(fun acc i -> i :: acc)
+  (* Two passes over the index range — count, then fill preallocated
+     buffers — so the prefetch hot path never builds lists. *)
+  let n =
+    Store.fold_page_indexes store gen ~oid:store_oid ~init:0
+      ~f:(fun acc _ -> acc + 1)
   in
-  let indexes = List.rev indexes in
-  let eager_indexes, lazy_indexes =
-    List.partition
-      (fun pindex ->
-        match policy with
-        | Types.Eager -> true
-        | Types.Lazy -> false
-        | Types.Lazy_prefetch -> Hashtbl.mem hot_tbl pindex)
-      indexes
+  let indexes = Array.make n 0 in
+  ignore
+    (Store.fold_page_indexes store gen ~oid:store_oid ~init:0
+       ~f:(fun pos i ->
+         indexes.(pos) <- i;
+         pos + 1));
+  let is_eager pindex =
+    match policy with
+    | Types.Eager -> true
+    | Types.Lazy -> false
+    | Types.Lazy_prefetch -> Hashtbl.mem hot_tbl pindex
   in
+  let n_eager =
+    Array.fold_left (fun acc i -> if is_eager i then acc + 1 else acc) 0 indexes
+  in
+  let eager_indexes = Array.make n_eager 0 in
+  let lazy_indexes = Array.make (n - n_eager) 0 in
+  let ei = ref 0 and li = ref 0 in
+  Array.iter
+    (fun i ->
+      if is_eager i then begin
+        eager_indexes.(!ei) <- i;
+        incr ei
+      end
+      else begin
+        lazy_indexes.(!li) <- i;
+        incr li
+      end)
+    indexes;
   (* Eager pages come in as one batched command (prefetch pays the
      device latency once); lazy pages are mapped as faulting
      references into the image. The device time spent reading is
@@ -73,21 +95,21 @@ let restore_object_pages (k : Kernel.t) store ~gen ~store_oid ~policy ~hot obj =
     Clock.lap k.Kernel.clock (fun () ->
         Store.read_pages_batch store gen ~oid:store_oid ~pindexes:eager_indexes)
   in
-  if eager_indexes <> [] then begin
+  if n_eager > 0 then begin
     Span.record k.Kernel.spans ~name:"restore.prefetch"
-      ~attrs:[ ("pages", string_of_int (List.length batch)) ]
+      ~attrs:[ ("pages", string_of_int (Array.length batch)) ]
       ~start_at:prefetch_started
       ~end_at:(Clock.now k.Kernel.clock) ();
     Metrics.observe_duration
       (Metrics.histogram k.Kernel.metrics "restore.prefetch_us")
       read_time
   end;
-  List.iter
+  Array.iter
     (fun (pindex, seed) ->
       Vmobject.install obj pindex (Frame.alloc k.Kernel.pool (Content.of_seed seed));
       incr resident)
     batch;
-  List.iter
+  Array.iter
     (fun pindex ->
       match Store.peek_page store gen ~oid:store_oid ~pindex with
       | Some seed ->

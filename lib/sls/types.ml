@@ -83,6 +83,12 @@ type pgroup = {
   stop_stats : Stats.t;
 }
 
+(* One captured-but-not-yet-retired checkpoint epoch: the breakdown of
+   a generation whose writes are still draining on the device array.
+   The machine keeps these oldest-first, bounded by its in-flight
+   window. *)
+type pending_ckpt = { pc_group : pgroup; pc_b : ckpt_breakdown }
+
 let make_pgroup ~pgid ~target ~interval =
   { pgid; target; backends = []; interval; incremental = true; last_gen = None;
     last_barrier = Duration.zero; next_ckpt_at = interval; last_breakdown = None;

@@ -108,6 +108,11 @@ type pgroup = {
   stop_stats : Stats.t;                 (** stop time per checkpoint, us *)
 }
 
+type pending_ckpt = { pc_group : pgroup; pc_b : ckpt_breakdown }
+(** One captured-but-not-yet-retired checkpoint epoch: committed, with
+    its writes still draining toward [pc_b.durable_at]. The machine
+    keeps these oldest-first, bounded by its in-flight window. *)
+
 val make_pgroup : pgid:int -> target:target -> interval:Duration.t -> pgroup
 val primary_store : pgroup -> Store.t option
 val remotes : pgroup -> (Aurora_device.Netlink.t * Aurora_device.Netlink.side) list

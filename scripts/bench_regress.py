@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a fresh `bench/main.exe ... --json` dump against the
+committed BENCH_baseline.json and fails (exit 1) when a guarded
+metric regresses by more than the allowed margin (default 10%).
+
+Guarded metrics:
+  stripe-sweep / stripes_4_speedup      flush scaling over the device
+                                        array (higher is better)
+  ckpt-rate    / i10_s4_k2_amort_us     amortized per-checkpoint app
+                                        overhead with the pipelined
+                                        window (lower is better)
+  ckpt-rate    / i10_s4_k1_amort_us     the synchronous baseline it is
+                                        compared against (lower is
+                                        better; guards the fixture)
+  phase-breakdown / stop_us             incremental barrier stop time
+                                        (lower is better)
+
+Usage: bench_regress.py RESULTS.json [BASELINE.json] [--margin PCT]
+"""
+
+import json
+import sys
+
+# (target, key, direction): "higher" means larger values are better.
+GUARDS = [
+    ("stripe-sweep", "stripes_4_speedup", "higher"),
+    ("ckpt-rate", "i10_s4_k2_amort_us", "lower"),
+    ("ckpt-rate", "i10_s4_k1_amort_us", "lower"),
+    ("phase-breakdown", "stop_us", "lower"),
+]
+
+
+def lookup(doc, target, key):
+    try:
+        v = doc[target][key]
+    except KeyError:
+        return None
+    try:
+        return float(v)
+    except (TypeError, ValueError):
+        return None
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    margin = 10.0
+    for a in argv[1:]:
+        if a.startswith("--margin"):
+            margin = float(a.split("=", 1)[1] if "=" in a else args.pop())
+    if not args:
+        print(__doc__)
+        return 2
+    results_path = args[0]
+    baseline_path = args[1] if len(args) > 1 else "BENCH_baseline.json"
+    with open(results_path) as f:
+        results = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failed = False
+    for target, key, direction in GUARDS:
+        base = lookup(baseline, target, key)
+        cur = lookup(results, target, key)
+        if base is None:
+            print(f"  skip {target}/{key}: not in baseline")
+            continue
+        if cur is None:
+            print(f"FAIL {target}/{key}: missing from results (baseline {base:g})")
+            failed = True
+            continue
+        if direction == "higher":
+            limit = base * (1 - margin / 100.0)
+            ok = cur >= limit
+            rel = (base - cur) / base * 100.0 if base else 0.0
+        else:
+            limit = base * (1 + margin / 100.0)
+            ok = cur <= limit
+            rel = (cur - base) / base * 100.0 if base else 0.0
+        verdict = "ok  " if ok else "FAIL"
+        print(
+            f"{verdict} {target}/{key}: {cur:g} vs baseline {base:g} "
+            f"({rel:+.1f}% {'worse' if rel > 0 else 'better'}, margin {margin:g}%)"
+        )
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

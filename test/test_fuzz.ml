@@ -399,6 +399,120 @@ let prop_crash_at_random_instant_recovers_a_checkpoint =
             run_ms_tenths extra_us restored expected)
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined crash fuzz                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* With several checkpoint epochs in flight (window 3, 1 ms interval),
+   power-fail at an arbitrary instant: the reopened store must expose
+   a contiguous committed PREFIX of the pre-crash generations — every
+   epoch durable before the crash still present, never a torn suffix —
+   pass fsck and the block crosscheck, and restore to exactly a state
+   the program actually passed through. Half the cases run under a
+   mild transient-fault plan, so retried writes stretch the pipeline's
+   queues too. *)
+let prop_pipelined_crashes_expose_committed_prefix =
+  let open Aurora_simtime in
+  QCheck.Test.make
+    ~name:"pipelined crashes recover a committed prefix of generations"
+    ~count:30
+    QCheck.(triple (int_range 1 60) (int_range 0 2_000) bool)
+    (fun (run_tenths, extra_us, with_faults) ->
+      let faults =
+        if with_faults then
+          Some
+            (Aurora_device.Fault.plan
+               ~seed:(Int64.of_int ((run_tenths * 2048) + extra_us + 1))
+               ~transient_read:1e-4 ~transient_write:5e-5 ())
+        else None
+      in
+      let m = Machine.create ~stripes:2 ~max_inflight_ckpts:3 ?faults () in
+      m.Machine.history_window <- 1_000; (* keep every generation: the
+                                            prefix check needs them *)
+      let k = m.Machine.kernel in
+      let c = Kernel.new_container k ~name:"pipelined" in
+      let p = Kernel.spawn k ~container:c.Container.cid ~name:"mutator"
+          ~program:"fuzz/mutator" () in
+      ignore p;
+      ignore
+        (Machine.persist m ~interval:(Duration.milliseconds 1)
+           (`Container c.Container.cid));
+      Machine.run m
+        (Duration.add
+           (Duration.microseconds (run_tenths * 100))
+           (Duration.microseconds extra_us));
+      let store = m.Machine.disk_store in
+      let committed = List.sort Int.compare (Store.generations store) in
+      let at_crash = Machine.now m in
+      let durable =
+        List.filter
+          (fun g ->
+            match Store.gen_durable_at store g with
+            | Some d -> Duration.(d <= at_crash)
+            | None -> true (* conservatively: must survive *))
+          committed
+      in
+      Machine.crash m;
+      let m' = Machine.recover m in
+      let store' = m'.Machine.disk_store in
+      (let r = Store.fsck store' in
+       if not (Store.fsck_ok r) then
+         QCheck.Test.fail_reportf "fsck after pipelined crash: %s"
+           (String.concat "; "
+              (r.Store.problems
+              @ List.map (fun (g, why) -> Printf.sprintf "gen %d lost: %s" g why)
+                  r.Store.lost)));
+      let recovered = List.sort Int.compare (Store.generations store') in
+      List.iter
+        (fun g ->
+          if not (List.mem g recovered) then
+            QCheck.Test.fail_reportf "gen %d was durable before the crash but lost"
+              g)
+        durable;
+      let rec is_prefix xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+        | _ :: _, [] -> false
+      in
+      let show l = String.concat "," (List.map string_of_int l) in
+      if not (is_prefix recovered committed) then
+        QCheck.Test.fail_reportf
+          "torn suffix: recovered generations [%s] not a prefix of committed [%s]"
+          (show recovered) (show committed);
+      let x = Store.crosscheck store' in
+      if not x.Store.x_within_1pct then
+        QCheck.Test.fail_reportf
+          "crosscheck after pipelined crash: %d reachable vs %d live"
+          x.Store.x_reachable_blocks x.Store.x_live_blocks;
+      match Store.latest store' with
+      | None -> true (* crashed before anything became durable *)
+      | Some gen ->
+        let g' = Machine.persist m' (`Container c.Container.cid) in
+        let pids, _ = Machine.restore_group m' g' ~gen () in
+        let p' = Kernel.proc_exn m'.Machine.kernel (List.hd pids) in
+        let restored = mutator_digest p' in
+        let steps = Context.reg_int (Process.main_thread p').Thread.context 2 in
+        let scratch = Machine.create () in
+        let sk = scratch.Machine.kernel in
+        let sc = Kernel.new_container sk ~name:"scratch" in
+        let sp = Kernel.spawn sk ~container:sc.Container.cid ~name:"mutator"
+            ~program:"fuzz/mutator" () in
+        let guard = ref 0 in
+        while
+          Context.reg_int (Process.main_thread sp).Thread.context 2 < steps
+          && !guard < 2_000_000
+        do
+          ignore (Scheduler.step_all sk);
+          incr guard
+        done;
+        let expected = mutator_digest sp in
+        if String.equal restored expected then true
+        else
+          QCheck.Test.fail_reportf
+            "restored state not one the program passed through:@.restored %s@.expected %s"
+            restored expected)
+
+(* ------------------------------------------------------------------ *)
 (* Media-fault fuzz                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -517,6 +631,8 @@ let () =
         [ qt prop_random_history_survives_rollback_replay ] );
       ( "crash-timing",
         [ qt prop_crash_at_random_instant_recovers_a_checkpoint ] );
+      ( "pipelined-crash",
+        [ qt prop_pipelined_crashes_expose_committed_prefix ] );
       ( "media-faults",
         [ qt prop_faulty_media_never_serves_wrong_data ] );
     ]

@@ -151,6 +151,47 @@ let test_checkpoint_gc_history () =
   let gens = Store.generations m.Machine.disk_store in
   check_bool "history bounded" true (List.length gens <= 4)
 
+(* Regression for the pipelined quiesce: draining checkpoint state
+   must await only the epochs' own writes, not the device queues'
+   [busy_until] — unrelated raw traffic on the same array used to
+   inflate the wait. *)
+let test_drain_ignores_unrelated_io () =
+  let m = Machine.create ~stripes:2 () in
+  let c, _ = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  Machine.run m (Duration.milliseconds 1);
+  let b = Machine.checkpoint_now m g () in
+  Machine.drain_storage m;
+  check_bool "checkpoint retired" true
+    Duration.(b.Types.durable_at <= Machine.now m);
+  (* A large background write far outside the store's allocations:
+     ~100 ms of device time the checkpoint pipeline does not own. *)
+  let raw = List.init 50_000 (fun i -> (1_000_000 + i, Aurora_device.Blockdev.Zero)) in
+  let raw_done = Aurora_device.Devarray.write_async m.Machine.nvme raw in
+  Machine.drain_storage m;
+  check_bool "drain does not await unrelated io" true
+    Duration.(Machine.now m < raw_done)
+
+let test_checkpoint_not_gated_by_raw_io () =
+  (* A checkpoint issued while a huge unrelated write is queued must
+     still return at barrier cost: its epoch's durability is tracked
+     per generation and waited on only under backpressure. *)
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  Machine.run m (Duration.milliseconds 1);
+  let raw = List.init 50_000 (fun i -> (1_000_000 + i, Aurora_device.Blockdev.Zero)) in
+  let raw_done = Aurora_device.Devarray.write_async m.Machine.nvme raw in
+  let before = Machine.now m in
+  let b = Machine.checkpoint_now m g () in
+  check_bool "checkpoint committed" true (b.Types.status = `Ok);
+  check_bool "barrier returns promptly" true
+    Duration.(Duration.sub (Machine.now m) before < Duration.milliseconds 5);
+  check_bool "stop time unaffected" true
+    Duration.(b.Types.stop_time < Duration.milliseconds 1);
+  check_bool "clock still before raw completion" true
+    Duration.(Machine.now m < raw_done)
+
 let test_full_device_degrades_checkpoint () =
   (* A full disk must degrade checkpoints — abort the open generation,
      keep serving the last good one — never crash the machine. *)
@@ -601,7 +642,26 @@ let test_trace_records_checkpoints () =
   check_bool "restore traced" true
     (Tracelog.find trace ~subsystem:"restore"
        ~substring:(Printf.sprintf "gen %d" b.Types.gen)
-     <> None)
+     <> None);
+  (* The pipeline observability surface: once the epoch is retired,
+     its flush lives on the ckpt.pipeline span track and the
+     flush/lag/backpressure histograms have samples. *)
+  Machine.drain_storage m;
+  let flush_spans =
+    List.filter
+      (fun (s : Span.span) -> String.equal s.Span.track "ckpt.pipeline")
+      (Span.spans (Machine.spans m))
+  in
+  check_bool "flush span on the ckpt.pipeline track" true (flush_spans <> []);
+  let mm = Machine.metrics m in
+  let has_samples name = Metrics.hist_count (Metrics.histogram mm name) > 0 in
+  check_bool "ckpt.flush_us sampled" true (has_samples "ckpt.flush_us");
+  check_bool "ckpt.durable_lag_us sampled" true (has_samples "ckpt.durable_lag_us");
+  check_bool "ckpt.backpressure_us sampled" true
+    (has_samples "ckpt.backpressure_us");
+  Machine.sync_metrics m;
+  check_bool "ckpt.inflight_gens gauge present" true
+    (Metrics.find mm "ckpt.inflight_gens" <> None)
 
 let test_nvdimm_durability_faster () =
   (* The same checkpoint cycle reaches durability sooner on NVDIMM
@@ -644,6 +704,10 @@ let () =
           Alcotest.test_case "idle incremental captures nothing" `Quick
             test_incremental_dirty_only;
           Alcotest.test_case "history gc" `Quick test_checkpoint_gc_history;
+          Alcotest.test_case "drain ignores unrelated io" `Quick
+            test_drain_ignores_unrelated_io;
+          Alcotest.test_case "checkpoint not gated by raw io" `Quick
+            test_checkpoint_not_gated_by_raw_io;
           Alcotest.test_case "full device degrades, machine survives" `Quick
             test_full_device_degrades_checkpoint;
         ] );
