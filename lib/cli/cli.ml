@@ -581,6 +581,133 @@ let cmd_diff path gen_a gen_b json =
   end;
   0
 
+(* --- replication commands --------------------------------------------- *)
+
+let write_universe_file path ~nvme ~apps =
+  Devarray.set_observability nvme ();
+  let oc = open_out_bin path in
+  Marshal.to_channel oc { uf_nvme = nvme; uf_apps = apps } [];
+  close_out oc
+
+(* `sls replicate DST`: attach a hot standby behind a (faulty) link,
+   drive every committed generation through the replication session —
+   retransmitting, resyncing — and write the standby device out as its
+   own universe file. A session that cannot converge raises
+   {!Replica.Session_failed} (exit 2). *)
+let cmd_replicate path dst pgid loss seed json =
+  if loss < 0. || loss >= 1. then failwith "--loss must be in [0, 1)";
+  let u = load path in
+  let entry, g = find_app u pgid in
+  let faults =
+    if loss > 0. then
+      Some (Netlink.fault_plan ~seed:(Int64.of_int seed) ~drop:loss ())
+    else None
+  in
+  let repl = Machine.attach_standby u.machine ?faults g in
+  let pgens =
+    List.sort Int.compare (Store.generations u.machine.Machine.disk_store)
+  in
+  if pgens = [] then failwith "no committed generations to replicate";
+  let reports =
+    List.map (fun gen -> Replica.ship_exn repl ~gen ~pgid:g.Types.pgid) pgens
+  in
+  let st = Replica.stats repl in
+  let lag = Replica.lag repl in
+  let state = match Replica.state repl with `Idle -> "idle" | `Degraded -> "degraded" in
+  let acked_rtts =
+    List.filter_map
+      (fun (r : Replica.ship_report) ->
+        if r.Replica.sh_outcome = `Acked then Some (Duration.to_us r.Replica.sh_rtt)
+        else None)
+      reports
+  in
+  let rtt_mean =
+    match acked_rtts with
+    | [] -> 0.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  if json then
+    say
+      "{\"app\": %S, \"generations\": %d, \"acked\": %d, \"state\": %S, \
+       \"lag\": %d, \"full_images\": %d, \"delta_images\": %d, \
+       \"retransmits\": %d, \"resyncs\": %d, \"corrupt_rejects\": %d, \
+       \"duplicate_frames\": %d, \"wire_bytes\": %d, \"ack_rtt_us_mean\": %.1f}"
+      entry.app_name (List.length pgens) st.Replica.acked state lag
+      st.Replica.full_images st.Replica.delta_images st.Replica.retransmits
+      st.Replica.resyncs st.Replica.corrupt_rejects st.Replica.duplicate_frames
+      st.Replica.wire_bytes rtt_mean
+  else begin
+    List.iter
+      (fun (r : Replica.ship_report) ->
+        say "generation %d: %s %s in %d attempt%s (%.1f us, %d KiB)"
+          r.Replica.sh_gen
+          (match r.Replica.sh_mode with
+           | `Full -> "full image"
+           | `Delta b -> Printf.sprintf "delta vs %d" b)
+          (match r.Replica.sh_outcome with
+           | `Acked -> "acked"
+           | `Skipped -> "skipped"
+           | `Gave_up -> "GAVE UP")
+          r.Replica.sh_attempts
+          (if r.Replica.sh_attempts = 1 then "" else "s")
+          (Duration.to_us r.Replica.sh_rtt)
+          (r.Replica.sh_bytes / 1024))
+      reports;
+    say "session %s: %d/%d generations acked, lag %d" state st.Replica.acked
+      (List.length pgens) lag;
+    say "  wire: %d bytes, %d retransmits, %d resyncs, %d corrupt rejects, mean ack rtt %.1f us"
+      st.Replica.wire_bytes st.Replica.retransmits st.Replica.resyncs
+      st.Replica.corrupt_rejects rtt_mean
+  end;
+  write_universe_file dst
+    ~nvme:(Store.device (Replica.standby_store repl))
+    ~apps:(List.map fst u.apps);
+  Machine.detach_standby u.machine;
+  save path u;
+  if not json then say "wrote standby universe %s" dst;
+  0
+
+(* `sls failover DST`: promote a standby universe — boot a machine on
+   its device (recovering the committed, integrity-verified prefix it
+   acknowledged), resurrect the applications, and report the RPO
+   against the primary universe ([-u]). *)
+let cmd_failover primary dst json =
+  let pu = load primary in
+  let du = load dst in
+  let sstore = du.machine.Machine.disk_store in
+  let mapped =
+    List.filter_map
+      (fun (n, sg) -> Option.map (fun p -> (p, sg)) (Replica.parse_repl_gen_name n))
+      (Store.named sstore)
+  in
+  if mapped = [] then
+    failwith "standby holds no replicated generations; nothing to promote";
+  let acked = List.fold_left (fun a (p, _) -> max a p) 0 mapped in
+  let pgens = Store.generations pu.machine.Machine.disk_store in
+  let rpo = List.length (List.filter (fun gn -> gn > acked) pgens) in
+  let promoted_gen = Store.latest sstore in
+  let pids = List.map (fun (pid, _, _, _) -> pid) (Machine.ps du.machine) in
+  if json then
+    say
+      "{\"state\": %S, \"replicated_generations\": %d, \"acked_primary_gen\": %d, \
+       \"rpo_generations\": %d, \"promoted_gen\": %s, \"restored_pids\": [%s]}"
+      (if rpo = 0 then "converged" else "degraded")
+      (List.length mapped) acked rpo
+      (match promoted_gen with Some gn -> string_of_int gn | None -> "null")
+      (String.concat ", " (List.map string_of_int pids))
+  else begin
+    say "promoted standby %s: %d replicated generations, last acked primary generation %d"
+      dst (List.length mapped) acked;
+    say "  RPO: %d primary generation%s lost (%s)" rpo
+      (if rpo = 1 then "" else "s")
+      (if rpo = 0 then "standby was converged" else "standby lagged the primary");
+    say "  restored pids [%s] from generation %s"
+      (String.concat ";" (List.map string_of_int pids))
+      (match promoted_gen with Some gn -> string_of_int gn | None -> "-")
+  end;
+  save dst du;
+  0
+
 let cmd_crash path =
   let u = load path in
   Machine.crash u.machine;
@@ -611,6 +738,11 @@ let wrap f =
     (* Same class: an operational failure of the store's contents
        (missing manifest or record, corrupt image), not a usage error. *)
     Printf.eprintf "sls: restore failure: %s\n" (Restore.describe_error e);
+    2
+  | Replica.Session_failed msg ->
+    (* A replication session that cannot make progress (the link never
+       delivers within the retry budget) is operational, not usage. *)
+    Printf.eprintf "sls: replication failure: %s\n" msg;
     2
   | Failure msg | Invalid_argument msg ->
     Printf.eprintf "sls: %s\n" msg;
@@ -779,6 +911,43 @@ let diff_cmd =
       const (fun path a b json -> wrap (fun () -> cmd_diff path a b json))
       $ universe_arg $ gen_a $ gen_b $ json_arg)
 
+let replicate_cmd =
+  let dst =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DST"
+           ~doc:"Destination universe file for the standby.")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P"
+           ~doc:"Per-message drop probability on the replication link.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Deterministic seed for the link's fault plan.")
+  in
+  Cmd.v
+    (Cmd.info "replicate"
+       ~doc:"Ship every checkpoint generation to a hot standby over a \
+             (lossy) link — retransmitting and resyncing as needed — and \
+             write the standby out as its own universe file.")
+    Term.(
+      const (fun path dst pgid loss seed json ->
+          wrap (fun () -> cmd_replicate path dst pgid loss seed json))
+      $ universe_arg $ dst $ pgid_arg $ loss $ seed $ json_arg)
+
+let failover_cmd =
+  let dst =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DST"
+           ~doc:"Standby universe file to promote.")
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:"Promote a replicated standby universe: recover its store, \
+             resurrect the applications, and report the RPO (checkpoint \
+             generations lost) against the primary universe.")
+    Term.(
+      const (fun path dst json -> wrap (fun () -> cmd_failover path dst json))
+      $ universe_arg $ dst $ json_arg)
+
 let fsck_cmd =
   let scrub =
     Arg.(value & flag & info [ "scrub" ]
@@ -795,8 +964,8 @@ let group =
   Cmd.group (Cmd.info "sls" ~doc)
     [
       init_cmd; spawn_cmd; run_cmd; ps_cmd; checkpoint_cmd; gens_cmd; restore_cmd;
-      send_cmd; recv_cmd; attach_cmd; detach_cmd; crash_cmd; fsck_cmd; stats_cmd;
-      trace_cmd; top_cmd; explain_cmd; diff_cmd;
+      send_cmd; recv_cmd; replicate_cmd; failover_cmd; attach_cmd; detach_cmd;
+      crash_cmd; fsck_cmd; stats_cmd; trace_cmd; top_cmd; explain_cmd; diff_cmd;
     ]
 
 let main () = Cmd.eval' group

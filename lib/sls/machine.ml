@@ -25,6 +25,9 @@ type t = {
   mutable pending_ckpts : Types.pending_ckpt list;
   (* Committed epochs whose writes are still draining, oldest first.
      Superblock ordering makes their durability times ascending. *)
+  mutable standby : (int * Replica.t) option;
+  (* Hot-standby replication session and the pgid whose checkpoints
+     auto-ship through it. *)
 }
 
 let clock t = t.kernel.Kernel.clock
@@ -72,6 +75,22 @@ let sync_metrics t =
       set ("store." ^ label ^ ".dedup.misses") st.Store.dedup_misses;
       set ("store." ^ label ^ ".dedup.bytes_saved") st.Store.dedup_bytes_saved)
     [ t.disk_store; t.mem_store ];
+  (match t.standby with
+   | Some (_, repl) ->
+     set "repl.lag" (Replica.lag repl);
+     let link = Replica.link repl in
+     List.iter
+       (fun (label, side) ->
+         let st = Netlink.stats link ~from_:side in
+         set ("repl.link." ^ label ^ ".msgs_sent") st.Netlink.msgs_sent;
+         set ("repl.link." ^ label ^ ".msgs_delivered") st.Netlink.msgs_delivered;
+         set ("repl.link." ^ label ^ ".dropped") st.Netlink.dropped;
+         set ("repl.link." ^ label ^ ".duplicated") st.Netlink.duplicated;
+         set ("repl.link." ^ label ^ ".reordered") st.Netlink.reordered;
+         set ("repl.link." ^ label ^ ".corrupted") st.Netlink.corrupted;
+         set ("repl.link." ^ label ^ ".partition_drops") st.Netlink.partition_drops)
+       [ ("tx", (`A : Netlink.side)); ("rx", `B) ]
+   | None -> ());
   set "trace.events_dropped" (Tracelog.dropped t.kernel.Kernel.trace);
   set "trace.spans_dropped" (Span.dropped (spans t));
   set "trace.span_orphans" (Span.orphan_finishes (spans t));
@@ -110,6 +129,7 @@ let build_on ?(max_inflight_ckpts = 2) ~kernel ~nvme ~memdev ~disk_store
         slo = Slo.create ();
         max_inflight_ckpts;
         pending_ckpts = [];
+        standby = None;
       }
   in
   let m = Lazy.force t in
@@ -265,6 +285,14 @@ let checkpoint_now t g ?mode ?name () =
              ignore (Sendrecv.ship link ~from_:side p ~gen:b.Types.gen ~pgid:g.Types.pgid ())
            | _, None -> ())
        g.Types.backends;
+     (* Auto-ship to the hot standby: the replication session drives
+        the image to durable acknowledgement (or gives up after its
+        retry budget — a later checkpoint resynchronizes). Runs
+        barrier-side like the other secondary backends. *)
+     (match t.standby with
+      | Some (pgid, repl) when pgid = g.Types.pgid ->
+        ignore (Replica.ship repl ~gen:b.Types.gen ~pgid)
+      | _ -> ());
      (* The epoch joins the pipeline; history collection happens when
         it retires. Backpressure: a barrier may not leave more than
         the window in flight, so block on the oldest epochs until the
@@ -570,3 +598,70 @@ let boot_exn ?max_inflight_ckpts ~nvme () =
   | Error e -> raise (Store.Fail e)
 
 let recover t = boot_exn ~max_inflight_ckpts:t.max_inflight_ckpts ~nvme:t.nvme ()
+
+(* --- replication ------------------------------------------------------- *)
+
+let attach_standby t ?faults ?(link_profile = Profile.net_10gbe) ?ack_timeout
+    ?max_attempts ?standby_dev g =
+  if t.standby <> None then
+    invalid_arg "Machine.attach_standby: a standby is already attached";
+  let link = Netlink.create ?faults ~clock:(clock t) ~profile:link_profile () in
+  let store =
+    match standby_dev with
+    | Some dev ->
+      (* Re-attach an existing standby (e.g. after the primary
+         recovered): the session resumes from the replication state
+         the standby's generation table carries. *)
+      Store.open_exn ~dev
+    | None ->
+      let dev =
+        Devarray.create ~stripes:1 ~clock:(clock t)
+          ~profile:(Devarray.profile t.nvme) "standby"
+      in
+      Store.format ~dev ()
+  in
+  let repl =
+    Replica.establish ?ack_timeout ?max_attempts ~metrics:(metrics t)
+      ~spans:(spans t) ~link ~primary_side:`A ~primary:t.disk_store
+      ~standby:store ()
+  in
+  t.standby <- Some (g.Types.pgid, repl);
+  repl
+
+let standby_session t = Option.map snd t.standby
+
+let detach_standby t = t.standby <- None
+
+type failover_report = {
+  fo_rpo : int;
+  fo_primary_latest : Store.gen option;
+  fo_promoted_gen : Store.gen option;
+  fo_standby_generations : int;
+}
+
+let failover t =
+  match t.standby with
+  | None -> invalid_arg "Machine.failover: no standby attached"
+  | Some (_pgid, repl) ->
+    let started = now t in
+    (* RPO = committed primary generations the standby never
+       acknowledged durable: what this primary loss costs. *)
+    let rpo = Replica.lag repl in
+    let standby = Replica.standby_store repl in
+    let promoted_gen = Option.map snd (Replica.standby_latest repl) in
+    let standby_generations = List.length (Store.generations standby) in
+    t.standby <- None;
+    let promoted =
+      boot_exn ~max_inflight_ckpts:t.max_inflight_ckpts
+        ~nvme:(Store.device standby) ()
+    in
+    Span.record (spans t) ~track:"repl" ~name:"repl.failover"
+      ~attrs:
+        [ ("rpo_generations", string_of_int rpo);
+          ("promoted_gen",
+           match promoted_gen with Some g -> string_of_int g | None -> "-") ]
+      ~start_at:started ~end_at:(now t) ();
+    ( promoted,
+      { fo_rpo = rpo; fo_primary_latest = Store.latest t.disk_store;
+        fo_promoted_gen = promoted_gen;
+        fo_standby_generations = standby_generations } )

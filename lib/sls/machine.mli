@@ -39,6 +39,10 @@ type t = {
       charges the wait to [ckpt.backpressure_us]. *)
   mutable pending_ckpts : Types.pending_ckpt list;
   (** Committed epochs whose writes are still draining, oldest first. *)
+  mutable standby : (int * Replica.t) option;
+  (** Hot-standby replication session, with the pgid whose checkpoints
+      auto-ship through it. Managed by {!attach_standby} /
+      {!failover}. *)
 }
 
 val create :
@@ -179,6 +183,52 @@ val rollback_and_replay : t -> Types.pgroup -> int list * int
     workflow ("witness the last seconds before a crash"). Returns the
     restored pids and the number of inputs replayed. The caller runs
     the scheduler to watch the re-execution. *)
+
+(* --- replication ---------------------------------------------------- *)
+
+val attach_standby :
+  t ->
+  ?faults:Netlink.fault_plan ->
+  ?link_profile:Profile.t ->
+  ?ack_timeout:Duration.t ->
+  ?max_attempts:int ->
+  ?standby_dev:Devarray.t ->
+  Types.pgroup ->
+  Replica.t
+(** Attach a hot standby for the group: a fresh single-stripe device
+    array (same storage profile as the primary) behind a {!Netlink}
+    link (default profile 10 GbE) carrying the optional [faults] plan,
+    and a {!Replica} session through it. Every subsequent committed
+    checkpoint of the group auto-ships through the session (see
+    {!checkpoint_now}). [standby_dev] re-attaches an existing standby
+    device instead — after a primary crash and {!recover}, the new
+    session resumes from the replication state recorded durably on the
+    standby. Raises [Invalid_argument] when a standby is already
+    attached. *)
+
+val standby_session : t -> Replica.t option
+
+val detach_standby : t -> unit
+(** Stop auto-shipping; the session and its store are abandoned. *)
+
+type failover_report = {
+  fo_rpo : int;
+      (** RPO: committed primary generations the standby never
+          acknowledged durable — what this primary loss costs. *)
+  fo_primary_latest : Store.gen option;
+  fo_promoted_gen : Store.gen option;
+      (** The standby generation (standby numbering) the promoted
+          machine resumes from. *)
+  fo_standby_generations : int;
+}
+
+val failover : t -> t * failover_report
+(** Promote the standby: boot a fresh machine on the standby's device
+    (its store recovers to the committed, integrity-verified prefix it
+    acknowledged) and report the RPO. The old machine stops shipping;
+    call {!restore_group} on the promoted machine to resurrect the
+    applications. Raises [Invalid_argument] when no standby is
+    attached. *)
 
 (* --- failure -------------------------------------------------------- *)
 

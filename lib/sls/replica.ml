@@ -1,0 +1,544 @@
+open Aurora_simtime
+open Aurora_device
+open Aurora_posix
+open Aurora_objstore
+
+(* --- wire frames ------------------------------------------------------ *)
+
+let frame_magic = "AURORA-REPL-v1"
+
+(* Stop-and-wait ARQ: one data frame in flight, retransmits reuse its
+   sequence number, ACK/NAK echo it. The session id fences frames from
+   a dead incarnation of the session (a re-established session must
+   not honor data still in flight from before a crash). *)
+type payload =
+  | Data of {
+      seq : int;
+      primary_gen : Store.gen;
+      base : Store.gen option;  (* primary numbering; None = full image *)
+      pgid : int;
+      image : string;
+    }
+  | Ack of { seq : int; primary_gen : Store.gen }
+  | Nak of { seq : int; have : Store.gen option }
+
+let encode_payload p =
+  let w = Serial.writer () in
+  (match p with
+   | Data { seq; primary_gen; base; pgid; image } ->
+     Serial.w_u8 w 1;
+     Serial.w_int w seq;
+     Serial.w_int w primary_gen;
+     Serial.w_option w Serial.w_int base;
+     Serial.w_int w pgid;
+     Serial.w_string w image
+   | Ack { seq; primary_gen } ->
+     Serial.w_u8 w 2;
+     Serial.w_int w seq;
+     Serial.w_int w primary_gen
+   | Nak { seq; have } ->
+     Serial.w_u8 w 3;
+     Serial.w_int w seq;
+     Serial.w_option w Serial.w_int have);
+  Serial.contents w
+
+let decode_payload body =
+  let r = Serial.reader body in
+  let p =
+    match Serial.r_u8 r with
+    | 1 ->
+      let seq = Serial.r_int r in
+      let primary_gen = Serial.r_int r in
+      let base = Serial.r_option r Serial.r_int in
+      let pgid = Serial.r_int r in
+      let image = Serial.r_string r in
+      Data { seq; primary_gen; base; pgid; image }
+    | 2 ->
+      let seq = Serial.r_int r in
+      let primary_gen = Serial.r_int r in
+      Ack { seq; primary_gen }
+    | 3 ->
+      let seq = Serial.r_int r in
+      let have = Serial.r_option r Serial.r_int in
+      Nak { seq; have }
+    | n -> raise (Serial.Corrupt (Printf.sprintf "replica frame tag %d" n))
+  in
+  Serial.expect_end r;
+  p
+
+(* Frame = magic, session id, CRC over the payload, payload. The CRC is
+   the same FNV-1a the image format uses; a bit flipped anywhere in the
+   payload (or a truncated frame) fails decode and the frame is treated
+   as lost — retransmission recovers it. *)
+let encode_frame ~sid p =
+  let body = encode_payload p in
+  let w = Serial.writer () in
+  Serial.w_string w frame_magic;
+  Serial.w_int w sid;
+  Serial.w_int64 w (Sendrecv.checksum body);
+  Serial.w_string w body;
+  Serial.contents w
+
+let decode_frame raw =
+  match
+    let r = Serial.reader raw in
+    let m = Serial.r_string r in
+    if not (String.equal m frame_magic) then raise (Serial.Corrupt "bad frame magic");
+    let sid = Serial.r_int r in
+    let crc = Serial.r_int64 r in
+    let body = Serial.r_string r in
+    Serial.expect_end r;
+    if not (Int64.equal (Sendrecv.checksum body) crc) then
+      raise (Serial.Corrupt "frame checksum mismatch");
+    (sid, decode_payload body)
+  with
+  | v -> Ok v
+  | exception Serial.Corrupt msg -> Error msg
+
+(* --- sessions --------------------------------------------------------- *)
+
+exception Session_failed of string
+
+let () =
+  Printexc.register_printer (function
+    | Session_failed msg -> Some (Printf.sprintf "Replica.Session_failed(%s)" msg)
+    | _ -> None)
+
+type stats = {
+  ships : int;
+  acked : int;
+  skipped : int;
+  retransmits : int;
+  resyncs : int;
+  naks : int;
+  duplicate_frames : int;
+  corrupt_rejects : int;
+  torn_imports : int;
+  stale_frames : int;
+  gave_up : int;
+  full_images : int;
+  delta_images : int;
+  wire_bytes : int;
+}
+
+let zero_stats =
+  { ships = 0; acked = 0; skipped = 0; retransmits = 0; resyncs = 0; naks = 0;
+    duplicate_frames = 0; corrupt_rejects = 0; torn_imports = 0; stale_frames = 0;
+    gave_up = 0; full_images = 0; delta_images = 0; wire_bytes = 0 }
+
+type t = {
+  link : Netlink.t;
+  primary_side : Netlink.side;
+  primary : Store.t;
+  mutable standby : Store.t;
+  clock : Clock.t;
+  sid : int;
+  ack_timeout : Duration.t;
+  max_attempts : int;
+  max_backoff : Duration.t;
+  prng : Prng.t;  (* retransmission jitter *)
+  metrics : Metrics.t option;
+  spans : Span.t option;
+  mutable next_seq : int;
+  (* primary-side transmitter state *)
+  mutable acked : Store.gen option;  (* last primary gen acked durable *)
+  mutable state : [ `Idle | `Degraded ];
+  (* standby-side receiver state (both ends live in one simulated
+     universe, so the session object carries both) *)
+  mutable rx_last_seq : int;
+  mutable rx_latest : Store.gen option;  (* latest primary gen applied *)
+  mutable map : (Store.gen * Store.gen) list;  (* primary -> standby, ascending *)
+  mutable st : stats;
+}
+
+let repl_name_prefix = "repl.gen:"
+let repl_gen_name g = Printf.sprintf "%s%d" repl_name_prefix g
+
+let parse_repl_gen_name name =
+  let plen = String.length repl_name_prefix in
+  if String.length name > plen && String.starts_with ~prefix:repl_name_prefix name
+  then int_of_string_opt (String.sub name plen (String.length name - plen))
+  else None
+
+(* The durable session state: which primary generation each standby
+   generation holds, recorded as generation names at import time. *)
+let scan_mapping standby =
+  Store.named standby
+  |> List.filter_map (fun (name, sgen) ->
+      match parse_repl_gen_name name with
+      | Some pgen -> Some (pgen, sgen)
+      | None -> None)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let session_counter = ref 0
+
+let bump t f = t.st <- f t.st
+
+let metric_incr t name =
+  Option.iter (fun m -> Metrics.incr (Metrics.counter m name)) t.metrics
+
+let establish ?(ack_timeout = Duration.milliseconds 5) ?(max_attempts = 10)
+    ?(max_backoff = Duration.milliseconds 40) ?metrics ?spans ~link
+    ~primary_side ~primary ~standby () =
+  if max_attempts < 1 then invalid_arg "Replica.establish: max_attempts < 1";
+  incr session_counter;
+  let map = scan_mapping standby in
+  (* A standby that acknowledged generations this primary no longer
+     holds is AHEAD of it: the primary crashed before those became
+     durable and recovered to an older committed prefix. Generation
+     numbers past that prefix may be reused with different content, so
+     nothing on such a standby can be trusted as a delta base.
+     Quarantine the torn session state — reformat and resync in
+     full. *)
+  let ahead =
+    match Store.latest primary with
+    | None -> map <> []
+    | Some pl -> List.exists (fun (p, _) -> p > pl) map
+  in
+  let standby, map =
+    if ahead then (Store.format ~dev:(Store.device standby) (), [])
+    else (standby, map)
+  in
+  let latest = match List.rev map with (p, _) :: _ -> Some p | [] -> None in
+  (match metrics with
+   | Some m when ahead -> Metrics.incr (Metrics.counter m "repl.quarantines")
+   | _ -> ());
+  {
+    link; primary_side; primary; standby;
+    clock = Devarray.clock (Store.device primary);
+    sid = !session_counter;
+    ack_timeout; max_attempts; max_backoff;
+    prng = Prng.create ~seed:(Int64.of_int (0x5EED + !session_counter));
+    metrics; spans;
+    next_seq = 1;
+    acked = latest;
+    state = `Idle;
+    rx_last_seq = 0;
+    rx_latest = latest;
+    map;
+    st = zero_stats;
+  }
+
+let state t = t.state
+let stats t = t.st
+let link t = t.link
+let primary_store t = t.primary
+let standby_store t = t.standby
+let acked_gen t = t.acked
+let mapping t = t.map
+let standby_gen_of t pgen = List.assoc_opt pgen t.map
+let standby_latest t = match List.rev t.map with p :: _ -> Some p | [] -> None
+
+let lag t =
+  let gens = Store.generations t.primary in
+  match t.acked with
+  | None -> List.length gens
+  | Some a -> List.length (List.filter (fun g -> g > a) gens)
+
+let standby_side t : Netlink.side =
+  match t.primary_side with `A -> `B | `B -> `A
+
+let send_frame t ~from_ p =
+  let raw = encode_frame ~sid:t.sid p in
+  bump t (fun s -> { s with wire_bytes = s.wire_bytes + String.length raw });
+  ignore (Netlink.send t.link ~from_ raw)
+
+(* --- standby end ------------------------------------------------------ *)
+
+let standby_apply t ~seq ~primary_gen ~base ~image =
+  if seq <= t.rx_last_seq then begin
+    (* Duplicate (retransmit of something already applied, or a link
+       duplication): re-ACK so the primary can move on; never
+       re-import. *)
+    bump t (fun s -> { s with duplicate_frames = s.duplicate_frames + 1 });
+    metric_incr t "repl.duplicate_frames";
+    match t.rx_latest with
+    | Some g -> send_frame t ~from_:(standby_side t) (Ack { seq; primary_gen = g })
+    | None -> send_frame t ~from_:(standby_side t) (Nak { seq; have = None })
+  end
+  else if List.mem_assoc primary_gen t.map then begin
+    (* A fresh frame for a generation already applied durably: the ACK
+       was lost and the primary gave up on that ship. Re-ACK instead of
+       re-importing. *)
+    t.rx_last_seq <- seq;
+    bump t (fun s -> { s with duplicate_frames = s.duplicate_frames + 1 });
+    metric_incr t "repl.duplicate_frames";
+    send_frame t ~from_:(standby_side t) (Ack { seq; primary_gen })
+  end
+  else if
+    (* A delta only applies on top of exactly the generation it was cut
+       against; anything else (standby lost state in a crash, primary
+       resumed an older session) is NAKed with what the standby holds
+       so the primary can resync from the last common generation. *)
+    match base with None -> false | Some b -> t.rx_latest <> Some b
+  then begin
+    bump t (fun s -> { s with naks = s.naks + 1 });
+    send_frame t ~from_:(standby_side t) (Nak { seq; have = t.rx_latest })
+  end
+  else begin
+    match
+      (* ACK durability, not arrival: wait for the imported
+         generation's superblock, record the primary-generation name
+         durably, then acknowledge. *)
+      let sgen, durable = Sendrecv.import t.standby image in
+      Store.wait_durable t.standby durable;
+      Store.name_generation t.standby sgen (repl_gen_name primary_gen);
+      sgen
+    with
+    | exception Restore.Error (Restore.Bad_image _) ->
+      (* Integrity-verified imports only: the torn image never reaches
+         the store (the open generation, if any, is aborted) and the
+         primary is told to resend. *)
+      (try Store.abort_generation t.standby with _ -> ());
+      bump t (fun s -> { s with corrupt_rejects = s.corrupt_rejects + 1 });
+      metric_incr t "repl.corrupt_rejects";
+      send_frame t ~from_:(standby_side t) (Nak { seq; have = t.rx_latest })
+    | exception Store.Fail _ ->
+      (* The standby's own media failed mid-import: abort the torn
+         generation and NAK — a retransmit retries the import (transient
+         device faults heal on retry; persistent ones keep the session
+         degraded rather than ack anything unverified). *)
+      (try Store.abort_generation t.standby with _ -> ());
+      bump t (fun s -> { s with torn_imports = s.torn_imports + 1 });
+      metric_incr t "repl.torn_imports";
+      send_frame t ~from_:(standby_side t) (Nak { seq; have = t.rx_latest })
+    | sgen ->
+      t.rx_last_seq <- seq;
+      t.rx_latest <- Some primary_gen;
+      t.map <- t.map @ [ (primary_gen, sgen) ];
+      send_frame t ~from_:(standby_side t) (Ack { seq; primary_gen })
+  end
+
+let pump_standby t =
+  let side = standby_side t in
+  let rec loop () =
+    match Netlink.recv t.link ~side with
+    | None -> ()
+    | Some raw ->
+      (match decode_frame raw with
+       | Error _ ->
+         bump t (fun s -> { s with corrupt_rejects = s.corrupt_rejects + 1 });
+         metric_incr t "repl.corrupt_rejects"
+       | Ok (sid, _) when sid <> t.sid ->
+         bump t (fun s -> { s with stale_frames = s.stale_frames + 1 })
+       | Ok (_, Data { seq; primary_gen; base; image; pgid = _ }) ->
+         standby_apply t ~seq ~primary_gen ~base ~image
+       | Ok (_, (Ack _ | Nak _)) -> ());
+      loop ()
+  in
+  loop ()
+
+(* --- primary end ------------------------------------------------------ *)
+
+let pump_primary t ~want_seq =
+  let rec loop verdict =
+    match Netlink.recv t.link ~side:t.primary_side with
+    | None -> verdict
+    | Some raw ->
+      let verdict =
+        match decode_frame raw with
+        | Error _ ->
+          bump t (fun s -> { s with corrupt_rejects = s.corrupt_rejects + 1 });
+          metric_incr t "repl.corrupt_rejects";
+          verdict
+        | Ok (sid, _) when sid <> t.sid ->
+          bump t (fun s -> { s with stale_frames = s.stale_frames + 1 });
+          verdict
+        | Ok (_, Ack { seq; primary_gen }) ->
+          (match t.acked with
+           | Some a when a >= primary_gen -> ()
+           | _ -> t.acked <- Some primary_gen);
+          if seq = want_seq then `Acked else verdict
+        | Ok (_, Nak { seq; have }) ->
+          if seq = want_seq then begin
+            bump t (fun s -> { s with naks = s.naks + 1 });
+            metric_incr t "repl.naks";
+            (* The NAK carries the standby's view: adopt it as the last
+               common generation. *)
+            t.acked <- have;
+            `Nak
+          end
+          else verdict
+        | Ok (_, Data _) -> verdict
+      in
+      loop verdict
+  in
+  loop `Nothing
+
+(* Advance the clock to the next frame arrival on either side, bounded
+   by [deadline]. [false] = nothing arrives before the deadline (the
+   clock is then at the deadline: a retransmission timeout). *)
+let step_to_next_event t ~deadline =
+  let next =
+    match
+      ( Netlink.next_arrival t.link ~side:(standby_side t),
+        Netlink.next_arrival t.link ~side:t.primary_side )
+    with
+    | None, None -> None
+    | Some a, None | None, Some a -> Some a
+    | Some a, Some b -> Some (Duration.min a b)
+  in
+  match next with
+  | Some a when Duration.(a <= deadline) ->
+    Clock.advance_to t.clock a;
+    true
+  | Some _ | None ->
+    Clock.advance_to t.clock deadline;
+    false
+
+(* --- shipping --------------------------------------------------------- *)
+
+type ship_report = {
+  sh_gen : Store.gen;
+  sh_outcome : [ `Acked | `Gave_up | `Skipped ];
+  sh_mode : [ `Delta of Store.gen | `Full ];
+  sh_attempts : int;
+  sh_resyncs : int;
+  sh_rtt : Duration.t;
+  sh_bytes : int;
+}
+
+(* Delta against the last acked generation when the primary still
+   holds it; a gap (history GC outran the standby) forces a full
+   resync. *)
+let choose_mode t ~gen =
+  match t.acked with
+  | Some a when a < gen && List.mem a (Store.generations t.primary) -> `Delta a
+  | Some _ | None -> `Full
+
+let observe_rtt t rtt =
+  Option.iter
+    (fun m -> Metrics.observe_duration (Metrics.histogram m "repl.ack_rtt_us") rtt)
+    t.metrics
+
+let set_lag_gauge t =
+  Option.iter (fun m -> Metrics.set_int (Metrics.gauge m "repl.lag") (lag t)) t.metrics
+
+let ship t ~gen ~pgid =
+  let already = match t.acked with Some a -> gen <= a | None -> false in
+  if already then begin
+    bump t (fun s -> { s with skipped = s.skipped + 1 });
+    { sh_gen = gen; sh_outcome = `Skipped; sh_mode = `Full; sh_attempts = 0;
+      sh_resyncs = 0; sh_rtt = Duration.zero; sh_bytes = 0 }
+  end
+  else begin
+    let started = Clock.now t.clock in
+    bump t (fun s -> { s with ships = s.ships + 1 });
+    metric_incr t "repl.ships";
+    let resyncs = ref 0 in
+    let attempts = ref 0 in
+    let mode = ref (choose_mode t ~gen) in
+    (match (!mode, t.acked) with
+     | `Full, Some _ ->
+       (* Gap: the base the standby holds is gone from the primary. *)
+       incr resyncs;
+       bump t (fun s -> { s with resyncs = s.resyncs + 1 });
+       metric_incr t "repl.resyncs"
+     | _ -> ());
+    let bytes = ref 0 in
+    let build () =
+      let base = match !mode with `Delta a -> Some a | `Full -> None in
+      (match !mode with
+       | `Full -> bump t (fun s -> { s with full_images = s.full_images + 1 })
+       | `Delta _ -> bump t (fun s -> { s with delta_images = s.delta_images + 1 }));
+      let image = Sendrecv.export t.primary ~gen ~pgid ?base () in
+      bytes := String.length image;
+      let seq = t.next_seq in
+      t.next_seq <- t.next_seq + 1;
+      (seq, Data { seq; primary_gen = gen; base; pgid; image })
+    in
+    let seq = ref 0 and frame = ref (Nak { seq = 0; have = None }) in
+    let transmit () =
+      let s, f = build () in
+      seq := s;
+      frame := f;
+      attempts := 1;
+      send_frame t ~from_:t.primary_side f
+    in
+    transmit ();
+    let timeout = ref t.ack_timeout in
+    let jitter () =
+      (* Deterministic jitter, up to a quarter of the current timeout:
+         decorrelates retransmissions from periodic partition edges. *)
+      Duration.of_us_float (Prng.float t.prng (Duration.to_us !timeout /. 4.))
+    in
+    let rec await deadline =
+      pump_standby t;
+      match pump_primary t ~want_seq:!seq with
+      | `Acked -> `Acked
+      | `Nak ->
+        if !resyncs >= 4 then `Gave_up
+        else begin
+          (* Resync from the last common generation the NAK reported
+             (full when there is none usable). *)
+          incr resyncs;
+          bump t (fun s -> { s with resyncs = s.resyncs + 1 });
+          metric_incr t "repl.resyncs";
+          mode := choose_mode t ~gen;
+          transmit ();
+          timeout := t.ack_timeout;
+          await (Duration.add (Clock.now t.clock) (Duration.add !timeout (jitter ())))
+        end
+      | `Nothing ->
+        if step_to_next_event t ~deadline then await deadline
+        else if !attempts >= t.max_attempts then `Gave_up
+        else begin
+          (* Retransmission timeout: same frame, same sequence number,
+             exponential backoff plus jitter — all simulated time. *)
+          incr attempts;
+          bump t (fun s -> { s with retransmits = s.retransmits + 1 });
+          metric_incr t "repl.retransmits";
+          send_frame t ~from_:t.primary_side !frame;
+          timeout := Duration.min t.max_backoff (Duration.scale !timeout 2);
+          await (Duration.add (Clock.now t.clock) (Duration.add !timeout (jitter ())))
+        end
+    in
+    let outcome =
+      await (Duration.add (Clock.now t.clock) (Duration.add !timeout (jitter ())))
+    in
+    let rtt = Duration.sub (Clock.now t.clock) started in
+    (match outcome with
+     | `Acked ->
+       t.state <- `Idle;
+       bump t (fun s -> { s with acked = s.acked + 1 });
+       metric_incr t "repl.acked";
+       observe_rtt t rtt
+     | `Gave_up ->
+       t.state <- `Degraded;
+       bump t (fun s -> { s with gave_up = s.gave_up + 1 });
+       metric_incr t "repl.gave_up");
+    set_lag_gauge t;
+    Option.iter
+      (fun sp ->
+        Span.record sp ~track:"repl" ~name:"repl.ship"
+          ~attrs:
+            [ ("gen", string_of_int gen);
+              ("mode", match !mode with `Full -> "full" | `Delta b -> Printf.sprintf "delta(%d)" b);
+              ("attempts", string_of_int !attempts);
+              ("outcome", match outcome with `Acked -> "acked" | `Gave_up -> "gave_up") ]
+          ~start_at:started ~end_at:(Clock.now t.clock) ())
+      t.spans;
+    { sh_gen = gen; sh_outcome = (outcome :> [ `Acked | `Gave_up | `Skipped ]);
+      sh_mode = !mode; sh_attempts = !attempts; sh_resyncs = !resyncs;
+      sh_rtt = rtt; sh_bytes = !bytes }
+  end
+
+let ship_exn t ~gen ~pgid =
+  let r = ship t ~gen ~pgid in
+  if r.sh_outcome = `Gave_up then
+    raise
+      (Session_failed
+         (Printf.sprintf "generation %d not acknowledged after %d attempts" gen
+            r.sh_attempts));
+  r
+
+(* --- standby failure -------------------------------------------------- *)
+
+let crash_standby t =
+  let dev = Store.device t.standby in
+  Devarray.crash dev;
+  let s = Store.open_exn ~dev in
+  t.standby <- s;
+  let map = scan_mapping s in
+  t.map <- map;
+  t.rx_latest <- (match List.rev map with (p, _) :: _ -> Some p | [] -> None)

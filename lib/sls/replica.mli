@@ -1,0 +1,136 @@
+(** Hot-standby checkpoint replication over a faulty link.
+
+    Replaces {!Sendrecv.ship}'s fire-and-forget with a session: framed,
+    checksummed, sequence-numbered messages with explicit ACK/NAK. The
+    primary streams delta exports against the last {e acked}
+    generation, retransmits on timeout with exponential backoff plus
+    jitter (all charged to simulated time), and falls back to a full
+    resync from the last common generation after a gap (the base was
+    garbage-collected) or a NAK. The standby imports only
+    integrity-verified images — a frame whose CRC fails is dropped, an
+    image whose checksum fails is rejected with a NAK and the open
+    generation aborted — and ACKs {e durability}, not arrival: the ACK
+    leaves only after the imported generation's superblock has landed.
+
+    The standby records which primary generation each import
+    corresponds to durably, by naming the generation
+    ["repl.gen:<primary gen>"]. A session re-established over an
+    existing standby store (after either end crashed) recovers that
+    mapping from the generation table and resumes with deltas from the
+    last common generation instead of starting over. *)
+
+open Aurora_simtime
+open Aurora_device
+open Aurora_objstore
+
+type t
+
+exception Session_failed of string
+(** Raised by the CLI-facing helpers when a session cannot make
+    progress (e.g. the link never delivers within the retry budget). *)
+
+type stats = {
+  ships : int;             (** {!ship} calls that transmitted *)
+  acked : int;             (** ships acknowledged durable by the standby *)
+  skipped : int;           (** ships of already-acked generations *)
+  retransmits : int;       (** timeout-driven re-sends *)
+  resyncs : int;           (** full-image fallbacks after a gap or NAK *)
+  naks : int;              (** NAK frames the primary accepted *)
+  duplicate_frames : int;  (** data frames the standby had already applied *)
+  corrupt_rejects : int;   (** frames or images that failed integrity *)
+  torn_imports : int;      (** imports aborted by standby media failure *)
+  stale_frames : int;      (** frames from a dead session incarnation *)
+  gave_up : int;           (** ships abandoned after the retry budget *)
+  full_images : int;
+  delta_images : int;
+  wire_bytes : int;        (** frame bytes offered, retransmits included *)
+}
+
+val establish :
+  ?ack_timeout:Duration.t ->
+  ?max_attempts:int ->
+  ?max_backoff:Duration.t ->
+  ?metrics:Metrics.t ->
+  ?spans:Span.t ->
+  link:Netlink.t ->
+  primary_side:Netlink.side ->
+  primary:Store.t ->
+  standby:Store.t ->
+  unit ->
+  t
+(** Open a session. [ack_timeout] (default 5 ms) is the initial
+    retransmission timeout; it doubles per retry (plus deterministic
+    jitter) up to [max_backoff] (default 40 ms); [max_attempts]
+    (default 10) bounds transmissions of one frame. Replication state
+    the standby store already carries (["repl.gen:*"] names) is
+    recovered, so the session resumes where a predecessor stopped.
+    [metrics]/[spans] attach the [repl.*] counters, the ack-RTT
+    histogram and the ["repl"] span track.
+
+    A standby carrying acknowledgements for generations the primary no
+    longer holds is {e ahead} of it (the primary recovered to an older
+    committed prefix; generation numbers past it may be reused with
+    different content): such torn session state is quarantined — the
+    standby is reformatted and the session resyncs in full. *)
+
+type ship_report = {
+  sh_gen : Store.gen;                          (** primary generation shipped *)
+  sh_outcome : [ `Acked | `Gave_up | `Skipped ];
+  sh_mode : [ `Delta of Store.gen | `Full ];
+  sh_attempts : int;                           (** transmissions, first included *)
+  sh_resyncs : int;                            (** mode switches during this ship *)
+  sh_rtt : Duration.t;                         (** first send to durable ACK *)
+  sh_bytes : int;                              (** image payload bytes *)
+}
+
+val ship : t -> gen:Store.gen -> pgid:int -> ship_report
+(** Drive one generation to the standby: export (delta against the
+    last acked generation when possible), frame, send, and pump both
+    ends of the link — importing, acking and retransmitting as the
+    simulated clock advances — until the standby acknowledges
+    durability or the retry budget runs out. [`Gave_up] leaves the
+    session [`Degraded]; a later ship (e.g. after a partition heals)
+    resynchronizes. *)
+
+val ship_exn : t -> gen:Store.gen -> pgid:int -> ship_report
+(** {!ship}, raising {!Session_failed} on [`Gave_up]. *)
+
+val state : t -> [ `Idle | `Degraded ]
+(** [`Degraded] after a gave-up ship, until an ACK next lands. *)
+
+val lag : t -> int
+(** Replication lag: committed primary generations newer than the last
+    acked one (every committed generation when nothing was ever
+    acked). *)
+
+val acked_gen : t -> Store.gen option
+(** The last primary generation the standby acknowledged durable. *)
+
+val standby_latest : t -> (Store.gen * Store.gen) option
+(** Newest replicated pair [(primary gen, standby gen)], if any. *)
+
+val standby_gen_of : t -> Store.gen -> Store.gen option
+(** The standby generation holding the given primary generation. *)
+
+val mapping : t -> (Store.gen * Store.gen) list
+(** All replicated pairs, ascending. *)
+
+val stats : t -> stats
+val link : t -> Netlink.t
+val primary_store : t -> Store.t
+val standby_store : t -> Store.t
+
+val crash_standby : t -> unit
+(** Power-fail the standby's device array and reopen its store: volatile
+    state is lost, the store recovers to its committed prefix, and the
+    session's receiver state (applied generations, dedup horizon) is
+    rebuilt from the durable ["repl.gen:*"] names. Torn imports die with
+    the open generation; the primary's next ship NAK-resyncs from the
+    last common generation. *)
+
+val repl_gen_name : Store.gen -> string
+(** ["repl.gen:<g>"] — the durable name the standby gives the import
+    of primary generation [g]. *)
+
+val parse_repl_gen_name : string -> Store.gen option
+(** Inverse of {!repl_gen_name}; [None] for unrelated names. *)

@@ -2,8 +2,20 @@ open Aurora_device
 open Aurora_posix
 open Aurora_objstore
 
-let magic = "AURORA-IMAGE-v1"
+let magic = "AURORA-IMAGE-v2"
 let page_padding = String.make (Aurora_device.Blockdev.block_size - 8) '\000'
+
+(* FNV-1a, 64-bit. The image travels over wires and through files the
+   store's per-block checksums never see; one digest over the whole
+   body turns any in-flight bit flip into a typed [Bad_image] instead
+   of a silently-imported corrupt generation. *)
+let checksum s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
 
 (* Object ids whose records make up the group's checkpoint. *)
 let image_oids store ~gen ~pgid ~with_fs =
@@ -72,7 +84,6 @@ let image_oids store ~gen ~pgid ~with_fs =
 let export store ~gen ~pgid ?base ?(with_fs = true) () =
   let record_oids, page_oids, blob_oids = image_oids store ~gen ~pgid ~with_fs in
   let w = Serial.writer () in
-  Serial.w_string w magic;
   Serial.w_int w pgid;
   Serial.w_list w (fun w oid ->
       Serial.w_int w oid;
@@ -116,7 +127,12 @@ let export store ~gen ~pgid ?base ?(with_fs = true) () =
           Serial.w_string w data)
         (List.rev blobs))
     blob_oids;
-  Serial.contents w
+  let body = Serial.contents w in
+  let out = Serial.writer () in
+  Serial.w_string out magic;
+  Serial.w_int64 out (checksum body);
+  Serial.w_string out body;
+  Serial.contents out
 
 let import store image =
   let r = Serial.reader image in
@@ -125,6 +141,20 @@ let import store image =
    | _ -> raise (Restore.Error (Restore.Bad_image "bad magic"))
    | exception Serial.Corrupt msg ->
      raise (Restore.Error (Restore.Bad_image msg)));
+  let body =
+    match
+      let expect = Serial.r_int64 r in
+      let body = Serial.r_string r in
+      (expect, body)
+    with
+    | expect, body ->
+      if not (Int64.equal (checksum body) expect) then
+        raise (Restore.Error (Restore.Bad_image "image checksum mismatch"));
+      body
+    | exception Serial.Corrupt msg ->
+      raise (Restore.Error (Restore.Bad_image msg))
+  in
+  let r = Serial.reader body in
   let _pgid = Serial.r_int r in
   ignore (Store.begin_generation store ());
   let records =

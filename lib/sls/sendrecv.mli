@@ -30,7 +30,14 @@ val export :
 val import : Store.t -> string -> Store.gen * Duration.t
 (** Write an exported image into the store as a new generation; returns
     it with its durability instant. Raises {!Restore.Error}
-    ([Bad_image]) when the payload is not an Aurora image. *)
+    ([Bad_image]) when the payload is not an Aurora image or the
+    whole-image checksum does not match — a bit flipped in a file or
+    on the wire is rejected before any record reaches the store. *)
+
+val checksum : string -> int64
+(** The 64-bit FNV-1a digest {!export} seals images with (and
+    {!import} verifies). Exposed for the replication layer, which uses
+    the same construction over its protocol frames. *)
 
 val ship :
   Netlink.t -> from_:Netlink.side -> Store.t -> gen:Store.gen -> pgid:int ->

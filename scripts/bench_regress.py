@@ -16,6 +16,15 @@ Guarded metrics:
                                         better; guards the fixture)
   phase-breakdown / stop_us             incremental barrier stop time
                                         (lower is better)
+  repl-sweep   / loss_0_goodput_mibps   replication goodput on a clean
+                                        link (higher is better)
+  repl-sweep   / loss_1e-2_goodput_mibps
+                                        goodput at 1% message loss
+                                        (higher is better)
+  repl-sweep   / loss_1e-2_time_to_converge_ms
+                                        time to a byte-identical
+                                        standby at 1% loss (lower is
+                                        better)
 
 Usage: bench_regress.py RESULTS.json [BASELINE.json] [--margin PCT]
 """
@@ -29,6 +38,9 @@ GUARDS = [
     ("ckpt-rate", "i10_s4_k2_amort_us", "lower"),
     ("ckpt-rate", "i10_s4_k1_amort_us", "lower"),
     ("phase-breakdown", "stop_us", "lower"),
+    ("repl-sweep", "loss_0_goodput_mibps", "higher"),
+    ("repl-sweep", "loss_1e-2_goodput_mibps", "higher"),
+    ("repl-sweep", "loss_1e-2_time_to_converge_ms", "lower"),
 ]
 
 
@@ -65,6 +77,12 @@ def main(argv):
         cur = lookup(results, target, key)
         if base is None:
             print(f"  skip {target}/{key}: not in baseline")
+            continue
+        if target not in results:
+            # The whole target was not part of this run (partial
+            # dumps are fine); only a missing KEY inside a target
+            # that did run is a failure.
+            print(f"  skip {target}/{key}: target not in results")
             continue
         if cur is None:
             print(f"FAIL {target}/{key}: missing from results (baseline {base:g})")

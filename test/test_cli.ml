@@ -218,6 +218,79 @@ let test_explain_and_diff () =
       check_bool "explain of unknown generation fails" true
         (sls [ "explain"; "999"; "-u"; u ] <> 0))
 
+let test_replicate_and_failover () =
+  with_universe "cli-repl-src.universe" (fun u ->
+      let dst = tmp "cli-repl-dst.universe" in
+      if Sys.file_exists dst then Sys.remove dst;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists dst then Sys.remove dst)
+        (fun () ->
+          check_int "spawn" 0 (sls [ "spawn"; "myapp"; "--app"; "counter"; "-u"; u ]);
+          check_int "run" 0 (sls [ "run"; "--ms"; "30"; "-u"; u ]);
+          (* Replicate over a lossy link: retransmission converges. *)
+          let rc, out =
+            capture (fun () ->
+                sls [ "replicate"; dst; "--loss"; "0.2"; "-u"; u ])
+          in
+          check_int "replicate" 0 rc;
+          check_bool "session converged" true (contains out "session idle");
+          check_bool "lag zero" true (contains out "lag 0");
+          check_bool "standby universe written" true (Sys.file_exists dst);
+          (* JSON surface. *)
+          let rc, out =
+            capture (fun () ->
+                sls [ "replicate"; tmp "cli-repl-dst2.universe"; "--json"; "-u"; u ])
+          in
+          if Sys.file_exists (tmp "cli-repl-dst2.universe") then
+            Sys.remove (tmp "cli-repl-dst2.universe");
+          check_int "replicate json" 0 rc;
+          check_bool "json lag" true (contains out "\"lag\": 0");
+          check_bool "json state" true (contains out "\"state\": \"idle\"");
+          (* The primary keeps running (and checkpointing) after the
+             replica was cut: failover must report the lost tail. *)
+          check_int "run past replication" 0 (sls [ "run"; "--ms"; "20"; "-u"; u ]);
+          let rc, out = capture (fun () -> sls [ "failover"; dst; "-u"; u ]) in
+          check_int "failover" 0 rc;
+          check_bool "promotion reported" true (contains out "promoted standby");
+          check_bool "rpo reported" true (contains out "RPO:");
+          check_bool "standby lagged" true (contains out "lost");
+          (* The promoted universe is a working primary: the app is
+             running and checkpointing on its own. *)
+          let rc, out = capture (fun () -> sls [ "ps"; "-u"; dst ]) in
+          check_int "ps on promoted" 0 rc;
+          check_bool "app restored on promoted" true (contains out "myapp");
+          check_int "promoted keeps checkpointing" 0
+            (sls [ "run"; "--ms"; "20"; "-u"; dst ]);
+          let rc, out = capture (fun () -> sls [ "failover"; "--json"; dst; "-u"; u ]) in
+          check_int "failover json" 0 rc;
+          check_bool "json rpo field" true (contains out "\"rpo_generations\"")))
+
+let test_replicate_dead_link_exits_2 () =
+  with_universe "cli-repl-dead.universe" (fun u ->
+      let dst = tmp "cli-repl-dead-dst.universe" in
+      if Sys.file_exists dst then Sys.remove dst;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists dst then Sys.remove dst)
+        (fun () ->
+          check_int "spawn" 0 (sls [ "spawn"; "myapp"; "--app"; "counter"; "-u"; u ]);
+          check_int "run" 0 (sls [ "run"; "--ms"; "20"; "-u"; u ]);
+          (* A link that drops 99% of messages: the session gives up —
+             a typed operational failure, exit 2. *)
+          check_int "dead link exits 2" 2
+            (sls [ "replicate"; dst; "--loss"; "0.99"; "-u"; u ]);
+          (* Usage error: loss out of range. *)
+          check_int "bad loss exits 1" 1
+            (sls [ "replicate"; dst; "--loss"; "1.5"; "-u"; u ])))
+
+let test_failover_nothing_to_promote () =
+  with_universe "cli-nopromote.universe" (fun u ->
+      with_universe "cli-nopromote-dst.universe" (fun dst ->
+          check_int "spawn" 0 (sls [ "spawn"; "myapp"; "--app"; "counter"; "-u"; u ]);
+          check_int "run" 0 (sls [ "run"; "--ms"; "10"; "-u"; u ]);
+          (* A plain universe with no replicated generations cannot be
+             promoted. *)
+          check_int "nothing to promote" 1 (sls [ "failover"; dst; "-u"; u ])))
+
 let () =
   Alcotest.run "cli"
     [
@@ -234,5 +307,11 @@ let () =
           Alcotest.test_case "trace export" `Quick test_trace;
           Alcotest.test_case "top attribution tables" `Quick test_top;
           Alcotest.test_case "explain + diff" `Quick test_explain_and_diff;
+          Alcotest.test_case "replicate + failover" `Quick
+            test_replicate_and_failover;
+          Alcotest.test_case "replicate over a dead link exits 2" `Quick
+            test_replicate_dead_link_exits_2;
+          Alcotest.test_case "failover with nothing to promote" `Quick
+            test_failover_nothing_to_promote;
         ] );
     ]

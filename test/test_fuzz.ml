@@ -620,6 +620,186 @@ let prop_faulty_media_never_serves_wrong_data =
       end;
       true)
 
+(* ------------------------------------------------------------------ *)
+(* Replication fuzz                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random network fault plans (loss, duplication, reordering, bit
+   flips, timed partitions), random crash instants on either end —
+   power-failing the standby, power-failing the primary mid-pipeline —
+   and sometimes a standby on faulty media. The contract:
+
+   - the standby always reopens to a committed prefix (fsck clean);
+   - nothing corrupt is ever imported: every replicated generation the
+     primary still holds is bit-identical on the standby;
+   - once partitions heal, a bounded number of ships converges the
+     session (lag 0);
+   - failing over yields exactly a state the program passed through
+     (replay-verified). *)
+let prop_replication_converges_under_network_faults =
+  let open Aurora_simtime in
+  let open Aurora_device in
+  QCheck.Test.make
+    ~name:"random network faults: standby converges, never corrupt, failover replays"
+    ~count:20
+    QCheck.(triple (int_range 0 1_000_000) (int_range 0 3) (int_range 3 6))
+    (fun (case_seed, severity, ckpts) ->
+      let drop, dup, reorder, corrupt =
+        [| (0., 0., 0., 0.);
+           (0.05, 0.05, 0.1, 0.02);
+           (0.15, 0.1, 0.2, 0.08);
+           (0.3, 0.15, 0.3, 0.15) |].(severity)
+      in
+      let partitions =
+        if case_seed mod 3 = 0 then []
+        else
+          let start = Duration.milliseconds (1 + (case_seed mod 7)) in
+          let len = Duration.milliseconds (1 + (case_seed mod 5)) in
+          [ (start, Duration.add start len) ]
+      in
+      let faults =
+        Netlink.fault_plan
+          ~seed:(Int64.of_int (case_seed + 1))
+          ~drop ~duplicate:dup ~reorder ~corrupt ~partitions ()
+      in
+      let m = ref (Machine.create ()) in
+      let k = !m.Machine.kernel in
+      let c = Kernel.new_container k ~name:"repl-fuzz" in
+      ignore
+        (Kernel.spawn k ~container:c.Container.cid ~name:"mutator"
+           ~program:"fuzz/mutator" ());
+      let g =
+        ref (Machine.persist !m ~interval:(Duration.seconds 1)
+               (`Container c.Container.cid))
+      in
+      (* A quarter of the cases put the standby itself on faulty media:
+         torn imports must be aborted and retried, never acked. *)
+      let media_faulty = case_seed mod 4 = 0 in
+      let standby_dev =
+        if not media_faulty then None
+        else
+          let dev =
+            Devarray.create ~stripes:1
+              ~faults:
+                (Fault.plan
+                   ~seed:(Int64.of_int (case_seed + 17))
+                   ~transient_read:5e-4 ~transient_write:5e-4 ())
+              ~clock:(Machine.clock !m) ~profile:Profile.optane_900p
+              "standby-fuzz"
+          in
+          match Store.format ~dev () with
+          | _ -> Some dev
+          | exception Store.Fail _ -> None
+      in
+      let attach mach grp =
+        Machine.attach_standby mach ~faults
+          ~ack_timeout:(Duration.microseconds 500) ~max_attempts:3 ?standby_dev
+          grp
+      in
+      let repl = ref (attach !m !g) in
+      for i = 1 to ckpts do
+        Machine.run !m
+          (Duration.microseconds (100 * (1 + ((case_seed + i) mod 20))));
+        ignore (Machine.checkpoint_now !m !g ());
+        (* Power-fail the standby at a random point between ships. *)
+        if (not media_faulty) && (case_seed + (3 * i)) mod 4 = 0 then
+          Replica.crash_standby !repl;
+        (* Power-fail the primary mid-pipeline: it recovers to a
+           committed prefix — possibly BEHIND the standby, which the
+           re-established session must quarantine. *)
+        if (case_seed + i) mod 5 = 0 then begin
+          Machine.crash !m;
+          let m' = Machine.recover !m in
+          let standby_dev = Store.device (Replica.standby_store !repl) in
+          m := m';
+          g :=
+            Machine.persist m' ~interval:(Duration.seconds 1)
+              (`Container c.Container.cid);
+          if Store.latest m'.Machine.disk_store <> None then
+            ignore (Machine.restore_group m' !g ());
+          repl :=
+            Machine.attach_standby m' ~faults
+              ~ack_timeout:(Duration.microseconds 500) ~max_attempts:3
+              ~standby_dev !g
+        end
+      done;
+      (* Heal every partition, then a bounded number of ships must
+         converge the session. *)
+      Machine.run !m (Duration.milliseconds 30);
+      let tries = ref 0 in
+      while
+        Replica.lag !repl > 0
+        && Store.latest !m.Machine.disk_store <> None
+        && !tries < 12
+      do
+        incr tries;
+        (match Store.latest !m.Machine.disk_store with
+         | Some gen -> ignore (Replica.ship !repl ~gen ~pgid:!g.Types.pgid)
+         | None -> ())
+      done;
+      if Store.latest !m.Machine.disk_store <> None && Replica.lag !repl > 0
+      then
+        QCheck.Test.fail_reportf
+          "session did not converge after heal: lag %d (stats: retrans %d resyncs %d gave_up %d torn %d)"
+          (Replica.lag !repl) (Replica.stats !repl).Replica.retransmits
+          (Replica.stats !repl).Replica.resyncs
+          (Replica.stats !repl).Replica.gave_up
+          (Replica.stats !repl).Replica.torn_imports;
+      (* The standby reopened (possibly many times) to a committed
+         prefix: fsck clean. *)
+      let sstore = Replica.standby_store !repl in
+      (let r = Store.fsck sstore in
+       if not (Store.fsck_ok r) then
+         QCheck.Test.fail_reportf "standby fsck: %s"
+           (String.concat "; "
+              (r.Store.problems
+              @ List.map (fun (gn, why) -> Printf.sprintf "gen %d lost: %s" gn why)
+                  r.Store.lost)));
+      (* Nothing corrupt ever imported: every replicated generation the
+         primary still holds is bit-identical on the standby. *)
+      let pgens = Store.generations !m.Machine.disk_store in
+      List.iter
+        (fun (pgen, sgen) ->
+          if List.mem pgen pgens then begin
+            let want =
+              Sendrecv.export !m.Machine.disk_store ~gen:pgen ~pgid:!g.Types.pgid ()
+            in
+            let got = Sendrecv.export sstore ~gen:sgen ~pgid:!g.Types.pgid () in
+            if not (String.equal want got) then
+              QCheck.Test.fail_reportf
+                "standby diverged on primary gen %d (standby gen %d)" pgen sgen
+          end)
+        (Replica.mapping !repl);
+      (* Fail over and replay-verify the promoted state. *)
+      match Replica.standby_latest !repl with
+      | None -> true
+      | Some _ ->
+        let promoted, _report = Machine.failover !m in
+        let g' = Machine.persist promoted (`Container c.Container.cid) in
+        let pids, _ = Machine.restore_group promoted g' () in
+        let p' = Kernel.proc_exn promoted.Machine.kernel (List.hd pids) in
+        let restored = mutator_digest p' in
+        let steps = Context.reg_int (Process.main_thread p').Thread.context 2 in
+        let scratch = Machine.create () in
+        let sk = scratch.Machine.kernel in
+        let sc = Kernel.new_container sk ~name:"scratch" in
+        let sp = Kernel.spawn sk ~container:sc.Container.cid ~name:"mutator"
+            ~program:"fuzz/mutator" () in
+        let guard = ref 0 in
+        while
+          Context.reg_int (Process.main_thread sp).Thread.context 2 < steps
+          && !guard < 2_000_000
+        do
+          ignore (Scheduler.step_all sk);
+          incr guard
+        done;
+        let expected = mutator_digest sp in
+        if String.equal restored expected then true
+        else
+          QCheck.Test.fail_reportf
+            "failover restored a state the program never passed through:@.restored %s@.expected %s"
+            restored expected)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -635,4 +815,6 @@ let () =
         [ qt prop_pipelined_crashes_expose_committed_prefix ] );
       ( "media-faults",
         [ qt prop_faulty_media_never_serves_wrong_data ] );
+      ( "replication",
+        [ qt prop_replication_converges_under_network_faults ] );
     ]

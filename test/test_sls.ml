@@ -569,6 +569,288 @@ let test_incremental_ship_smaller () =
     (Sendrecv.image_bytes delta * 2 < Sendrecv.image_bytes full)
 
 (* ------------------------------------------------------------------ *)
+(* Replication                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_image_checksum_rejects_bitflip () =
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  Machine.run m (Duration.milliseconds 1);
+  let b = Machine.checkpoint_now m g () in
+  let image =
+    Sendrecv.export m.Machine.disk_store ~gen:b.Types.gen ~pgid:g.Types.pgid ()
+  in
+  let corrupt =
+    let bs = Bytes.of_string image in
+    let i = Bytes.length bs / 2 in
+    Bytes.set bs i (Char.chr (Char.code (Bytes.get bs i) lxor 0x10));
+    Bytes.unsafe_to_string bs
+  in
+  let dev =
+    Aurora_device.Devarray.create ~stripes:1 ~clock:(Machine.clock m)
+      ~profile:Aurora_device.Profile.optane_900p "dst"
+  in
+  let s = Store.format ~dev () in
+  check_bool "bit-flipped image rejected" true
+    (match Sendrecv.import s corrupt with
+     | _ -> false
+     | exception Restore.Error (Restore.Bad_image _) -> true);
+  check_bool "store untouched" true (Store.generations s = []);
+  (* Truncation is typed too, not a crash. *)
+  check_bool "truncated image rejected" true
+    (match Sendrecv.import s (String.sub image 0 (String.length image / 2)) with
+     | _ -> false
+     | exception Restore.Error (Restore.Bad_image _) -> true);
+  (* The intact image still imports. *)
+  ignore (Sendrecv.import s image)
+
+let test_delta_roundtrip_receiver_crash () =
+  (* The receiver crashes and reopens between the base and the delta
+     import: the delta must still apply on top of the recovered base. *)
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:64 ~limit:1_000_000 in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  Machine.run m (Duration.milliseconds 1);
+  let b1 = Machine.checkpoint_now m g () in
+  Machine.run m (Duration.microseconds 50);
+  let b2 = Machine.checkpoint_now m g () in
+  let dev =
+    Aurora_device.Devarray.create ~stripes:1 ~clock:(Machine.clock m)
+      ~profile:Aurora_device.Profile.optane_900p "dst"
+  in
+  let s1 = Store.format ~dev () in
+  let full =
+    Sendrecv.export m.Machine.disk_store ~gen:b1.Types.gen ~pgid:g.Types.pgid ()
+  in
+  let base_gen, d1 = Sendrecv.import s1 full in
+  Store.wait_durable s1 d1;
+  (* Power-fail the receiver and reopen its store. *)
+  Aurora_device.Devarray.crash dev;
+  let s2 = Store.open_exn ~dev in
+  Alcotest.(check (option int)) "base survived the crash" (Some base_gen)
+    (Store.latest s2);
+  let delta =
+    Sendrecv.export m.Machine.disk_store ~gen:b2.Types.gen ~pgid:g.Types.pgid
+      ~base:b1.Types.gen ()
+  in
+  let gen2, d2 = Sendrecv.import s2 delta in
+  Store.wait_durable s2 d2;
+  (* The receiver's reconstruction is bit-identical to the source
+     generation: a fresh full export of each must match. *)
+  let want =
+    Sendrecv.export m.Machine.disk_store ~gen:b2.Types.gen ~pgid:g.Types.pgid ()
+  in
+  let got = Sendrecv.export s2 ~gen:gen2 ~pgid:g.Types.pgid () in
+  check_bool "delta applied over recovered base matches source" true
+    (String.equal want got)
+
+(* Primary and standby hold the same bytes for the newest replicated
+   generation (a fresh full export of each must be identical). *)
+let check_converged msg m repl g =
+  check_int (msg ^ ": lag") 0 (Replica.lag repl);
+  let pgen = Option.get (Store.latest m.Machine.disk_store) in
+  let p, s = Option.get (Replica.standby_latest repl) in
+  check_int (msg ^ ": standby holds primary latest") pgen p;
+  let want = Sendrecv.export m.Machine.disk_store ~gen:pgen ~pgid:g.Types.pgid () in
+  let got = Sendrecv.export (Replica.standby_store repl) ~gen:s ~pgid:g.Types.pgid () in
+  check_bool (msg ^ ": replicated bytes identical") true (String.equal want got)
+
+let test_replica_ship_and_failover () =
+  let m = Machine.create () in
+  let c, p = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  let repl = Machine.attach_standby m g in
+  Machine.run m (Duration.milliseconds 1);
+  ignore (Machine.checkpoint_now m g ());
+  let st = Replica.stats repl in
+  check_int "first ship acked" 1 st.Replica.acked;
+  check_int "first ship was a full image" 1 st.Replica.full_images;
+  Machine.run m (Duration.microseconds 50);
+  let steps = Context.reg_int (Process.main_thread p).Thread.context 4 in
+  ignore (Machine.checkpoint_now m g ());
+  let st = Replica.stats repl in
+  check_int "second ship acked" 2 st.Replica.acked;
+  check_int "second ship was a delta" 1 st.Replica.delta_images;
+  check_int "lossless link never retransmits" 0 st.Replica.retransmits;
+  check_converged "lossless" m repl g;
+  (* Observability: counters, RTT histogram, the repl span track, and
+     the lag gauge all populated. *)
+  let mm = Machine.metrics m in
+  check_int "repl.ships counter" 2 (Metrics.count (Metrics.counter mm "repl.ships"));
+  check_int "repl.acked counter" 2 (Metrics.count (Metrics.counter mm "repl.acked"));
+  check_int "ack rtt sampled" 2
+    (Metrics.hist_count (Metrics.histogram mm "repl.ack_rtt_us"));
+  Machine.sync_metrics m;
+  (match Metrics.find mm "repl.lag" with
+   | Some (Metrics.Gauge v) -> check_int "lag gauge" 0 (int_of_float v)
+   | _ -> Alcotest.fail "repl.lag gauge missing");
+  check_bool "repl span track populated" true
+    (List.exists
+       (fun (s : Span.span) -> String.equal s.Span.track "repl")
+       (Span.spans (Machine.spans m)));
+  (* Fail over: the promoted machine resumes the application from the
+     standby's replicated state. *)
+  let promoted, report = Machine.failover m in
+  check_int "rpo zero on a converged session" 0 report.Machine.fo_rpo;
+  check_bool "promotion recorded a generation" true
+    (report.Machine.fo_promoted_gen <> None);
+  let g' = Machine.persist promoted (`Container c.Container.cid) in
+  let pids, _ = Machine.restore_group promoted g' () in
+  let p' = Kernel.proc_exn promoted.Machine.kernel (List.hd pids) in
+  check_int "execution state replicated" steps
+    (Context.reg_int (Process.main_thread p').Thread.context 4);
+  (* And it keeps running on the promoted machine. *)
+  Context.set_reg_int (Process.main_thread p').Thread.context 3 (steps + 5);
+  ignore (Scheduler.run_until_idle promoted.Machine.kernel ());
+  check_int "finished on the standby" 0 (Option.get p'.Process.exit_status)
+
+let test_replica_retransmits_on_loss () =
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  (* Long interval: retransmit backoff advances simulated time, which
+     must not trigger periodic checkpoints mid-test. *)
+  let g = Machine.persist m ~interval:(Duration.seconds 1) (`Container c.Container.cid) in
+  let repl =
+    Machine.attach_standby m
+      ~faults:(Aurora_device.Netlink.fault_plan ~seed:11L ~drop:0.3 ())
+      g
+  in
+  Machine.run m (Duration.milliseconds 1);
+  ignore (Machine.checkpoint_now m g ());
+  for _ = 1 to 4 do
+    Machine.run m (Duration.microseconds 50);
+    ignore (Machine.checkpoint_now m g ())
+  done;
+  let st = Replica.stats repl in
+  check_int "every ship eventually acked" 5 st.Replica.acked;
+  check_bool "loss forced retransmissions" true (st.Replica.retransmits > 0);
+  check_int "nothing corrupt crossed" 0 st.Replica.corrupt_rejects;
+  check_converged "lossy" m repl g;
+  let link_st = Aurora_device.Netlink.stats (Replica.link repl) ~from_:`A in
+  check_bool "link really dropped frames" true (link_st.Aurora_device.Netlink.dropped > 0)
+
+let test_replica_corruption_rejected () =
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  let g = Machine.persist m ~interval:(Duration.seconds 1) (`Container c.Container.cid) in
+  let repl =
+    Machine.attach_standby m
+      ~faults:(Aurora_device.Netlink.fault_plan ~seed:5L ~corrupt:0.4 ())
+      g
+  in
+  Machine.run m (Duration.milliseconds 1);
+  ignore (Machine.checkpoint_now m g ());
+  for _ = 1 to 4 do
+    Machine.run m (Duration.microseconds 50);
+    ignore (Machine.checkpoint_now m g ())
+  done;
+  let st = Replica.stats repl in
+  check_bool "corrupt frames were rejected" true (st.Replica.corrupt_rejects > 0);
+  check_int "every ship still acked" 5 st.Replica.acked;
+  (* The decisive property: despite a 40% bit-flip rate, the standby
+     holds bit-identical state — corruption never imports. *)
+  check_converged "corrupting link" m repl g
+
+let test_replica_partition_degrades_then_resyncs () =
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  (* Long interval: only manual checkpoints fire. *)
+  let g = Machine.persist m ~interval:(Duration.seconds 1) (`Container c.Container.cid) in
+  let repl =
+    Machine.attach_standby m
+      ~faults:
+        (Aurora_device.Netlink.fault_plan
+           ~partitions:[ (Duration.milliseconds 2, Duration.milliseconds 13) ] ())
+      ~ack_timeout:(Duration.milliseconds 1) ~max_attempts:3 g
+  in
+  Machine.run m (Duration.microseconds 200);
+  ignore (Machine.checkpoint_now m g ());
+  check_int "pre-partition ship acked" 1 (Replica.stats repl).Replica.acked;
+  (* Checkpoint inside the partition window: the retry budget runs out
+     while the wire is cut. *)
+  Machine.run m (Duration.milliseconds 2);
+  ignore (Machine.checkpoint_now m g ());
+  let st = Replica.stats repl in
+  check_int "partitioned ship gave up" 1 st.Replica.gave_up;
+  check_bool "session degraded" true (Replica.state repl = `Degraded);
+  check_bool "lag visible" true (Replica.lag repl > 0);
+  (* Heal: the next checkpoint re-converges from the last acked
+     generation. *)
+  Machine.run m (Duration.milliseconds 12);
+  ignore (Machine.checkpoint_now m g ());
+  check_bool "session recovered" true (Replica.state repl = `Idle);
+  check_converged "after heal" m repl g
+
+let test_replica_rpo_counts_lost_generations () =
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:16 ~limit:1_000_000 in
+  let g = Machine.persist m ~interval:(Duration.seconds 1) (`Container c.Container.cid) in
+  (* The wire is cut for the whole run: nothing ever replicates. *)
+  ignore
+    (Machine.attach_standby m
+       ~faults:
+         (Aurora_device.Netlink.fault_plan
+            ~partitions:[ (Duration.zero, Duration.seconds 10) ] ())
+       ~ack_timeout:(Duration.microseconds 200) ~max_attempts:2 g);
+  Machine.run m (Duration.milliseconds 1);
+  ignore (Machine.checkpoint_now m g ());
+  Machine.run m (Duration.microseconds 50);
+  ignore (Machine.checkpoint_now m g ());
+  let _, report = Machine.failover m in
+  check_int "both generations lost" 2 report.Machine.fo_rpo;
+  check_bool "nothing to promote" true (report.Machine.fo_promoted_gen = None)
+
+let test_replica_standby_crash_recovers_session () =
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  let repl = Machine.attach_standby m g in
+  Machine.run m (Duration.milliseconds 1);
+  ignore (Machine.checkpoint_now m g ());
+  Machine.run m (Duration.microseconds 50);
+  let b2 = Machine.checkpoint_now m g () in
+  (* Power-fail the standby: acked state is durable by construction
+     (ACK means durable), so the reopened store resumes at b2. *)
+  Replica.crash_standby repl;
+  Alcotest.(check (option int)) "acked state survived the standby crash"
+    (Some b2.Types.gen)
+    (Option.map fst (Replica.standby_latest repl));
+  Machine.run m (Duration.microseconds 50);
+  ignore (Machine.checkpoint_now m g ());
+  let st = Replica.stats repl in
+  check_int "post-crash ship acked" 3 st.Replica.acked;
+  check_converged "after standby crash" m repl g
+
+let test_replica_primary_reboot_resumes_with_delta () =
+  let m = Machine.create () in
+  let c, _ = spawn_walker m ~npages:32 ~limit:1_000_000 in
+  let g = Machine.persist m (`Container c.Container.cid) in
+  let repl1 = Machine.attach_standby m g in
+  Machine.run m (Duration.milliseconds 1);
+  ignore (Machine.checkpoint_now m g ());
+  Machine.run m (Duration.microseconds 50);
+  let b2 = Machine.checkpoint_now m g () in
+  Machine.drain_storage m;
+  let standby_dev = Store.device (Replica.standby_store repl1) in
+  (* The primary dies and reboots; a new session over the surviving
+     standby device resumes from the replication state the standby
+     recorded durably. *)
+  Machine.crash m;
+  let m' = Machine.recover m in
+  let g' = Machine.persist m' (`Container c.Container.cid) in
+  ignore (Machine.restore_group m' g' ());
+  let repl2 = Machine.attach_standby m' ~standby_dev g' in
+  Alcotest.(check (option int)) "session recovered the acked generation"
+    (Some b2.Types.gen) (Replica.acked_gen repl2);
+  Machine.run m' (Duration.microseconds 50);
+  ignore (Machine.checkpoint_now m' g' ());
+  let st = Replica.stats repl2 in
+  check_int "resumed with a delta, not a full resync" 1 st.Replica.delta_images;
+  check_int "no full image re-shipped" 0 st.Replica.full_images;
+  check_converged "after primary reboot" m' repl2 g'
+
+(* ------------------------------------------------------------------ *)
 (* Persistent log (sls_ntflush)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -736,6 +1018,27 @@ let () =
           Alcotest.test_case "send/recv migration" `Quick test_send_recv_migration;
           Alcotest.test_case "incremental shipment smaller" `Quick
             test_incremental_ship_smaller;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "image checksum rejects bit flips" `Quick
+            test_image_checksum_rejects_bitflip;
+          Alcotest.test_case "delta applies after receiver crash+reopen" `Quick
+            test_delta_roundtrip_receiver_crash;
+          Alcotest.test_case "ship, converge, fail over" `Quick
+            test_replica_ship_and_failover;
+          Alcotest.test_case "loss forces retransmits, still converges" `Quick
+            test_replica_retransmits_on_loss;
+          Alcotest.test_case "corruption rejected, never imported" `Quick
+            test_replica_corruption_rejected;
+          Alcotest.test_case "partition degrades, heal resyncs" `Quick
+            test_replica_partition_degrades_then_resyncs;
+          Alcotest.test_case "failover reports lost generations" `Quick
+            test_replica_rpo_counts_lost_generations;
+          Alcotest.test_case "standby crash keeps acked prefix" `Quick
+            test_replica_standby_crash_recovers_session;
+          Alcotest.test_case "primary reboot resumes with delta" `Quick
+            test_replica_primary_reboot_resumes_with_delta;
         ] );
       ( "ntflush",
         [
