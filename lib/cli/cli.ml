@@ -136,6 +136,7 @@ let fresh () =
 (* --- command implementations ------------------------------------------ *)
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
+let jbool b = if b then "true" else "false"
 
 let cmd_init path =
   let u = fresh () in
@@ -333,6 +334,12 @@ let cmd_stats path json =
   end;
   0
 
+exception Trace_error of string
+(* An operational trace/timeline failure: nothing to export, or an
+   export that would silently lose events. Maps to exit 2 like the
+   other typed failures — a valid-but-empty trace file is worse than a
+   loud error for anything scripted on top of us. *)
+
 let cmd_trace path out =
   let u = load path in
   (* Trace exactly one checkpoint+restore cycle: drop the spans the
@@ -352,6 +359,11 @@ let cmd_trace path out =
       if g.Types.last_gen <> None then
         ignore (Machine.restore_group u.machine g ()))
     u.apps;
+  if Span.spans spans = [] then
+    raise
+      (Trace_error
+         "span buffer is empty: no running persisted applications produced \
+          a checkpoint+restore cycle");
   let oc = open_out out in
   output_string oc (Span.to_chrome_json spans);
   close_out oc;
@@ -361,9 +373,270 @@ let cmd_trace path out =
     (List.length (Span.spans spans));
   0
 
-(* --- provenance commands ---------------------------------------------- *)
+(* --- forensics commands ------------------------------------------------ *)
 
-let jbool b = if b then "true" else "false"
+let json_attrs attrs =
+  String.concat ", "
+    (List.map (fun (k, v) -> Printf.sprintf "%S: %S" k v) attrs)
+
+let json_event (e : Recorder.event) =
+  Printf.sprintf
+    "{\"seq\": %d, \"at_us\": %.1f, \"kind\": %S, \"gen\": %s, \
+     \"detail\": %S, \"attrs\": {%s}}"
+    e.Recorder.ev_seq
+    (Duration.to_us e.Recorder.ev_at)
+    e.Recorder.ev_kind
+    (if e.Recorder.ev_gen < 0 then "null" else string_of_int e.Recorder.ev_gen)
+    e.Recorder.ev_detail
+    (json_attrs e.Recorder.ev_attrs)
+
+let json_mark (m : Recorder.capture_mark) =
+  Printf.sprintf "{\"gen\": %d, \"pgid\": %d, \"at_us\": %.1f}"
+    m.Recorder.cm_gen m.Recorder.cm_pgid
+    (Duration.to_us m.Recorder.cm_at)
+
+(* `sls postmortem`: what the previous incarnation left in flight. The
+   report was computed when this load booted the machine — diffing the
+   recovered flight-recorder ring and the store's black box against the
+   committed prefix — so the command only renders it. *)
+let cmd_postmortem path json =
+  let u = load path in
+  match Machine.postmortem u.machine with
+  | None ->
+    if json then say "{\"postmortem\": null}"
+    else
+      say "no post-mortem: fresh store, or no recoverable flight recorder";
+    0
+  | Some pm ->
+    let rec_ = Machine.recorder u.machine in
+    (* Internal consistency ("sum checks"): a pending epoch must have
+       stamped a crash reason, every pending epoch must lie beyond the
+       recovered generation, and unacked generations must be distinct
+       and ascending. CI gates on these. *)
+    let tip = match pm.Machine.pm_recovered_gen with Some g -> g | None -> 0 in
+    let checks_ok =
+      (pm.Machine.pm_pending_epochs = [] || pm.Machine.pm_crash_reason <> None)
+      && List.for_all
+           (fun m -> m.Recorder.cm_gen > tip)
+           pm.Machine.pm_pending_epochs
+      && pm.Machine.pm_unacked_gens
+         = List.sort_uniq Int.compare pm.Machine.pm_unacked_gens
+    in
+    if json then
+      say
+        "{\"crash_reason\": %s, \"recovered_gen\": %s, \"bbox_at_us\": %s, \
+         \"pending_epochs\": [%s], \"unacked_gens\": [%s], \
+         \"open_spans\": [%s], \"last_alerts\": [%s], \"ring\": \
+         {\"events\": %d, \"occupancy\": %d, \"dropped\": %d}, \
+         \"checks_ok\": %s}"
+        (match pm.Machine.pm_crash_reason with
+         | Some r -> Printf.sprintf "%S" r
+         | None -> "null")
+        (match pm.Machine.pm_recovered_gen with
+         | Some g -> string_of_int g
+         | None -> "null")
+        (match pm.Machine.pm_bbox_at with
+         | Some d -> Printf.sprintf "%.1f" (Duration.to_us d)
+         | None -> "null")
+        (String.concat ", " (List.map json_mark pm.Machine.pm_pending_epochs))
+        (String.concat ", "
+           (List.map string_of_int pm.Machine.pm_unacked_gens))
+        (String.concat ", "
+           (List.map (Printf.sprintf "%S") pm.Machine.pm_open_spans))
+        (String.concat ", " (List.map json_event pm.Machine.pm_last_alerts))
+        (List.length pm.Machine.pm_events)
+        (Recorder.occupancy rec_) (Recorder.dropped rec_)
+        (jbool checks_ok)
+    else begin
+      say "post-mortem of the previous incarnation";
+      say "  crash reason:   %s"
+        (match pm.Machine.pm_crash_reason with
+         | Some r -> r
+         | None -> "none (clean shutdown)");
+      say "  recovered ring: %s (%d events, %d overwritten before capture)"
+        (match pm.Machine.pm_recovered_gen with
+         | Some g -> Printf.sprintf "generation %d" g
+         | None -> "none")
+        (List.length pm.Machine.pm_events)
+        (Recorder.dropped rec_);
+      (match pm.Machine.pm_bbox_at with
+       | Some d -> say "  black box:      last written at t=%.1f us" (Duration.to_us d)
+       | None -> say "  black box:      none");
+      (match pm.Machine.pm_pending_epochs with
+       | [] -> say "  pending epochs: none"
+       | ms ->
+         say "  pending epochs: %s (captured, never durable)"
+           (String.concat ", "
+              (List.map
+                 (fun m ->
+                   Printf.sprintf "gen %d (pgroup %d, t=%.1f us)"
+                     m.Recorder.cm_gen m.Recorder.cm_pgid
+                     (Duration.to_us m.Recorder.cm_at))
+                 ms)));
+      (match pm.Machine.pm_unacked_gens with
+       | [] -> say "  unacked gens:   none"
+       | gs ->
+         say "  unacked gens:   %s (standby never acknowledged)"
+           (String.concat ", " (List.map string_of_int gs)));
+      (match pm.Machine.pm_open_spans with
+       | [] -> ()
+       | ss -> say "  open spans:     %s" (String.concat ", " ss));
+      List.iter
+        (fun (e : Recorder.event) -> say "  alert:          %s" e.Recorder.ev_detail)
+        pm.Machine.pm_last_alerts
+    end;
+    if checks_ok then 0
+    else failwith "postmortem consistency checks failed"
+
+(* `sls timeline DST`: merge the primary's flight recorder and the
+   standby's durable replication state into one Chrome trace — per-node
+   process tracks, the same correlation id on both sides of every
+   shipped generation, and the RPO a failover right now would cost
+   annotated on the edge. *)
+let cmd_timeline path dst out =
+  let pu = load path in
+  let du = load dst in
+  let pevents = Recorder.events (Machine.recorder pu.machine) in
+  if pevents = [] then
+    raise
+      (Trace_error
+         "primary flight recorder is empty: nothing checkpointed yet, or \
+          the recorder ring was unreadable at boot");
+  let sstore = du.machine.Machine.disk_store in
+  let mapped =
+    List.filter_map
+      (fun (n, sg) ->
+        match Replica.parse_repl_gen_name n with
+        | Some p -> Some (p, sg, Replica.parse_repl_corr n)
+        | None -> None)
+      (Store.named sstore)
+  in
+  if mapped = [] then
+    raise (Trace_error "standby holds no replicated generations");
+  let mapped = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) mapped in
+  (* A standby-side import becomes durable the instant the primary saw
+     its ACK (the session ACKs durability, not arrival), so the
+     correlation id pairs each import with the primary's repl.ack
+     event — or repl.ship when the ack never made it back. *)
+  let stamp (pgen, _, corr) =
+    let matches kind (e : Recorder.event) =
+      e.Recorder.ev_kind = kind
+      &&
+      match corr with
+      | Some c -> List.assoc_opt "corr" e.Recorder.ev_attrs = Some c
+      | None -> e.Recorder.ev_gen = pgen
+    in
+    let newest kind = List.find_opt (matches kind) (List.rev pevents) in
+    match newest "repl.ack" with
+    | Some e -> Some (Duration.to_us e.Recorder.ev_at)
+    | None -> (
+      match newest "repl.ship" with
+      | Some e -> Some (Duration.to_us e.Recorder.ev_at)
+      | None -> None)
+  in
+  let stamped, unmatched =
+    List.partition (fun m -> stamp m <> None) mapped
+  in
+  (* The ring is bounded: ships older than its horizon have no event to
+     pair with. Those imports still appear (at the black-box floor) —
+     dropping them silently would make the merged timeline lie. *)
+  let floor_us =
+    match pevents with e :: _ -> Duration.to_us e.Recorder.ev_at | [] -> 0.
+  in
+  let acked = List.fold_left (fun a (p, _, _) -> max a p) 0 mapped in
+  let pgens = Store.generations pu.machine.Machine.disk_store in
+  let rpo = List.length (List.filter (fun g -> g > acked) pgens) in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string b ",\n " in
+  let meta ~pid ~name what =
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\": %S, \"ph\": \"M\", \"pid\": %d, \"args\": {\"name\": %S}}"
+         what pid name)
+  in
+  let thread ~pid ~tid name =
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": %d, \
+          \"args\": {\"name\": %S}}"
+         pid tid name)
+  in
+  meta ~pid:1 ~name:"primary" "process_name";
+  meta ~pid:2 ~name:"standby" "process_name";
+  let tracks = [ ("ckpt", 1); ("repl", 2); ("slo", 3); ("metrics", 4) ] in
+  List.iter (fun (name, tid) -> thread ~pid:1 ~tid name) tracks;
+  thread ~pid:1 ~tid:5 "events";
+  thread ~pid:2 ~tid:1 "repl";
+  let tid_of kind =
+    match String.index_opt kind '.' with
+    | None -> 5
+    | Some i -> (
+      match List.assoc_opt (String.sub kind 0 i) tracks with
+      | Some tid -> tid
+      | None -> 5)
+  in
+  let emit ~pid ~tid ~ts ~name args =
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\": %S, \"cat\": \"aurora\", \"ph\": \"X\", \"ts\": %.3f, \
+          \"dur\": 1, \"pid\": %d, \"tid\": %d, \"args\": {%s}}"
+         name ts pid tid args)
+  in
+  List.iter
+    (fun (e : Recorder.event) ->
+      let args =
+        json_attrs
+          ((if e.Recorder.ev_gen >= 0 then
+              [ ("gen", string_of_int e.Recorder.ev_gen) ]
+            else [])
+          @ [ ("detail", e.Recorder.ev_detail) ]
+          @ e.Recorder.ev_attrs)
+      in
+      emit ~pid:1 ~tid:(tid_of e.Recorder.ev_kind)
+        ~ts:(Duration.to_us e.Recorder.ev_at)
+        ~name:e.Recorder.ev_kind args)
+    pevents;
+  List.iter
+    (fun ((pgen, sgen, corr) as m) ->
+      let ts = match stamp m with Some ts -> ts | None -> floor_us in
+      let args =
+        json_attrs
+          ([ ("primary_gen", string_of_int pgen);
+             ("standby_gen", string_of_int sgen) ]
+          @ (match corr with Some c -> [ ("corr", c) ] | None -> []))
+      in
+      emit ~pid:2 ~tid:1 ~ts ~name:"repl.import" args)
+    mapped;
+  (* The failover edge: what promoting this standby right now costs. *)
+  sep ();
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\": %S, \"ph\": \"i\", \"s\": \"g\", \"ts\": %.3f, \"pid\": 2, \
+        \"tid\": 1, \"args\": {\"rpo_generations\": \"%d\", \
+        \"acked_primary_gen\": \"%d\"}}"
+       (Printf.sprintf "failover edge: RPO %d generation%s" rpo
+          (if rpo = 1 then "" else "s"))
+       (List.fold_left
+          (fun a m -> match stamp m with Some ts -> Float.max a ts | None -> a)
+          floor_us mapped)
+       rpo acked);
+  Buffer.add_string b "]}\n";
+  let oc = open_out out in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  say "wrote %s: %d primary events + %d standby imports (%d beyond the ring \
+       horizon), RPO %d"
+    out (List.length pevents) (List.length mapped)
+    (List.length unmatched) rpo;
+  ignore stamped;
+  0
+
+(* --- provenance commands ---------------------------------------------- *)
 
 let json_obj_attr (a : Types.obj_attribution) =
   Printf.sprintf
@@ -609,7 +882,12 @@ let cmd_replicate path dst pgid loss seed json =
   in
   if pgens = [] then failwith "no committed generations to replicate";
   let reports =
-    List.map (fun gen -> Replica.ship_exn repl ~gen ~pgid:g.Types.pgid) pgens
+    List.map
+      (fun gen ->
+        let r = Replica.ship_exn repl ~gen ~pgid:g.Types.pgid in
+        Machine.note_ship_report u.machine r;
+        r)
+      pgens
   in
   let st = Replica.stats repl in
   let lag = Replica.lag repl in
@@ -708,8 +986,20 @@ let cmd_failover primary dst json =
   save dst du;
   0
 
-let cmd_crash path =
+let cmd_crash path mid_pipeline =
   let u = load path in
+  if mid_pipeline then begin
+    (* Capture one epoch per group and pull the plug while its flush is
+       still draining: long enough for the black box's single-block
+       write to land, short of the epoch's superblock becoming durable —
+       the post-mortem then has lost epochs to name. *)
+    List.iter
+      (fun (_, g) ->
+        if Types.member_pids u.machine.Machine.kernel g <> [] then
+          ignore (Machine.checkpoint_now u.machine g ()))
+      u.apps;
+    Machine.run u.machine (Duration.microseconds 20)
+  end;
   Machine.crash u.machine;
   (* Save WITHOUT quiescing: exactly what the power failure left. *)
   Devarray.set_observability u.machine.Machine.nvme ();
@@ -743,6 +1033,11 @@ let wrap f =
     (* A replication session that cannot make progress (the link never
        delivers within the retry budget) is operational, not usage. *)
     Printf.eprintf "sls: replication failure: %s\n" msg;
+    2
+  | Trace_error msg ->
+    (* An export that would be empty or silently lossy: operational,
+       and distinct from usage errors so scripts can gate on it. *)
+    Printf.eprintf "sls: trace failure: %s\n" msg;
     2
   | Failure msg | Invalid_argument msg ->
     Printf.eprintf "sls: %s\n" msg;
@@ -866,8 +1161,16 @@ let trace_cmd =
       $ universe_arg $ out)
 
 let crash_cmd =
+  let mid_pipeline =
+    Arg.(value & flag & info [ "mid-pipeline" ]
+           ~doc:"Capture a checkpoint epoch per group first and crash while \
+                 its flush is still in flight, so `sls postmortem` has lost \
+                 epochs to report.")
+  in
   Cmd.v (Cmd.info "crash" ~doc:"Simulate a power failure.")
-    Term.(const (fun path -> wrap (fun () -> cmd_crash path)) $ universe_arg)
+    Term.(
+      const (fun path mid -> wrap (fun () -> cmd_crash path mid))
+      $ universe_arg $ mid_pipeline)
 
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of a table.")
@@ -948,6 +1251,38 @@ let failover_cmd =
       const (fun path dst json -> wrap (fun () -> cmd_failover path dst json))
       $ universe_arg $ dst $ json_arg)
 
+let postmortem_cmd =
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:"Report what the previous incarnation left in flight: crash \
+             reason, checkpoint epochs captured but never durable, \
+             generations a standby never acknowledged, spans open at the \
+             last capture, and recent SLO breaches — reconstructed from the \
+             flight recorder recovered with the last durable generation and \
+             the store's black box.")
+    Term.(
+      const (fun path json -> wrap (fun () -> cmd_postmortem path json))
+      $ universe_arg $ json_arg)
+
+let timeline_cmd =
+  let dst =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DST"
+           ~doc:"Standby universe file to merge.")
+  in
+  let out =
+    Arg.(value & opt string "timeline.json" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Output file for the merged Chrome trace_event JSON.")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Merge the primary's flight recorder and a standby's durable \
+             replication state into one Perfetto-loadable trace: per-node \
+             tracks, matching correlation ids on every shipped generation, \
+             and the RPO a failover would cost annotated on the edge.")
+    Term.(
+      const (fun path dst out -> wrap (fun () -> cmd_timeline path dst out))
+      $ universe_arg $ dst $ out)
+
 let fsck_cmd =
   let scrub =
     Arg.(value & flag & info [ "scrub" ]
@@ -966,6 +1301,7 @@ let group =
       init_cmd; spawn_cmd; run_cmd; ps_cmd; checkpoint_cmd; gens_cmd; restore_cmd;
       send_cmd; recv_cmd; replicate_cmd; failover_cmd; attach_cmd; detach_cmd;
       crash_cmd; fsck_cmd; stats_cmd; trace_cmd; top_cmd; explain_cmd; diff_cmd;
+      postmortem_cmd; timeline_cmd;
     ]
 
 let main () = Cmd.eval' group

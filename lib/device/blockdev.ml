@@ -310,6 +310,36 @@ let write_extents ?not_before t extents =
 
 let write_async ?not_before t writes = write_extents ?not_before t [ writes ]
 
+(* A small control write on its own submission queue: charged from the
+   current instant instead of behind queued data transfers — modeling a
+   separate NVMe queue pair for out-of-band metadata (the store's black
+   box). It does not extend [busy_until], so a crash can find it
+   durable while an earlier, larger data submission is still in flight.
+   Crash and durability semantics are otherwise write_async's. *)
+let write_oob t writes =
+  let writes, retry_cost = apply_write_faults t writes in
+  let n = List.length writes in
+  if n = 0 then Clock.now t.clock
+  else begin
+    let start = Clock.now t.clock in
+    let cost =
+      Duration.add retry_cost
+        (Profile.transfer_cost t.profile ~op:`Write ~bytes:(n * block_size))
+    in
+    let completion = Duration.add start cost in
+    t.st <- { t.st with writes = t.st.writes + 1;
+                        blocks_written = t.st.blocks_written + n };
+    (match t.obs_counters with
+     | None -> ()
+     | Some c ->
+       Metrics.add c.c_commands 1;
+       Metrics.add c.c_blocks_written n;
+       Metrics.observe_duration c.c_xfer_us cost);
+    List.iter (store_block t ~completed:false) writes;
+    t.pending <- { done_at = completion; writes } :: t.pending;
+    completion
+  end
+
 let settle_pending t =
   (* Batches whose completion time has passed are done: their writes
      are durable (unless the cache is volatile). Oldest first, so a

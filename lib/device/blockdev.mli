@@ -110,6 +110,14 @@ val write_extents : ?not_before:Duration.t -> t -> (int * content) list list -> 
     complete together at the returned time. Empty extents are
     ignored. *)
 
+val write_oob : t -> (int * content) list -> Duration.t
+(** A small control write on a dedicated submission queue: completion
+    is charged from {e now} rather than behind queued data transfers
+    (a separate NVMe queue pair), so it can become durable while an
+    earlier, larger submission is still draining. Used for the store's
+    black-box slot. Crash and durability semantics match
+    {!write_async}; [busy_until] is not extended. *)
+
 val await : t -> Duration.t -> unit
 (** Advance the clock to the given absolute completion time if it is in
     the future — i.e. block on an async write. *)

@@ -199,6 +199,20 @@ let submit ?not_before t writes =
     per_dev;
   !completion
 
+(* Out-of-band control writes: each touched device takes them on its
+   dedicated submission queue (see {!Blockdev.write_oob}), so they can
+   land while larger queued data transfers are still draining. *)
+let write_oob t writes =
+  let per_dev = partition t writes in
+  let completion = ref Duration.zero in
+  Array.iteri
+    (fun d dev_writes ->
+      if dev_writes <> [] then
+        completion :=
+          Duration.max !completion (Blockdev.write_oob t.devs.(d) dev_writes))
+    per_dev;
+  !completion
+
 (* --- completion groups ----------------------------------------------- *)
 
 let begin_group t =

@@ -84,6 +84,12 @@ val write_async : ?not_before:Duration.t -> t -> (int * Blockdev.content) list -
     blocks into extents, queue one submission per device, and return
     the {e max} completion time. Does not advance the clock. *)
 
+val write_oob : t -> (int * Blockdev.content) list -> Duration.t
+(** Out-of-band control write: dedicated per-device submission queues
+    charged from now rather than behind queued transfers, so the write
+    can become durable while earlier data submissions still drain.
+    Used for the store's black-box slot; see {!Blockdev.write_oob}. *)
+
 val write_barrier : t -> (int * Blockdev.content) list -> Duration.t
 (** The commit barrier: the writes start only after {e every} device
     queue (as of submission) has drained — a superblock ordered after

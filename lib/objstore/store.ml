@@ -8,6 +8,16 @@ type gen = int
 let magic = "AURORA-SLS-v2"
 let superblock_slots = 2 (* blocks 0 and 1 *)
 
+(* Two reserved blocks right after the superblocks hold the flight
+   recorder's black box: a tiny summary written asynchronously on
+   every checkpoint capture, outside any generation, so a post-mortem
+   can name epochs that were captured but never became durable. The
+   slots alternate like superblocks so a crash mid-write leaves the
+   previous summary intact. *)
+let blackbox_slots = 2 (* blocks 2 and 3 *)
+let reserved_blocks = superblock_slots + blackbox_slots
+let bbox_magic = "AURORA-BBSL-v1"
+
 type gen_entry = { root : int; name : string option }
 
 (* --- integrity / fault taxonomy ------------------------------------- *)
@@ -127,6 +137,7 @@ type t = {
      free is durable (release time, blocks), ascending. Reusing them
      earlier could tear a crash that falls back to an older superblock
      still referencing them. *)
+  mutable bbox_seq : int; (* black-box slot alternation counter *)
 }
 
 let open_prov t =
@@ -272,6 +283,74 @@ let settle_deferred_frees t =
     ignore (release_ready_frees t);
     true
 
+(* --- the black-box slot ----------------------------------------------
+   A single-block, store-framed payload written outside any
+   generation. The flight recorder uses it to persist its capture/ack
+   summary on every checkpoint, which is the only way a post-mortem
+   can name epochs that were committed but never became durable: the
+   per-generation ring recovered from durable generation [g] only
+   knows about captures up to [g]. *)
+
+let encode_bbox ~seq payload =
+  let w = Serial.writer () in
+  Serial.w_string w bbox_magic;
+  Serial.w_int w seq;
+  Serial.w_string w payload;
+  Serial.w_int64 w (hash_string payload);
+  Serial.contents w
+
+let decode_bbox data =
+  match
+    let r = Serial.reader data in
+    if Serial.r_string r <> bbox_magic then None
+    else
+      let seq = Serial.r_int r in
+      let payload = Serial.r_string r in
+      if Serial.r_int64 r <> hash_string payload then None
+      else Some (seq, payload)
+  with
+  | v -> v
+  | exception Serial.Corrupt _ -> None
+
+let write_blackbox t payload =
+  t.bbox_seq <- t.bbox_seq + 1;
+  let framed = encode_bbox ~seq:t.bbox_seq payload in
+  if String.length framed > Blockdev.block_size then
+    invalid_arg "Store.write_blackbox: summary exceeds one block";
+  let slot = superblock_slots + (t.bbox_seq mod blackbox_slots) in
+  (* Asynchronous, unordered and out-of-band: the black box must never
+     add a barrier to the capture path, and it must be able to land
+     while the epoch flush queued just after it is still draining —
+     otherwise a crash that loses the epoch also loses the summary
+     naming it. A crash before the write completes loses this summary
+     but leaves the other slot intact; a write fault is best-effort by
+     the same argument. *)
+  try ignore (Devarray.write_oob t.dev [ (slot, Blockdev.Data framed) ])
+  with Fault.Io_error _ -> ()
+
+let read_blackbox t =
+  let read_slot slot =
+    match device_read_retry t slot 0 with
+    | Ok (Blockdev.Data s) -> decode_bbox s
+    | Ok _ | Error _ -> None
+  in
+  List.init blackbox_slots (fun i -> read_slot (superblock_slots + i))
+  |> List.filter_map Fun.id
+  |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+  |> function [] -> None | (_, payload) :: _ -> Some payload
+
+(* Resume slot alternation above any surviving summary so reopening
+   never clobbers the newest valid slot with the next write. *)
+let scan_bbox_seq t =
+  List.init blackbox_slots (fun i -> superblock_slots + i)
+  |> List.fold_left
+       (fun acc slot ->
+         match device_read_retry t slot 0 with
+         | Ok (Blockdev.Data s) -> (
+           match decode_bbox s with Some (seq, _) -> max acc seq | None -> acc)
+         | Ok _ | Error _ -> acc)
+       0
+
 (* --- construction --------------------------------------------------- *)
 
 let make ?(dedup = true) ?prot dev =
@@ -285,7 +364,7 @@ let make ?(dedup = true) ?prot dev =
       else { verify = false; mirror = false }
   in
   let alloc =
-    Alloc.create ~first_block:superblock_slots
+    Alloc.create ~first_block:reserved_blocks
       ?capacity_blocks:(Devarray.capacity_blocks dev)
       ~stripes:(Devarray.stripes dev) ()
   in
@@ -303,7 +382,7 @@ let make ?(dedup = true) ?prot dev =
       repair_log = []; quarantined = []; provs = Hashtbl.create 16;
       obs_counters = None; obs_spans = None;
       gen_durable = Hashtbl.create 16; sb_horizon = Duration.zero;
-      deferred = [] }
+      deferred = []; bbox_seq = 0 }
   in
   Alloc.add_on_free alloc (fun b ->
       Hashtbl.remove t.csums b;
@@ -1363,6 +1442,7 @@ let open_ ~dev =
       match try_candidate sb with
       | Ok t ->
         rebuild t;
+        t.bbox_seq <- scan_bbox_seq t;
         Btree.begin_epoch t.tree t.next_gen;
         Ok t
       | Error e -> try_all (Some e) rest)

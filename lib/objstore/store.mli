@@ -174,6 +174,25 @@ val inflight_generations : t -> gen list
 
 val has_open_generation : t -> bool
 
+(* --- the black-box slot ---------------------------------------------- *)
+
+val write_blackbox : t -> string -> unit
+(** Write an opaque payload to the store's dedicated black-box slot:
+    two reserved blocks (after the superblocks, outside any
+    generation) that alternate per write, each framed with a magic,
+    sequence number, and checksum. The write is asynchronous and
+    unordered — it never adds a barrier to the caller's path — so a
+    crash before it completes loses this payload but leaves the
+    previous slot's intact. The framed payload must fit one device
+    block ([Invalid_argument] otherwise). The flight recorder persists
+    its capture/ack summary here on every checkpoint; that summary is
+    what lets a post-mortem name epochs that were captured but never
+    became durable. *)
+
+val read_blackbox : t -> string option
+(** The payload of the newest intact black-box slot, if any survives
+    verification. *)
+
 (* --- reading -------------------------------------------------------- *)
 
 val read_record : t -> gen -> oid:int -> string option

@@ -31,6 +31,7 @@ type t = {
   trace : Tracelog.t;
   metrics : Metrics.t;
   spans : Span.t;
+  recorder : Recorder.t;
   prng : Prng.t;
   mutable send_hook : send_hook option;
   mutable sls_ops : (pid:int -> sls_op -> sls_result) option;
@@ -44,7 +45,8 @@ let create ?clock ?fs ?capacity_pages ?(seed = 0xA407AL) () =
       netstack = Netstack.create (); fs; unix_ns = Hashtbl.create 8;
       procs = Hashtbl.create 16; next_pid = 1; containers = Hashtbl.create 4;
       next_cid = 1; trace = Tracelog.create clock; metrics = Metrics.create clock;
-      spans = Span.create clock; prng = Prng.create ~seed;
+      spans = Span.create clock; recorder = Recorder.create clock;
+      prng = Prng.create ~seed;
       send_hook = None; sls_ops = None }
   in
   Hashtbl.replace t.containers 0 Container.host;

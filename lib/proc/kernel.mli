@@ -45,6 +45,9 @@ type t = {
   trace : Tracelog.t;
   metrics : Metrics.t;  (** the machine-wide metrics registry *)
   spans : Span.t;       (** the machine-wide span recorder *)
+  recorder : Recorder.t;
+  (** the crash-surviving flight recorder; the checkpoint engine
+      persists it through the store each epoch *)
   prng : Prng.t;
   mutable send_hook : send_hook option;
   mutable sls_ops : (pid:int -> sls_op -> sls_result) option;

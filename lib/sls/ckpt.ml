@@ -231,11 +231,79 @@ let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
   (* The orchestrator core does this work while the application runs;
      it consumes device-queue time but not application CPU time. *)
   let gen = Store.begin_generation store () in
+  (* Flight recorder: serialize the telemetry ring into this epoch as a
+     store-managed object. The snapshot is taken before this capture's
+     own mark is logged, so a recovered ring never describes an epoch
+     that was not committed by the time the ring was stored. The copy
+     is charged here — off the stop path — and tracked against its own
+     budget (the ckpt-rate sweep gates it at <1% of stop time). *)
+  let recorder = k.Kernel.recorder in
+  (* Snapshot the spans still open at this capture (the checkpoint's
+     own root included): after a crash they are the intervals that
+     never finished, which is exactly what the post-mortem reports. *)
+  let open_spans =
+    List.filter (fun s -> not s.Span.closed) (Span.spans spans)
+  in
+  if open_spans <> [] then
+    Recorder.log recorder ~gen:(-1)
+      ~attrs:[ ("count", string_of_int (List.length open_spans)) ]
+      ~kind:"spans.open"
+      (String.concat ", " (List.map (fun s -> s.Span.name) open_spans));
+  let ring_blob = Recorder.export recorder in
+  let rec_started = Clock.now clock in
+  Kernel.charge k
+    (Costmodel.page_copy
+       ~pages:((String.length ring_blob + page_bytes - 1) / page_bytes));
+  Metrics.observe_duration
+    (Metrics.histogram metrics "ckpt.recorder_us")
+    (Duration.sub (Clock.now clock) rec_started);
   (* Attribution is barrier-side data (who dirtied what), valid even if
      the flush below degrades; reading it also resets the per-object
      COW-break counters for the next cycle. *)
   let attrib = attribution k g ~gen records captures in
+  let attrib =
+    (* The ring is checkpoint metadata like the manifest: an explicit
+       object row (zero pages) plus the shared process row keep the
+       `sls top` byte totals honest about recorder overhead. *)
+    let ring_len = String.length ring_blob in
+    let recorder_row =
+      {
+        Types.a_oid = Oidspace.recorder;
+        a_store_oid = Oidspace.recorder;
+        a_pages = 0;
+        a_bytes = ring_len;
+        a_metadata_bytes = ring_len;
+        a_cow_breaks = 0;
+        a_chain_depth = 1;
+        a_owner_pid = None;
+      }
+    in
+    let procs =
+      List.map
+        (fun (p : Types.proc_attribution) ->
+          if p.Types.p_pid = 0 then
+            { p with
+              Types.p_bytes = p.Types.p_bytes + ring_len;
+              p_metadata_bytes = p.Types.p_metadata_bytes + ring_len;
+              p_objects = p.Types.p_objects + 1 }
+          else p)
+        attrib.Types.at_procs
+    in
+    { attrib with
+      Types.at_bytes_total = attrib.Types.at_bytes_total + ring_len;
+      at_metadata_bytes_total = attrib.Types.at_metadata_bytes_total + ring_len;
+      at_objects = attrib.Types.at_objects @ [ recorder_row ];
+      at_procs = procs }
+  in
   g.Types.last_attribution <- Some attrib;
+  (* Name this epoch in the black box BEFORE queueing its writes: the
+     box rides a dedicated out-of-band device queue, so it can be
+     durable while the epoch flush below is still draining — which is
+     the only way a crash that loses the epoch can still find it
+     named. An aborted commit retracts the mark (and rewrites the box)
+     below. *)
+  Recorder.mark_inflight recorder ~gen ~pgid:g.Types.pgid;
+  Store.write_blackbox store (Recorder.export_blackbox recorder);
   (* A full or failing device must degrade the checkpoint, not kill
      the machine: abort the open generation (the store rebuilds its
      state from committed generations) and keep serving from the last
@@ -244,6 +312,7 @@ let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
     match
       Store.put_record store ~oid:(Oidspace.manifest g.Types.pgid)
         records.Serialize.manifest;
+      Store.put_record store ~oid:Oidspace.recorder ring_blob;
       List.iter (fun (oid, record) -> Store.put_record store ~oid record)
         records.Serialize.items;
       List.iter
@@ -264,13 +333,31 @@ let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
     with
     | gen', durable_at ->
       assert (gen = gen');
+      (* The capture committed: log it and refresh the black box (the
+         pre-commit copy above already names this epoch; this one also
+         carries the post-barrier ship/ack horizon). *)
+      Recorder.note_capture recorder ~gen ~pgid:g.Types.pgid
+        ~stop_us:(Duration.to_us stop_time);
+      Store.write_blackbox store (Recorder.export_blackbox recorder);
       Ok durable_at
     | exception Alloc.Out_of_space ->
       Store.abort_generation store;
+      Recorder.unmark recorder ~gen;
+      Recorder.log recorder
+        ~attrs:[ ("gen", string_of_int gen) ]
+        ~kind:"ckpt.degraded" "device out of space";
+      (* Retract the tentative mark from the on-device box too, so a
+         later crash does not report the aborted epoch as pending. *)
+      Store.write_blackbox store (Recorder.export_blackbox recorder);
       Error "device out of space"
     | exception Store.Fail e ->
       (* [Store.commit] already rolled the generation back. *)
       Store.abort_generation store;
+      Recorder.unmark recorder ~gen;
+      Recorder.log recorder
+        ~attrs:[ ("gen", string_of_int gen) ]
+        ~kind:"ckpt.degraded" (Store.describe_error e);
+      Store.write_blackbox store (Recorder.export_blackbox recorder);
       Error (Store.describe_error e)
   in
   (* The flush has the data now (or never will); release the held
@@ -321,7 +408,8 @@ let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
       lazy_data_copy;
       stop_time;
       pages_captured;
-      records_written = List.length records.Serialize.items + 1;
+      (* manifest + recorder ring + per-object/process/kobj records *)
+      records_written = List.length records.Serialize.items + 2;
       barrier_at;
       durable_at;
       status;
@@ -345,6 +433,7 @@ let finalize (k : Kernel.t) (g : Types.pgroup) (b : Types.ckpt_breakdown) =
   | `Ok ->
     let metrics = k.Kernel.metrics in
     Kernel.charge k Costmodel.ckpt_retire;
+    Recorder.note_retire k.Kernel.recorder ~gen:b.Types.gen;
     let flush_started = Duration.add b.Types.barrier_at b.Types.stop_time in
     (* Background-flush window: end of the stop window to durability. *)
     Metrics.observe_duration

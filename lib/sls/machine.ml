@@ -28,12 +28,29 @@ type t = {
   mutable standby : (int * Replica.t) option;
   (* Hot-standby replication session and the pgid whose checkpoints
      auto-ship through it. *)
+  mutable postmortem : postmortem option;
+  (* What the previous incarnation left in flight, computed once at
+     boot by diffing the recovered flight recorder and the store's
+     black box against the committed prefix. *)
+}
+
+and postmortem = {
+  pm_crash_reason : string option;
+  pm_recovered_gen : Store.gen option;
+  pm_bbox_at : Duration.t option;
+  pm_pending_epochs : Recorder.capture_mark list;
+  pm_unacked_gens : Store.gen list;
+  pm_open_spans : string list;
+  pm_last_alerts : Recorder.event list;
+  pm_events : Recorder.event list;
 }
 
 let clock t = t.kernel.Kernel.clock
 let now t = Clock.now (clock t)
 let metrics t = t.kernel.Kernel.metrics
 let spans t = t.kernel.Kernel.spans
+let recorder t = t.kernel.Kernel.recorder
+let postmortem t = t.postmortem
 
 (* Fold the pull-style counters (device/fault/store state kept by each
    layer) into gauges, so one snapshot carries both the push-style
@@ -94,6 +111,9 @@ let sync_metrics t =
   set "trace.events_dropped" (Tracelog.dropped t.kernel.Kernel.trace);
   set "trace.spans_dropped" (Span.dropped (spans t));
   set "trace.span_orphans" (Span.orphan_finishes (spans t));
+  set "recorder.capacity" (Recorder.capacity (recorder t));
+  set "recorder.occupancy" (Recorder.occupancy (recorder t));
+  set "recorder.dropped" (Recorder.dropped (recorder t));
   set "ckpt.inflight_gens"
     (List.length
        (List.filter
@@ -130,6 +150,7 @@ let build_on ?(max_inflight_ckpts = 2) ~kernel ~nvme ~memdev ~disk_store
         max_inflight_ckpts;
         pending_ckpts = [];
         standby = None;
+        postmortem = None;
       }
   in
   let m = Lazy.force t in
@@ -237,18 +258,44 @@ let drain_storage t =
   Store.wait_all_durable t.disk_store;
   Store.wait_all_durable t.mem_store
 
+(* Fold a ship's outcome into the flight recorder: the ring gets the
+   ship/ack events (correlation id included, for [sls timeline]) and
+   the black-box ack horizon advances — shared by the auto-ship path
+   below and by CLI-driven replication. *)
+let note_ship_report t (r : Replica.ship_report) =
+  let rec_ = recorder t in
+  match r.Replica.sh_outcome with
+  | `Acked ->
+    Recorder.note_ship rec_ ~gen:r.Replica.sh_gen ~corr:r.Replica.sh_corr
+      ~outcome:"acked";
+    Recorder.note_ack rec_ ~gen:r.Replica.sh_gen ~corr:r.Replica.sh_corr
+  | `Gave_up ->
+    Recorder.note_ship rec_ ~gen:r.Replica.sh_gen ~corr:r.Replica.sh_corr
+      ~outcome:"gave_up";
+    Recorder.note_transition rec_ ~subsystem:"repl"
+      (Printf.sprintf "session degraded: generation %d unacknowledged"
+         r.Replica.sh_gen)
+  | `Skipped -> ()
+
 let checkpoint_now t g ?mode ?name () =
   (* Retire anything that landed since the last barrier first: keeps
      the history window tight and the in-flight window honest. *)
   complete_due t;
   let b = Ckpt.capture t.kernel g ?mode ?name () in
   (* Feed the watchdog before any secondary-backend work moves the
-     clock: the stop window ends when the application resumes. *)
+     clock: the stop window ends when the application resumes. Breaches
+     also land in the flight recorder, so they survive the crash they
+     often precede. *)
   (if b.Types.status = `Ok then
-     ignore
-       (Slo.observe_stop t.slo ~metrics:(metrics t) ~spans:(spans t)
-          ~pgid:g.Types.pgid ?attribution:g.Types.last_attribution ~now:(now t)
-          b.Types.stop_time));
+     match
+       Slo.observe_stop t.slo ~metrics:(metrics t) ~spans:(spans t)
+         ~pgid:g.Types.pgid ?attribution:g.Types.last_attribution ~now:(now t)
+         b.Types.stop_time
+     with
+     | Some al ->
+       Recorder.note_alert (recorder t) ~kind:"stop_time" ~pgid:al.Slo.al_pgid
+         ~observed_us:al.Slo.al_observed_us ~target_us:al.Slo.al_target_us
+     | None -> ());
   let backpressure = ref Duration.zero in
   (match b.Types.status with
    | `Degraded _ ->
@@ -291,7 +338,14 @@ let checkpoint_now t g ?mode ?name () =
         barrier-side like the other secondary backends. *)
      (match t.standby with
       | Some (pgid, repl) when pgid = g.Types.pgid ->
-        ignore (Replica.ship repl ~gen:b.Types.gen ~pgid)
+        note_ship_report t (Replica.ship repl ~gen:b.Types.gen ~pgid);
+        (* Refresh the black box with the post-ship ack horizon: the
+           copy written at capture predates this ship, and a crash from
+           here on should not report an acked generation as unacked. *)
+        (match Types.primary_store g with
+         | Some s ->
+           Store.write_blackbox s (Recorder.export_blackbox (recorder t))
+         | None -> ())
       | _ -> ());
      (* The epoch joins the pipeline; history collection happens when
         it retires. Backpressure: a barrier may not leave more than
@@ -317,6 +371,13 @@ let checkpoint_now t g ?mode ?name () =
   Metrics.observe_duration
     (Metrics.histogram (metrics t) "ckpt.backpressure_us")
     !backpressure;
+  (* A compact per-checkpoint metrics snapshot rides in the ring, so a
+     post-mortem sees the tail of the machine's vitals, not just its
+     events. *)
+  Recorder.note_metrics (recorder t)
+    [ ("ckpt.stop_us", Duration.to_us b.Types.stop_time);
+      ("ckpt.pages_captured", float_of_int b.Types.pages_captured);
+      ("ckpt.backpressure_us", Duration.to_us !backpressure) ];
   b
 
 (* --- the orchestrator loop ------------------------------------------- *)
@@ -503,10 +564,16 @@ let restore_group t g ?gen ?policy ?from () =
   let pids, rb =
     Restore.restore t.kernel ~store ~gen ~pgid:g.Types.pgid ?policy ()
   in
-  ignore
-    (Slo.observe_restore t.slo ~metrics:(metrics t) ~spans:(spans t)
+  (match
+     Slo.observe_restore t.slo ~metrics:(metrics t) ~spans:(spans t)
        ~pgid:g.Types.pgid ?attribution:g.Types.last_attribution ~now:(now t)
-       rb.Types.total_latency);
+       rb.Types.total_latency
+   with
+   | Some al ->
+     Recorder.note_alert (recorder t) ~kind:"restore_latency"
+       ~pgid:al.Slo.al_pgid ~observed_us:al.Slo.al_observed_us
+       ~target_us:al.Slo.al_target_us
+   | None -> ());
   (pids, rb)
 
 let clone_group t g ?gen ?policy () =
@@ -568,6 +635,96 @@ let crash t =
   Memfs.crash t.kernel.Kernel.fs;
   Extconsist.uninstall t.extcons
 
+(* Reconstruct what was in flight when the previous incarnation died:
+   import the flight-recorder ring stored with the last durable
+   generation, read the store's black box, and diff both against the
+   committed prefix. The black box names every recent capture; a mark
+   whose generation lies beyond the store's tip belongs to an epoch
+   that never became durable — the committed-prefix invariant makes
+   generation loss a suffix, so [> tip] is exact (and immune to
+   history GC, which only removes generations at or below the tip). *)
+let forensics ~kernel ~disk_store =
+  let recorder = kernel.Kernel.recorder in
+  let recovered_gen =
+    match Store.latest disk_store with
+    | Some gen -> (
+      match Store.read_record disk_store gen ~oid:Oidspace.recorder with
+      | Some blob -> (
+        match Recorder.import_into recorder blob with
+        | Ok () -> Some gen
+        | Error _ -> None)
+      | None -> None)
+    | None -> None
+  in
+  let bbox =
+    match Store.read_blackbox disk_store with
+    | None -> None
+    | Some payload -> Result.to_option (Recorder.import_blackbox payload)
+  in
+  (* Keep the live recorder's black-box state continuous across the
+     reboot: the on-device box is one epoch ahead of the stored ring
+     (it even names the generation that ring was recovered from). *)
+  Option.iter (Recorder.adopt_blackbox recorder) bbox;
+  match (recovered_gen, bbox) with
+  | None, None -> None
+  | _ ->
+    let tip = match recovered_gen with Some g -> g | None -> 0 in
+    let pending, unacked, bbox_at =
+      match bbox with
+      | None -> ([], [], None)
+      | Some bb ->
+        let pending =
+          List.filter (fun m -> m.Recorder.cm_gen > tip) bb.Recorder.bb_captures
+        in
+        let unacked =
+          if not bb.Recorder.bb_repl then []
+          else
+            List.sort_uniq Int.compare
+              (List.filter
+                 (fun g -> g > bb.Recorder.bb_acked_gen)
+                 (bb.Recorder.bb_shipped
+                 @ List.map (fun m -> m.Recorder.cm_gen) bb.Recorder.bb_captures))
+        in
+        (pending, unacked, Some bb.Recorder.bb_at)
+    in
+    let crash_reason =
+      if pending = [] then None
+      else begin
+        let reason =
+          Printf.sprintf "unclean shutdown: %d epoch%s in flight (gen %s)"
+            (List.length pending)
+            (if List.length pending = 1 then "" else "s")
+            (String.concat ", "
+               (List.map (fun m -> string_of_int m.Recorder.cm_gen) pending))
+        in
+        Recorder.set_crash_reason recorder reason;
+        Some reason
+      end
+    in
+    let evs = Recorder.events recorder in
+    let open_spans =
+      (* The newest open-spans snapshot the dying machine logged. *)
+      match
+        List.find_opt
+          (fun e -> e.Recorder.ev_kind = "spans.open")
+          (List.rev evs)
+      with
+      | None -> []
+      | Some e ->
+        if e.Recorder.ev_detail = "" then []
+        else List.map String.trim (String.split_on_char ',' e.Recorder.ev_detail)
+    in
+    Some
+      { pm_crash_reason = crash_reason;
+        pm_recovered_gen = recovered_gen;
+        pm_bbox_at = bbox_at;
+        pm_pending_epochs = pending;
+        pm_unacked_gens = unacked;
+        pm_open_spans = open_spans;
+        pm_last_alerts =
+          List.filter (fun e -> e.Recorder.ev_kind = "slo.alert") evs;
+        pm_events = evs }
+
 let boot ?max_inflight_ckpts ~nvme () =
   (* Boot: a fresh kernel on existing hardware, sharing wall time with
      the device. *)
@@ -583,14 +740,18 @@ let boot ?max_inflight_ckpts ~nvme () =
        when Store.read_record disk_store gen ~oid:Oidspace.fs_manifest_oid <> None ->
        kernel.Kernel.fs <- Aurora_slsfs.Slsfs.restore_fs disk_store gen
      | Some _ | None -> ());
+    let pm = forensics ~kernel ~disk_store in
     let memdev =
       Devarray.create ~stripes:1 ~clock:(Devarray.clock nvme) ~profile:Profile.dram
         "memdev"
     in
     let mem_store = Store.format ~dev:memdev () in
-    Ok
-      (build_on ?max_inflight_ckpts ~kernel ~nvme ~memdev ~disk_store
-         ~mem_store ())
+    let m =
+      build_on ?max_inflight_ckpts ~kernel ~nvme ~memdev ~disk_store ~mem_store
+        ()
+    in
+    m.postmortem <- pm;
+    Ok m
 
 let boot_exn ?max_inflight_ckpts ~nvme () =
   match boot ?max_inflight_ckpts ~nvme () with
@@ -626,11 +787,24 @@ let attach_standby t ?faults ?(link_profile = Profile.net_10gbe) ?ack_timeout
       ~standby:store ()
   in
   t.standby <- Some (g.Types.pgid, repl);
+  let rec_ = recorder t in
+  Recorder.set_repl_attached rec_ true;
+  (* A session over an existing standby recovers its ack horizon from
+     the standby's durable state; fold it into the recorder so a later
+     post-mortem does not re-report those generations as unacked. *)
+  (match Replica.acked_gen repl with
+   | Some a -> Recorder.seed_repl_horizon rec_ ~acked:a
+   | None -> ());
+  Recorder.note_transition rec_ ~subsystem:"repl"
+    (Printf.sprintf "standby attached (pgroup %d)" g.Types.pgid);
   repl
 
 let standby_session t = Option.map snd t.standby
 
-let detach_standby t = t.standby <- None
+let detach_standby t =
+  if t.standby <> None then
+    Recorder.note_transition (recorder t) ~subsystem:"repl" "standby detached";
+  t.standby <- None
 
 type failover_report = {
   fo_rpo : int;
@@ -650,6 +824,14 @@ let failover t =
     let standby = Replica.standby_store repl in
     let promoted_gen = Option.map snd (Replica.standby_latest repl) in
     let standby_generations = List.length (Store.generations standby) in
+    (* The generations this failover abandons: committed on the primary,
+       never acknowledged durable by the standby. *)
+    let unacked_at_failover =
+      let gens = Store.generations t.disk_store in
+      match Replica.acked_gen repl with
+      | None -> gens
+      | Some a -> List.filter (fun g -> g > a) gens
+    in
     t.standby <- None;
     let promoted =
       boot_exn ~max_inflight_ckpts:t.max_inflight_ckpts
@@ -661,6 +843,37 @@ let failover t =
           ("promoted_gen",
            match promoted_gen with Some g -> string_of_int g | None -> "-") ]
       ~start_at:started ~end_at:(now t) ();
+    (* The promoted machine's recorder (rehydrated from the last shipped
+       ring during boot) takes the failover stamp, and its post-mortem
+       reports the RPO loss from the primary's point of view — the data
+       a standby-side ring alone could never name. *)
+    let prec = recorder promoted in
+    let reason =
+      Printf.sprintf "failover: primary lost, RPO %d generation%s" rpo
+        (if rpo = 1 then "" else "s")
+    in
+    Recorder.set_crash_reason prec reason;
+    Recorder.log prec
+      ~attrs:
+        [ ("rpo_generations", string_of_int rpo);
+          ("promoted_gen",
+           match promoted_gen with Some g -> string_of_int g | None -> "-") ]
+      ~kind:"repl.failover" reason;
+    let base =
+      match promoted.postmortem with
+      | Some pm -> pm
+      | None ->
+        { pm_crash_reason = None;
+          pm_recovered_gen = Store.latest promoted.disk_store;
+          pm_bbox_at = None; pm_pending_epochs = []; pm_unacked_gens = [];
+          pm_open_spans = []; pm_last_alerts = []; pm_events = [] }
+    in
+    promoted.postmortem <-
+      Some
+        { base with
+          pm_crash_reason = Some reason;
+          pm_unacked_gens = unacked_at_failover;
+          pm_events = Recorder.events prec };
     ( promoted,
       { fo_rpo = rpo; fo_primary_latest = Store.latest t.disk_store;
         fo_promoted_gen = promoted_gen;

@@ -43,6 +43,39 @@ type t = {
   (** Hot-standby replication session, with the pgid whose checkpoints
       auto-ship through it. Managed by {!attach_standby} /
       {!failover}. *)
+  mutable postmortem : postmortem option;
+  (** What the previous incarnation left in flight — computed once at
+      {!boot} by {!forensics}; read it through {!postmortem}. *)
+}
+
+(** The post-mortem: a reconstruction of "what was in flight when we
+    died", computed at boot by diffing the recovered flight-recorder
+    ring (stored with the last durable generation) and the store's
+    black box against the committed prefix. *)
+and postmortem = {
+  pm_crash_reason : string option;
+      (** Stamped by this boot when the black box names epochs beyond
+          the committed prefix (["unclean shutdown: ..."]), or by
+          {!failover} (["failover: ..."]); [None] after a clean
+          shutdown. *)
+  pm_recovered_gen : Store.gen option;
+      (** The durable generation whose flight-recorder ring was
+          reopened; [None] when no generation carried one. *)
+  pm_bbox_at : Duration.t option;
+      (** Instant the black box was last written — an upper bound on
+          when the previous incarnation was still alive. *)
+  pm_pending_epochs : Recorder.capture_mark list;
+      (** Checkpoint epochs captured but never durable: committed by
+          the dying machine, lost with the crash. Oldest first. *)
+  pm_unacked_gens : Store.gen list;
+      (** Generations a replication session had not seen acknowledged
+          durable by the standby (empty when none was attached). *)
+  pm_open_spans : string list;
+      (** Span names open at the last capture the ring recorded. *)
+  pm_last_alerts : Recorder.event list;
+      (** SLO breach events the recovered ring retained, oldest
+          first. *)
+  pm_events : Recorder.event list;  (** the full recovered ring *)
 }
 
 val create :
@@ -81,6 +114,17 @@ val spans : t -> Span.t
 (** The machine-wide span recorder: checkpoint/restore phase trees
     plus device-transfer and store-flush spans. Export with
     {!Span.to_chrome_json}. *)
+
+val recorder : t -> Recorder.t
+(** The machine's flight recorder (the kernel's). The checkpoint
+    engine serializes it into every generation and keeps the store's
+    black-box slot fresh; {!boot} rehydrates it from the last durable
+    generation. *)
+
+val postmortem : t -> postmortem option
+(** The forensic reconstruction computed when this machine booted on
+    existing storage: [None] on a freshly formatted machine or when
+    neither a recorder ring nor a black box was recoverable. *)
 
 val sync_metrics : t -> unit
 (** Fold pull-style state — device/fault counters, store IO-repair and
@@ -210,6 +254,12 @@ val standby_session : t -> Replica.t option
 
 val detach_standby : t -> unit
 (** Stop auto-shipping; the session and its store are abandoned. *)
+
+val note_ship_report : t -> Replica.ship_report -> unit
+(** Fold a ship's outcome into the flight recorder: ring events
+    (correlation id included) plus the black-box ack horizon. The
+    auto-ship path does this itself; callers driving {!Replica.ship}
+    directly (e.g. the CLI) use this to keep the recorder honest. *)
 
 type failover_report = {
   fo_rpo : int;

@@ -15,3 +15,4 @@ let proc id = tag 3 id
 let vmobj id = tag 4 id
 let ntlog pgid = tag 5 pgid
 let rrlog pgid = tag 6 pgid
+let recorder = tag 7 0

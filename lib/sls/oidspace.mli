@@ -29,3 +29,7 @@ val ntlog : int -> int
 
 val rrlog : int -> int
 (** Per-group record/replay input journal. *)
+
+val recorder : int
+(** The machine-wide flight-recorder ring, persisted once per
+    checkpoint generation. *)

@@ -17,6 +17,7 @@ type payload =
       primary_gen : Store.gen;
       base : Store.gen option;  (* primary numbering; None = full image *)
       pgid : int;
+      corr : string;            (* trace-correlation id for this generation *)
       image : string;
     }
   | Ack of { seq : int; primary_gen : Store.gen }
@@ -25,12 +26,13 @@ type payload =
 let encode_payload p =
   let w = Serial.writer () in
   (match p with
-   | Data { seq; primary_gen; base; pgid; image } ->
+   | Data { seq; primary_gen; base; pgid; corr; image } ->
      Serial.w_u8 w 1;
      Serial.w_int w seq;
      Serial.w_int w primary_gen;
      Serial.w_option w Serial.w_int base;
      Serial.w_int w pgid;
+     Serial.w_string w corr;
      Serial.w_string w image
    | Ack { seq; primary_gen } ->
      Serial.w_u8 w 2;
@@ -51,8 +53,9 @@ let decode_payload body =
       let primary_gen = Serial.r_int r in
       let base = Serial.r_option r Serial.r_int in
       let pgid = Serial.r_int r in
+      let corr = Serial.r_string r in
       let image = Serial.r_string r in
-      Data { seq; primary_gen; base; pgid; image }
+      Data { seq; primary_gen; base; pgid; corr; image }
     | 2 ->
       let seq = Serial.r_int r in
       let primary_gen = Serial.r_int r in
@@ -152,13 +155,38 @@ type t = {
 }
 
 let repl_name_prefix = "repl.gen:"
-let repl_gen_name g = Printf.sprintf "%s%d" repl_name_prefix g
+
+(* The durable name carries the trace-correlation id the primary put
+   on the wire ("repl.gen:<g>@<corr>"), so a timeline merged after
+   failover can match the standby's imports to the primary's ship
+   spans without the session object. Names without the suffix (or
+   from before a corr existed) still parse. *)
+let repl_gen_name ?corr g =
+  match corr with
+  | None -> Printf.sprintf "%s%d" repl_name_prefix g
+  | Some c -> Printf.sprintf "%s%d@%s" repl_name_prefix g c
 
 let parse_repl_gen_name name =
   let plen = String.length repl_name_prefix in
   if String.length name > plen && String.starts_with ~prefix:repl_name_prefix name
-  then int_of_string_opt (String.sub name plen (String.length name - plen))
+  then
+    let rest = String.sub name plen (String.length name - plen) in
+    let num =
+      match String.index_opt rest '@' with
+      | Some i -> String.sub rest 0 i
+      | None -> rest
+    in
+    int_of_string_opt num
   else None
+
+let parse_repl_corr name =
+  if String.starts_with ~prefix:repl_name_prefix name then
+    match String.index_opt name '@' with
+    | Some i -> Some (String.sub name (i + 1) (String.length name - i - 1))
+    | None -> None
+  else None
+
+let corr_id t ~gen = Printf.sprintf "s%d-g%d" t.sid gen
 
 (* The durable session state: which primary generation each standby
    generation holds, recorded as generation names at import time. *)
@@ -245,7 +273,7 @@ let send_frame t ~from_ p =
 
 (* --- standby end ------------------------------------------------------ *)
 
-let standby_apply t ~seq ~primary_gen ~base ~image =
+let standby_apply t ~seq ~primary_gen ~base ~corr ~image =
   if seq <= t.rx_last_seq then begin
     (* Duplicate (retransmit of something already applied, or a link
        duplication): re-ACK so the primary can move on; never
@@ -282,7 +310,7 @@ let standby_apply t ~seq ~primary_gen ~base ~image =
          durably, then acknowledge. *)
       let sgen, durable = Sendrecv.import t.standby image in
       Store.wait_durable t.standby durable;
-      Store.name_generation t.standby sgen (repl_gen_name primary_gen);
+      Store.name_generation t.standby sgen (repl_gen_name ~corr primary_gen);
       sgen
     with
     | exception Restore.Error (Restore.Bad_image _) ->
@@ -321,8 +349,8 @@ let pump_standby t =
          metric_incr t "repl.corrupt_rejects"
        | Ok (sid, _) when sid <> t.sid ->
          bump t (fun s -> { s with stale_frames = s.stale_frames + 1 })
-       | Ok (_, Data { seq; primary_gen; base; image; pgid = _ }) ->
-         standby_apply t ~seq ~primary_gen ~base ~image
+       | Ok (_, Data { seq; primary_gen; base; corr; image; pgid = _ }) ->
+         standby_apply t ~seq ~primary_gen ~base ~corr ~image
        | Ok (_, (Ack _ | Nak _)) -> ());
       loop ()
   in
@@ -396,6 +424,7 @@ type ship_report = {
   sh_resyncs : int;
   sh_rtt : Duration.t;
   sh_bytes : int;
+  sh_corr : string;
 }
 
 (* Delta against the last acked generation when the primary still
@@ -419,7 +448,8 @@ let ship t ~gen ~pgid =
   if already then begin
     bump t (fun s -> { s with skipped = s.skipped + 1 });
     { sh_gen = gen; sh_outcome = `Skipped; sh_mode = `Full; sh_attempts = 0;
-      sh_resyncs = 0; sh_rtt = Duration.zero; sh_bytes = 0 }
+      sh_resyncs = 0; sh_rtt = Duration.zero; sh_bytes = 0;
+      sh_corr = corr_id t ~gen }
   end
   else begin
     let started = Clock.now t.clock in
@@ -445,7 +475,7 @@ let ship t ~gen ~pgid =
       bytes := String.length image;
       let seq = t.next_seq in
       t.next_seq <- t.next_seq + 1;
-      (seq, Data { seq; primary_gen = gen; base; pgid; image })
+      (seq, Data { seq; primary_gen = gen; base; pgid; corr = corr_id t ~gen; image })
     in
     let seq = ref 0 and frame = ref (Nak { seq = 0; have = None }) in
     let transmit () =
@@ -513,6 +543,7 @@ let ship t ~gen ~pgid =
         Span.record sp ~track:"repl" ~name:"repl.ship"
           ~attrs:
             [ ("gen", string_of_int gen);
+              ("corr", corr_id t ~gen);
               ("mode", match !mode with `Full -> "full" | `Delta b -> Printf.sprintf "delta(%d)" b);
               ("attempts", string_of_int !attempts);
               ("outcome", match outcome with `Acked -> "acked" | `Gave_up -> "gave_up") ]
@@ -520,7 +551,7 @@ let ship t ~gen ~pgid =
       t.spans;
     { sh_gen = gen; sh_outcome = (outcome :> [ `Acked | `Gave_up | `Skipped ]);
       sh_mode = !mode; sh_attempts = !attempts; sh_resyncs = !resyncs;
-      sh_rtt = rtt; sh_bytes = !bytes }
+      sh_rtt = rtt; sh_bytes = !bytes; sh_corr = corr_id t ~gen }
   end
 
 let ship_exn t ~gen ~pgid =

@@ -81,6 +81,7 @@ type ship_report = {
   sh_resyncs : int;                            (** mode switches during this ship *)
   sh_rtt : Duration.t;                         (** first send to durable ACK *)
   sh_bytes : int;                              (** image payload bytes *)
+  sh_corr : string;                            (** trace-correlation id *)
 }
 
 val ship : t -> gen:Store.gen -> pgid:int -> ship_report
@@ -128,9 +129,23 @@ val crash_standby : t -> unit
     the open generation; the primary's next ship NAK-resyncs from the
     last common generation. *)
 
-val repl_gen_name : Store.gen -> string
-(** ["repl.gen:<g>"] — the durable name the standby gives the import
-    of primary generation [g]. *)
+val repl_gen_name : ?corr:string -> Store.gen -> string
+(** ["repl.gen:<g>"], or ["repl.gen:<g>@<corr>"] with the
+    trace-correlation id — the durable name the standby gives the
+    import of primary generation [g]. *)
 
 val parse_repl_gen_name : string -> Store.gen option
-(** Inverse of {!repl_gen_name}; [None] for unrelated names. *)
+(** Inverse of {!repl_gen_name} (the corr suffix, when present, is
+    ignored); [None] for unrelated names. *)
+
+val parse_repl_corr : string -> string option
+(** The correlation id embedded in a replication generation name, if
+    one is present. *)
+
+val corr_id : t -> gen:Store.gen -> string
+(** The deterministic trace-correlation id this session puts on the
+    wire for [gen] (["s<session id>-g<gen>"]). Every data frame for a
+    generation carries it; the standby persists it in the generation
+    name, and the primary's ["repl.ship"] span and flight-recorder
+    events carry the same id — which is what lets [sls timeline] merge
+    both nodes' recorders into one trace. *)

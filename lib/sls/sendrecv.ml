@@ -26,6 +26,10 @@ let image_oids store ~gen ~pgid ~with_fs =
     | None -> raise (Restore.Error (Restore.No_manifest { gen; pgid }))
   in
   let record_oids = ref [ manifest_oid ] in
+  (* The flight-recorder ring rides along when the generation carries
+     one, so a promoted standby reopens to the primary's telemetry. *)
+  if Store.read_record store gen ~oid:Oidspace.recorder <> None then
+    record_oids := Oidspace.recorder :: !record_oids;
   let vm_oids = ref [] in
   let seen_vm = Hashtbl.create 16 in
   let rec add_vm oid =

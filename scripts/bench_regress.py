@@ -25,6 +25,19 @@ Guarded metrics:
                                         time to a byte-identical
                                         standby at 1% loss (lower is
                                         better)
+  ckpt-rate    / recorder_worst_pct     flight-recorder serialization
+                                        share of checkpoint stop time,
+                                        worst sweep point (lower is
+                                        better; the bench itself also
+                                        enforces the hard <1% budget)
+
+Histogram distribution shape: any guarded target may carry
+"<key>_buckets" entries (per-bucket counts as emitted by the bench's
+json_hist).  For each buckets key present in both baseline and
+results, the gate checks that the distribution has not shifted right:
+the highest non-empty bucket index may exceed the baseline's by at
+most one.  A latency histogram whose tail migrates into coarser
+buckets fails even when the mean stays inside the scalar margin.
 
 Usage: bench_regress.py RESULTS.json [BASELINE.json] [--margin PCT]
 """
@@ -37,11 +50,60 @@ GUARDS = [
     ("stripe-sweep", "stripes_4_speedup", "higher"),
     ("ckpt-rate", "i10_s4_k2_amort_us", "lower"),
     ("ckpt-rate", "i10_s4_k1_amort_us", "lower"),
+    ("ckpt-rate", "recorder_worst_pct", "lower"),
     ("phase-breakdown", "stop_us", "lower"),
     ("repl-sweep", "loss_0_goodput_mibps", "higher"),
     ("repl-sweep", "loss_1e-2_goodput_mibps", "higher"),
     ("repl-sweep", "loss_1e-2_time_to_converge_ms", "lower"),
 ]
+
+# How many buckets the top of a distribution may shift right relative
+# to the baseline before we call it a shape regression.
+BUCKET_DRIFT = 1
+
+
+def top_bucket(buckets):
+    """Index of the highest bucket with a non-zero count, or -1."""
+    top = -1
+    for i, b in enumerate(buckets):
+        try:
+            if int(b.get("count", 0)) > 0:
+                top = i
+        except (AttributeError, TypeError, ValueError):
+            return None
+    return top
+
+
+def check_buckets(results, baseline):
+    """Compare every *_buckets distribution present in both documents.
+
+    Returns the number of shape regressions found (prints verdicts).
+    """
+    failures = 0
+    for target, base_doc in baseline.items():
+        if not isinstance(base_doc, dict) or target not in results:
+            continue
+        for key, base_val in base_doc.items():
+            if not key.endswith("_buckets") or not isinstance(base_val, list):
+                continue
+            cur_val = results[target].get(key)
+            if not isinstance(cur_val, list):
+                print(f"  skip {target}/{key}: not in results")
+                continue
+            base_top = top_bucket(base_val)
+            cur_top = top_bucket(cur_val)
+            if base_top is None or cur_top is None:
+                print(f"  skip {target}/{key}: malformed buckets")
+                continue
+            ok = cur_top <= base_top + BUCKET_DRIFT
+            verdict = "ok  " if ok else "FAIL"
+            print(
+                f"{verdict} {target}/{key}: top bucket {cur_top} vs baseline "
+                f"{base_top} (drift allowance {BUCKET_DRIFT})"
+            )
+            if not ok:
+                failures += 1
+    return failures
 
 
 def lookup(doc, target, key):
@@ -102,6 +164,7 @@ def main(argv):
             f"({rel:+.1f}% {'worse' if rel > 0 else 'better'}, margin {margin:g}%)"
         )
         failed = failed or not ok
+    failed = failed or check_buckets(results, baseline) > 0
     return 1 if failed else 0
 
 

@@ -282,6 +282,77 @@ let test_replicate_dead_link_exits_2 () =
           check_int "bad loss exits 1" 1
             (sls [ "replicate"; dst; "--loss"; "1.5"; "-u"; u ])))
 
+let test_trace_empty_exits_2 () =
+  with_universe "cli-trace-empty.universe" (fun u ->
+      (* No running persisted apps: the cycle produces no spans — a
+         typed operational failure, exit 2 (like a dead repl link). *)
+      let out_file = tmp "cli-trace-empty.json" in
+      check_int "empty span buffer exits 2" 2
+        (sls [ "trace"; "--out"; out_file; "-u"; u ]);
+      check_bool "no file written" false (Sys.file_exists out_file))
+
+let test_postmortem_and_timeline () =
+  with_universe "cli-forensics.universe" (fun u ->
+      let dst = tmp "cli-forensics-standby.universe" in
+      let tl = tmp "cli-forensics-timeline.json" in
+      let cleanup () =
+        List.iter (fun f -> if Sys.file_exists f then Sys.remove f) [ dst; tl ]
+      in
+      cleanup ();
+      Fun.protect ~finally:cleanup (fun () ->
+          check_int "spawn" 0
+            (sls [ "spawn"; "worker"; "--interval"; "5"; "-u"; u ]);
+          check_int "run" 0 (sls [ "run"; "--ms"; "50"; "-u"; u ]);
+          check_int "replicate" 0
+            (sls [ "replicate"; dst; "--loss"; "0.05"; "--seed"; "7"; "-u"; u ]);
+          (* Before the crash: a clean shutdown, nothing pending. *)
+          let rc, out = capture (fun () -> sls [ "postmortem"; "-u"; u ]) in
+          check_int "clean postmortem" 0 rc;
+          check_bool "clean shutdown" true (contains out "clean shutdown");
+          check_bool "nothing pending" true (contains out "pending epochs: none");
+          (* Die with the pipeline full: the next boot must name the
+             in-flight epoch and the unacked generations. *)
+          check_int "crash mid-pipeline" 0
+            (sls [ "crash"; "--mid-pipeline"; "-u"; u ]);
+          let rc, out = capture (fun () -> sls [ "postmortem"; "-u"; u ]) in
+          check_int "postmortem" 0 rc;
+          check_bool "crash reason" true (contains out "unclean shutdown");
+          check_bool "pending epochs named" true
+            (contains out "captured, never durable");
+          let rc, out =
+            capture (fun () -> sls [ "postmortem"; "--json"; "-u"; u ])
+          in
+          check_int "postmortem json" 0 rc;
+          check_bool "sum checks pass" true
+            (contains out "\"checks_ok\": true");
+          check_bool "pending in json" true (contains out "\"pending_epochs\"");
+          (* Merge both universes into one Chrome trace. *)
+          let rc, out =
+            capture (fun () -> sls [ "timeline"; dst; "--out"; tl; "-u"; u ])
+          in
+          check_int "timeline" 0 rc;
+          check_bool "reports RPO" true (contains out "RPO");
+          let ic = open_in tl in
+          let json = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          check_bool "chrome trace envelope" true
+            (contains json "\"traceEvents\"");
+          check_bool "primary track" true (contains json "\"primary\"");
+          check_bool "standby track" true (contains json "\"standby\"");
+          check_bool "rpo annotation" true (contains json "failover edge");
+          check_bool "correlation ids carried" true (contains json "\"corr\"")))
+
+let test_timeline_without_replication_exits_2 () =
+  with_universe "cli-tl-norepl.universe" (fun u ->
+      with_universe "cli-tl-norepl-dst.universe" (fun dst ->
+          check_int "spawn" 0
+            (sls [ "spawn"; "worker"; "--interval"; "5"; "-u"; u ]);
+          check_int "run" 0 (sls [ "run"; "--ms"; "20"; "-u"; u ]);
+          let tl = tmp "cli-tl-norepl.json" in
+          check_int "no replicated gens exits 2" 2
+            (sls [ "timeline"; dst; "--out"; tl; "-u"; u ]);
+          if Sys.file_exists tl then Sys.remove tl))
+
 let test_failover_nothing_to_promote () =
   with_universe "cli-nopromote.universe" (fun u ->
       with_universe "cli-nopromote-dst.universe" (fun dst ->
@@ -313,5 +384,11 @@ let () =
             test_replicate_dead_link_exits_2;
           Alcotest.test_case "failover with nothing to promote" `Quick
             test_failover_nothing_to_promote;
+          Alcotest.test_case "trace with empty span buffer exits 2" `Quick
+            test_trace_empty_exits_2;
+          Alcotest.test_case "postmortem + timeline forensics" `Quick
+            test_postmortem_and_timeline;
+          Alcotest.test_case "timeline without replication exits 2" `Quick
+            test_timeline_without_replication_exits_2;
         ] );
     ]

@@ -800,6 +800,193 @@ let prop_replication_converges_under_network_faults =
             "failover restored a state the program never passed through:@.restored %s@.expected %s"
             restored expected)
 
+(* ------------------------------------------------------------------ *)
+(* Forensics fuzz                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash at random instants and hold the flight recorder to its
+   forensic contract: the recovered ring is always the one stored with
+   a committed-prefix generation (never a torn or future ring), it
+   carries no checkpoint event from an epoch the crash aborted, and
+   the post-mortem's pending-epoch list agrees with ground truth
+   computed outside the machine — a subset of the committed-but-lost
+   generations, and complete for every mark whose black-box write
+   verifiably became durable before the crash. A third of the cases
+   attach a standby over a lossy link, crash the PRIMARY, then fail
+   over: the promoted machine's post-mortem must name exactly the
+   primary generations the standby never acknowledged. *)
+let prop_forensics_postmortem_matches_ground_truth =
+  let open Aurora_simtime in
+  let open Aurora_device in
+  QCheck.Test.make
+    ~name:"random crash instants: postmortem pending/unacked match ground truth"
+    ~count:25
+    QCheck.(triple (int_range 1 50) (int_range 0 2_000) (int_range 0 2))
+    (fun (run_tenths, extra_us, mode) ->
+      (* mode 0: plain crash + recover (window 2); mode 1: deep
+         pipeline (window 3) so several epochs can be lost at once;
+         mode 2: standby attached, crash during replication, fail
+         over. *)
+      let window = if mode = 1 then 3 else 2 in
+      let m = Machine.create ~stripes:2 ~max_inflight_ckpts:window () in
+      m.Machine.history_window <- 1_000;
+      let k = m.Machine.kernel in
+      let c = Kernel.new_container k ~name:"forensics" in
+      ignore
+        (Kernel.spawn k ~container:c.Container.cid ~name:"mutator"
+           ~program:"fuzz/mutator" ());
+      let g =
+        Machine.persist m ~interval:(Duration.milliseconds 1)
+          (`Container c.Container.cid)
+      in
+      let repl =
+        if mode <> 2 then None
+        else
+          let faults =
+            Netlink.fault_plan
+              ~seed:(Int64.of_int ((run_tenths * 4096) + extra_us + 1))
+              ~drop:0.05 ()
+          in
+          Some
+            (Machine.attach_standby m ~faults
+               ~ack_timeout:(Duration.microseconds 500) ~max_attempts:3 g)
+      in
+      Machine.run m
+        (Duration.add
+           (Duration.microseconds (run_tenths * 100))
+           (Duration.microseconds extra_us));
+      let store = m.Machine.disk_store in
+      let committed = List.sort Int.compare (Store.generations store) in
+      let at_crash = Machine.now m in
+      (* The live marks just before the lights go out: used for the
+         completeness half of the pending-epoch check. *)
+      let live_marks = Recorder.captures (Machine.recorder m) in
+      (* A black-box write is a single out-of-band block: its durable
+         instant is its issue instant plus one block's transfer cost.
+         A mark refreshed at [cm_at] was covered by the black-box
+         write issued right then, so [cm_at + cost < crash] proves the
+         mark survived on the device. *)
+      let bbox_cost =
+        Profile.transfer_cost Profile.optane_900p ~op:`Write ~bytes:4096
+      in
+      let acked = Option.map (fun r -> Replica.acked_gen r) repl in
+      Machine.crash m;
+      match mode with
+      | 2 -> (
+        let r = Option.get repl in
+        match Replica.standby_latest r with
+        | None -> true (* nothing ever replicated: nothing to promote *)
+        | Some _ ->
+          let expected_unacked =
+            match Option.join acked with
+            | None -> committed
+            | Some a -> List.filter (fun gn -> gn > a) committed
+          in
+          let promoted, report = Machine.failover m in
+          let pm =
+            match Machine.postmortem promoted with
+            | Some pm -> pm
+            | None ->
+              QCheck.Test.fail_report
+                "promoted machine has no postmortem after failover"
+          in
+          (match pm.Machine.pm_crash_reason with
+           | Some reason
+             when String.length reason >= 9
+                  && String.sub reason 0 9 = "failover:" -> ()
+           | _ ->
+             QCheck.Test.fail_report
+               "failover postmortem not stamped with a failover crash reason");
+          let got = List.sort Int.compare pm.Machine.pm_unacked_gens in
+          let want = List.sort Int.compare expected_unacked in
+          let show l = String.concat "," (List.map string_of_int l) in
+          if got <> want then
+            QCheck.Test.fail_reportf
+              "failover unacked gens [%s] but ground truth [%s] (acked %s)"
+              (show got) (show want)
+              (match Option.join acked with
+               | Some a -> string_of_int a
+               | None -> "-");
+          if report.Machine.fo_rpo <> List.length want then
+            QCheck.Test.fail_reportf "RPO %d but %d unacked generations"
+              report.Machine.fo_rpo (List.length want);
+          true)
+      | _ -> (
+        let m' = Machine.recover m in
+        let store' = m'.Machine.disk_store in
+        let recovered = List.sort Int.compare (Store.generations store') in
+        let tip = match Store.latest store' with Some gn -> gn | None -> 0 in
+        match Machine.postmortem m' with
+        | None ->
+          (* Only acceptable when nothing durable carried a ring and no
+             black box was ever written: i.e. we died before the first
+             capture's black box landed. *)
+          if recovered <> [] then
+            QCheck.Test.fail_reportf
+              "no postmortem despite %d recovered generations"
+              (List.length recovered)
+          else true
+        | Some pm ->
+          (* The recovered ring is the committed prefix's newest. *)
+          (match pm.Machine.pm_recovered_gen with
+           | Some gn when gn <> tip ->
+             QCheck.Test.fail_reportf
+               "ring recovered from gen %d but store tip is %d" gn tip
+           | Some _ | None -> ());
+          (* No event from an epoch beyond the committed prefix: the
+             ring stored with generation [tip] predates every later
+             epoch's commit. *)
+          List.iter
+            (fun ev ->
+              if
+                ev.Recorder.ev_gen > tip
+                && String.length ev.Recorder.ev_kind >= 5
+                && String.sub ev.Recorder.ev_kind 0 5 = "ckpt."
+              then
+                QCheck.Test.fail_reportf
+                  "recovered ring holds %s for gen %d beyond tip %d"
+                  ev.Recorder.ev_kind ev.Recorder.ev_gen tip)
+            pm.Machine.pm_events;
+          (* Soundness: every pending epoch was committed by the dying
+             machine and lost with the crash. *)
+          let pending =
+            List.map (fun mk -> mk.Recorder.cm_gen) pm.Machine.pm_pending_epochs
+          in
+          List.iter
+            (fun gn ->
+              if gn <= tip then
+                QCheck.Test.fail_reportf "pending epoch %d at or below tip %d"
+                  gn tip;
+              if not (List.mem gn committed) then
+                QCheck.Test.fail_reportf
+                  "pending epoch %d was never committed" gn;
+              if List.mem gn recovered then
+                QCheck.Test.fail_reportf
+                  "pending epoch %d is durable (recovered)" gn)
+            pending;
+          (* Completeness: a lost epoch whose black-box write provably
+             became durable before the crash must be reported. *)
+          List.iter
+            (fun mk ->
+              let gn = mk.Recorder.cm_gen in
+              if
+                gn > tip
+                && (not (List.mem gn recovered))
+                && Duration.(Duration.add mk.Recorder.cm_at bbox_cost < at_crash)
+                && not (List.mem gn pending)
+              then
+                QCheck.Test.fail_reportf
+                  "epoch %d lost with a durable black-box mark but not reported pending"
+                  gn)
+            live_marks;
+          if pending <> [] && pm.Machine.pm_crash_reason = None then
+            QCheck.Test.fail_report
+              "pending epochs without a stamped crash reason";
+          if pm.Machine.pm_unacked_gens <> [] then
+            QCheck.Test.fail_report
+              "unacked generations reported without replication attached";
+          true))
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -817,4 +1004,6 @@ let () =
         [ qt prop_faulty_media_never_serves_wrong_data ] );
       ( "replication",
         [ qt prop_replication_converges_under_network_faults ] );
+      ( "forensics",
+        [ qt prop_forensics_postmortem_matches_ground_truth ] );
     ]
