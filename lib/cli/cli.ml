@@ -1011,6 +1011,68 @@ let cmd_crash path mid_pipeline =
   say "power failure simulated; only durable device state survives";
   0
 
+(* `sls probe`: subscribe a DSL query on the machine's tracepoint
+   registry, drive checkpoint rounds so the instrumented paths fire,
+   and render the aggregation. A measurement, not a mutation: the
+   universe file is left untouched. *)
+let cmd_probe path expr json watch =
+  match Probe.parse expr with
+  | Error msg ->
+    Printf.eprintf "sls: probe: %s\n" msg;
+    1
+  | Ok spec ->
+    let u = load path in
+    let probes = u.machine.Machine.kernel.Kernel.probes in
+    let id = Probe.subscribe probes spec in
+    let rounds = if watch then 5 else 1 in
+    let round () =
+      Machine.run u.machine (Duration.milliseconds 1);
+      List.iter
+        (fun (_, g) ->
+          if Types.member_pids u.machine.Machine.kernel g <> [] then begin
+            let b = Machine.checkpoint_now u.machine g () in
+            Store.wait_durable u.machine.Machine.disk_store b.Types.durable_at
+          end)
+        u.apps;
+      Machine.drain_storage u.machine
+    in
+    let emit r =
+      if json then say "%s" (Probe.report_json r)
+      else Printf.printf "%s%!" (Probe.render r)
+    in
+    for i = 1 to rounds do
+      round ();
+      if watch then begin
+        if not json then say "-- after round %d --" i;
+        Option.iter emit (Probe.report probes id)
+      end
+    done;
+    if not watch then Option.iter emit (Probe.report probes id);
+    0
+
+(* `sls critical-path`: drive one checkpoint round so the span tree
+   holds a finalized epoch, then extract the blame breakdown. *)
+let cmd_critpath path gen json =
+  let u = load path in
+  Span.clear (Machine.spans u.machine);
+  Machine.run u.machine (Duration.milliseconds 1);
+  List.iter
+    (fun (_, g) ->
+      if Types.member_pids u.machine.Machine.kernel g <> [] then
+        ignore (Machine.checkpoint_now u.machine g ()))
+    u.apps;
+  (* Finalization (and its ckpt.flush span) happens when the epoch
+     retires from the pipeline, so drain before analyzing. *)
+  Machine.drain_storage u.machine;
+  match Machine.critical_path ?gen u.machine with
+  | Error msg ->
+    Printf.eprintf "sls: critical-path: %s\n" msg;
+    1
+  | Ok r ->
+    if json then say "%s" (Critpath.to_json r)
+    else Printf.printf "%s%!" (Critpath.render r);
+    0
+
 (* --- cmdliner wiring ---------------------------------------------------- *)
 
 let universe_arg =
@@ -1294,6 +1356,46 @@ let fsck_cmd =
       const (fun path scrub -> wrap (fun () -> cmd_fsck path scrub))
       $ universe_arg $ scrub)
 
+let probe_cmd =
+  let expr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR"
+           ~doc:"Probe query, e.g. 'dev.io where dev = nvme1 && us > 50 agg \
+                 quantize(us) by op'. Points: dev.io, store.commit, \
+                 ckpt.phase, repl.msg, alloc.defer; aggregations: count, \
+                 sum(F), min(F), max(F), avg(F), quantize(F).")
+  in
+  let watch =
+    Arg.(value & flag & info [ "watch"; "w" ]
+           ~doc:"Re-render the aggregation after each of five checkpoint \
+                 rounds instead of once at the end.")
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:"Subscribe a dynamic-tracepoint query, drive checkpoint rounds \
+             against the running applications, and print the DTrace-style \
+             online aggregation. The universe file is not modified.")
+    Term.(
+      const (fun path expr json watch ->
+          wrap (fun () -> cmd_probe path expr json watch))
+      $ universe_arg $ expr $ json_arg $ watch)
+
+let critpath_cmd =
+  let gen =
+    Arg.(value & pos 0 (some int) None & info [] ~docv:"GEN"
+           ~doc:"Generation to analyze (default: the newest finalized one).")
+  in
+  Cmd.v
+    (Cmd.info "critical-path"
+       ~doc:"Run one checkpoint round and extract the epoch's critical path \
+             from the span tree: contiguous blame segments from barrier \
+             entry to superblock durability (their percentages sum to 100), \
+             plus overlapping antagonists (backpressure, recorder tax, \
+             replication shipping, out-of-band writes, mirror-write \
+             amplification). The universe file is not modified.")
+    Term.(
+      const (fun path gen json -> wrap (fun () -> cmd_critpath path gen json))
+      $ universe_arg $ gen $ json_arg)
+
 let group =
   let doc = "the Aurora single level store (simulated)" in
   Cmd.group (Cmd.info "sls" ~doc)
@@ -1301,7 +1403,7 @@ let group =
       init_cmd; spawn_cmd; run_cmd; ps_cmd; checkpoint_cmd; gens_cmd; restore_cmd;
       send_cmd; recv_cmd; replicate_cmd; failover_cmd; attach_cmd; detach_cmd;
       crash_cmd; fsck_cmd; stats_cmd; trace_cmd; top_cmd; explain_cmd; diff_cmd;
-      postmortem_cmd; timeline_cmd;
+      postmortem_cmd; timeline_cmd; probe_cmd; critpath_cmd;
     ]
 
 let main () = Cmd.eval' group

@@ -44,6 +44,7 @@ type t = {
   mutable faults : Fault.injector option;
   mutable obs_counters : counters option;
   mutable obs_spans : Span.t option;
+  mutable obs_probes : Probe.t option;
 }
 
 let zero_stats = { reads = 0; writes = 0; blocks_read = 0; blocks_written = 0; flushes = 0 }
@@ -55,15 +56,16 @@ let make_counters name m =
     c_blocks_written = Metrics.counter m (pre ^ "blocks_written");
     c_xfer_us = Metrics.histogram m (pre ^ "xfer_us") }
 
-let create ?capacity_blocks ?faults ?metrics ?spans ~clock ~profile name =
+let create ?capacity_blocks ?faults ?metrics ?spans ?probes ~clock ~profile name =
   { name; clock; profile; capacity_blocks; slots = Hashtbl.create 4096;
     busy_until = Duration.zero; pending = []; st = zero_stats; faults;
     obs_counters = Option.map (make_counters name) metrics;
-    obs_spans = spans }
+    obs_spans = spans; obs_probes = probes }
 
-let set_observability t ?metrics ?spans () =
+let set_observability t ?metrics ?spans ?probes () =
   t.obs_counters <- Option.map (make_counters t.name) metrics;
-  t.obs_spans <- spans
+  t.obs_spans <- spans;
+  t.obs_probes <- probes
 
 let name t = t.name
 let profile t = t.profile
@@ -107,6 +109,10 @@ let charge_sync t ~op ~blocks =
   let completion = Duration.add start cost in
   t.busy_until <- completion;
   note_command t ~op ~blocks cost;
+  if Probe.on t.obs_probes Probe.Dev_io then
+    Probe.fire (Option.get t.obs_probes) Probe.Dev_io ~dev:t.name
+      ~op:(match op with `Read -> "read" | `Write -> "write")
+      ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks;
   Clock.advance_to t.clock completion
 
 (* The command's time is charged before the fault surfaces: a failed
@@ -165,6 +171,9 @@ let read_many_async t indices =
          Span.record spans ~track:t.name ~name:"dev.read"
            ~attrs:[ ("blocks", string_of_int n) ]
            ~start_at:start ~end_at:completion ());
+      if Probe.on t.obs_probes Probe.Dev_io then
+        Probe.fire (Option.get t.obs_probes) Probe.Dev_io ~dev:t.name
+          ~op:"read" ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks:n;
       completion
     end
   in
@@ -298,6 +307,9 @@ let write_extents ?not_before t extents =
          ~attrs:
            [ ("blocks", string_of_int nblocks); ("extents", string_of_int nextents) ]
          ~start_at:start ~end_at:completion ());
+    if Probe.on t.obs_probes Probe.Dev_io then
+      Probe.fire (Option.get t.obs_probes) Probe.Dev_io ~dev:t.name ~op:"write"
+        ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks:nblocks;
     (* Content is visible immediately (the store serializes access),
        but the batch is remembered as in-flight so a crash before
        completion can drop it; completion also gates durability on
@@ -335,6 +347,17 @@ let write_oob t writes =
        Metrics.add c.c_commands 1;
        Metrics.add c.c_blocks_written n;
        Metrics.observe_duration c.c_xfer_us cost);
+    (* OOB writes get their own span: the critical-path analyzer must
+       see black-box traffic overlapping the flush window to blame it. *)
+    (match t.obs_spans with
+     | None -> ()
+     | Some spans ->
+       Span.record spans ~track:t.name ~name:"dev.oob"
+         ~attrs:[ ("blocks", string_of_int n) ]
+         ~start_at:start ~end_at:completion ());
+    if Probe.on t.obs_probes Probe.Dev_io then
+      Probe.fire (Option.get t.obs_probes) Probe.Dev_io ~dev:t.name ~op:"oob"
+        ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks:n;
     List.iter (store_block t ~completed:false) writes;
     t.pending <- { done_at = completion; writes } :: t.pending;
     completion

@@ -29,17 +29,20 @@ type t
 
 val create :
   ?capacity_blocks:int -> ?faults:Fault.injector -> ?metrics:Metrics.t ->
-  ?spans:Span.t -> clock:Clock.t -> profile:Profile.t -> string -> t
+  ?spans:Span.t -> ?probes:Probe.t -> clock:Clock.t -> profile:Profile.t ->
+  string -> t
 (** [create ~clock ~profile name]. [capacity_blocks] defaults to
     unlimited; when set, writes past the capacity raise
     [Invalid_argument]. [faults] attaches a media-fault injector
     (default: a perfect device). [metrics] registers per-device
     counters ([dev.<name>.commands], [.blocks_read], [.blocks_written])
     and a transfer-duration histogram ([dev.<name>.xfer_us]);
-    [spans] records batched transfers ([dev.read] / [dev.write]) on a
-    track named after the device. *)
+    [spans] records batched transfers ([dev.read] / [dev.write] /
+    [dev.oob]) on a track named after the device; [probes] fires the
+    [dev.io] tracepoint per command ([op] read/write/oob). *)
 
-val set_observability : t -> ?metrics:Metrics.t -> ?spans:Span.t -> unit -> unit
+val set_observability :
+  t -> ?metrics:Metrics.t -> ?spans:Span.t -> ?probes:Probe.t -> unit -> unit
 (** Rebind (or, with no arguments, detach) the instrumentation. A
     machine booted on an existing device calls this so the device
     reports into the new kernel's registry. *)

@@ -19,7 +19,8 @@ type t = {
   mutable current : group option;
 }
 
-let create ?stripes ?capacity_blocks ?faults ?metrics ?spans ~clock ~profile name =
+let create ?stripes ?capacity_blocks ?faults ?metrics ?spans ?probes ~clock
+    ~profile name =
   let stripes =
     match stripes with Some n -> n | None -> profile.Profile.stripes
   in
@@ -56,13 +57,15 @@ let create ?stripes ?capacity_blocks ?faults ?metrics ?spans ~clock ~profile nam
   let devs =
     Array.init stripes (fun i ->
         Blockdev.create ?capacity_blocks:per_dev_capacity ?faults:injectors.(i)
-          ?metrics ?spans ~clock ~profile
+          ?metrics ?spans ?probes ~clock ~profile
           (Printf.sprintf "%s.%d" name i))
   in
   { name; stripes; devs; current = None }
 
-let set_observability t ?metrics ?spans () =
-  Array.iter (fun dev -> Blockdev.set_observability dev ?metrics ?spans ()) t.devs
+let set_observability t ?metrics ?spans ?probes () =
+  Array.iter
+    (fun dev -> Blockdev.set_observability dev ?metrics ?spans ?probes ())
+    t.devs
 
 let stripes t = t.stripes
 let devices t = t.devs

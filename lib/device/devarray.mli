@@ -25,7 +25,7 @@ open Aurora_simtime
 type t
 
 val create : ?stripes:int -> ?capacity_blocks:int -> ?faults:Fault.plan ->
-  ?metrics:Metrics.t -> ?spans:Span.t ->
+  ?metrics:Metrics.t -> ?spans:Span.t -> ?probes:Probe.t ->
   clock:Clock.t -> profile:Profile.t -> string -> t
 (** [create ~clock ~profile name] builds devices [name.0] ..
     [name.n-1]. [stripes] defaults to the profile's stripe count;
@@ -35,7 +35,8 @@ val create : ?stripes:int -> ?capacity_blocks:int -> ?faults:Fault.plan ->
     blocks and dropped stripe indices are resolved through the stripe
     map. Raises [Invalid_argument] when [stripes < 1]. *)
 
-val set_observability : t -> ?metrics:Metrics.t -> ?spans:Span.t -> unit -> unit
+val set_observability :
+  t -> ?metrics:Metrics.t -> ?spans:Span.t -> ?probes:Probe.t -> unit -> unit
 (** Rebind (or detach) instrumentation on every stripe — see
     {!Blockdev.set_observability}. *)
 

@@ -121,6 +121,7 @@ type t = {
   provs : (gen, provenance) Hashtbl.t;
   mutable obs_counters : counters option;
   mutable obs_spans : Span.t option;
+  mutable obs_probes : Probe.t option;
   gen_durable : (gen, Duration.t) Hashtbl.t;
   (* Committed generation -> when its superblock (hence everything it
      references) is durable. The pipeline's per-generation horizon:
@@ -269,6 +270,10 @@ let release_ready_frees t =
   in
   t.deferred <- waiting;
   List.iter (fun (_, blocks) -> Alloc.release t.alloc blocks) ready;
+  if ready <> [] && Probe.on t.obs_probes Probe.Alloc_defer then
+    Probe.fire (Option.get t.obs_probes) Probe.Alloc_defer
+      ~dev:(Devarray.name t.dev) ~op:"release" ~gen:(-1) ~pgid:(-1) ~us:0.
+      ~blocks:(List.fold_left (fun acc (_, bs) -> acc + List.length bs) 0 ready);
   ready <> []
 
 (* Capacity-pressure hook: rather than declare the device full while
@@ -279,7 +284,13 @@ let settle_deferred_frees t =
   match t.deferred with
   | [] -> released
   | (at, _) :: _ ->
+    let now = Clock.now (Devarray.clock t.dev) in
     Devarray.await t.dev at;
+    if Probe.on t.obs_probes Probe.Alloc_defer then
+      Probe.fire (Option.get t.obs_probes) Probe.Alloc_defer
+        ~dev:(Devarray.name t.dev) ~op:"settle" ~gen:(-1) ~pgid:(-1)
+        ~us:(Duration.to_us (Duration.sub at now))
+        ~blocks:0;
     ignore (release_ready_frees t);
     true
 
@@ -380,7 +391,7 @@ let make ?(dedup = true) ?prot dev =
       io = { read_retries = 0; checksum_failures = 0; repaired_from_mirror = 0;
              repaired_from_dedup = 0; lost_blocks = 0 };
       repair_log = []; quarantined = []; provs = Hashtbl.create 16;
-      obs_counters = None; obs_spans = None;
+      obs_counters = None; obs_spans = None; obs_probes = None;
       gen_durable = Hashtbl.create 16; sb_horizon = Duration.zero;
       deferred = []; bbox_seq = 0 }
   in
@@ -551,7 +562,7 @@ let format ?dedup ?protection ~dev () =
 let device t = t.dev
 let protection t = t.prot
 
-let set_observability t ?metrics ?spans () =
+let set_observability t ?metrics ?spans ?probes () =
   t.obs_counters <-
     Option.map
       (fun m ->
@@ -561,7 +572,8 @@ let set_observability t ?metrics ?spans () =
           c_pages_put = Metrics.counter m (pre ^ "pages_put");
           c_flush_us = Metrics.histogram m (pre ^ "flush_us") })
       metrics;
-  t.obs_spans <- spans
+  t.obs_spans <- spans;
+  t.obs_probes <- probes
 
 (* --- commit ---------------------------------------------------------- *)
 
@@ -878,7 +890,12 @@ let write_superblock ?(after = Duration.zero) t =
      this one is durable. *)
   (match Alloc.take_parked t.alloc with
    | [] -> ()
-   | parked -> t.deferred <- t.deferred @ [ (durable_at, parked) ]);
+   | parked ->
+     if Probe.on t.obs_probes Probe.Alloc_defer then
+       Probe.fire (Option.get t.obs_probes) Probe.Alloc_defer
+         ~dev:(Devarray.name t.dev) ~op:"park" ~gen:(-1) ~pgid:(-1) ~us:0.
+         ~blocks:(List.length parked);
+     t.deferred <- t.deferred @ [ (durable_at, parked) ]);
   t.sb_horizon <- durable_at;
   ignore (release_ready_frees t);
   durable_at
@@ -1002,13 +1019,18 @@ let note_flush t ~gen ~started ~durable_at ~data_blocks =
      Metrics.incr c.c_commits;
      Metrics.observe_duration c.c_flush_us (Duration.sub durable_at started)
    | None -> ());
-  match t.obs_spans with
-  | Some spans ->
-    Span.record spans ~track:("store." ^ Devarray.name t.dev) ~name:"store.flush"
-      ~attrs:
-        [ ("gen", string_of_int gen); ("data_blocks", string_of_int data_blocks) ]
-      ~start_at:started ~end_at:durable_at ()
-  | None -> ()
+  (match t.obs_spans with
+   | Some spans ->
+     Span.record spans ~track:("store." ^ Devarray.name t.dev) ~name:"store.flush"
+       ~attrs:
+         [ ("gen", string_of_int gen); ("data_blocks", string_of_int data_blocks) ]
+       ~start_at:started ~end_at:durable_at ()
+   | None -> ());
+  if Probe.on t.obs_probes Probe.Store_commit then
+    Probe.fire (Option.get t.obs_probes) Probe.Store_commit
+      ~dev:(Devarray.name t.dev) ~op:"commit" ~gen ~pgid:(-1)
+      ~us:(Duration.to_us (Duration.sub durable_at started))
+      ~blocks:data_blocks
 
 let commit_unchecked t ?name () =
   let g, root = require_open t in

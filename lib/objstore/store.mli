@@ -95,14 +95,16 @@ val open_exn : dev:Devarray.t -> t
 val device : t -> Devarray.t
 val protection : t -> protection
 
-val set_observability : t -> ?metrics:Metrics.t -> ?spans:Span.t -> unit -> unit
+val set_observability :
+  t -> ?metrics:Metrics.t -> ?spans:Span.t -> ?probes:Probe.t -> unit -> unit
 (** Rebind (or, with no arguments, detach) instrumentation. With
     [metrics], the store registers [store.<dev>.commits],
     [.records_put], [.pages_put] counters and a [.flush_us] histogram;
     with [spans], every commit records a [store.flush] span from
     commit entry to the superblock's durability instant, parented to
     whatever span is open at the time (the checkpoint root during a
-    checkpoint). *)
+    checkpoint); with [probes], commits fire [store.commit] and the
+    deferred-free pen fires [alloc.defer] (op park/release/settle). *)
 
 (* --- building a generation ----------------------------------------- *)
 

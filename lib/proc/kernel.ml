@@ -32,6 +32,7 @@ type t = {
   metrics : Metrics.t;
   spans : Span.t;
   recorder : Recorder.t;
+  probes : Probe.t;
   prng : Prng.t;
   mutable send_hook : send_hook option;
   mutable sls_ops : (pid:int -> sls_op -> sls_result) option;
@@ -46,6 +47,7 @@ let create ?clock ?fs ?capacity_pages ?(seed = 0xA407AL) () =
       procs = Hashtbl.create 16; next_pid = 1; containers = Hashtbl.create 4;
       next_cid = 1; trace = Tracelog.create clock; metrics = Metrics.create clock;
       spans = Span.create clock; recorder = Recorder.create clock;
+      probes = Probe.create ();
       prng = Prng.create ~seed;
       send_hook = None; sls_ops = None }
   in

@@ -48,6 +48,9 @@ type t = {
   recorder : Recorder.t;
   (** the crash-surviving flight recorder; the checkpoint engine
       persists it through the store each epoch *)
+  probes : Probe.t;
+  (** the machine-wide dynamic-tracepoint registry; devices, the
+      store, the checkpoint engine and replication fire into it *)
   prng : Prng.t;
   mutable send_hook : send_hook option;
   mutable sls_ops : (pid:int -> sls_op -> sls_result) option;

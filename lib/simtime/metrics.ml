@@ -6,6 +6,7 @@ type histogram = {
   counts : int array;              (* length bounds + 1; last = overflow *)
   mutable n : int;
   mutable sum : float;
+  mutable vmax : float;            (* largest observed sample; -inf when empty *)
 }
 
 type metric =
@@ -94,7 +95,7 @@ let histogram t ?(bounds = default_duration_bounds_us) name =
     let h =
       { bounds = Array.copy bounds;
         counts = Array.make (Array.length bounds + 1) 0;
-        n = 0; sum = 0.0 }
+        n = 0; sum = 0.0; vmax = Float.neg_infinity }
     in
     register t name (Mhistogram h);
     h
@@ -125,7 +126,8 @@ let observe h v =
   let i = bucket_index h.bounds v in
   h.counts.(i) <- h.counts.(i) + 1;
   h.n <- h.n + 1;
-  h.sum <- h.sum +. v
+  h.sum <- h.sum +. v;
+  if v > h.vmax then h.vmax <- v
 
 let observe_duration h d = observe h (Duration.to_us d)
 
@@ -138,31 +140,44 @@ let bucket_counts h =
   List.init (nb + 1) (fun i ->
       ((if i < nb then h.bounds.(i) else Float.infinity), h.counts.(i)))
 
-let quantile_of ~bounds ~counts ~n q =
+(* [max_seen] is the largest sample ever observed. Ranks landing in
+   the overflow bucket report it instead of the last finite edge (a
+   sample past the top edge used to be pinned to that edge, silently
+   under-reporting p99/p100), and every interpolated estimate is
+   clamped to it (a rank at the very top of a bucket cannot exceed
+   what was actually seen). *)
+let quantile_of ~bounds ~counts ~n ?(max_seen = Float.nan) q =
   if n = 0 then Float.nan
   else begin
     let q = Float.max 0.0 (Float.min 1.0 q) in
     let target = q *. float_of_int n in
     let nb = Array.length bounds in
+    let overflow () =
+      if Float.is_finite max_seen then max_seen else bounds.(nb - 1)
+    in
+    let clamp v =
+      if Float.is_finite max_seen then Float.min v max_seen else v
+    in
     let rec walk i cum =
       let c = counts.(i) in
       let cum' = cum +. float_of_int c in
       if cum' >= target && c > 0 then begin
-        if i >= nb then bounds.(nb - 1)   (* overflow: pin to the last edge *)
+        if i >= nb then overflow ()
         else begin
           let lower = if i = 0 then 0.0 else bounds.(i - 1) in
           let upper = bounds.(i) in
           let frac = (target -. cum) /. float_of_int c in
-          lower +. (frac *. (upper -. lower))
+          clamp (lower +. (frac *. (upper -. lower)))
         end
       end
-      else if i >= nb then bounds.(nb - 1)
+      else if i >= nb then overflow ()
       else walk (i + 1) cum'
     in
     walk 0 0.0
   end
 
-let quantile h q = quantile_of ~bounds:h.bounds ~counts:h.counts ~n:h.n q
+let quantile h q =
+  quantile_of ~bounds:h.bounds ~counts:h.counts ~n:h.n ~max_seen:h.vmax q
 
 (* --- snapshot / export ----------------------------------------------- *)
 
@@ -174,6 +189,7 @@ type value =
       counts : int array;
       count : int;
       sum : float;
+      max_seen : float;
     }
 
 let value_of = function
@@ -182,7 +198,8 @@ let value_of = function
   | Mhistogram h ->
     Histogram
       { bounds = Array.copy h.bounds; counts = Array.copy h.counts;
-        count = h.n; sum = h.sum }
+        count = h.n; sum = h.sum;
+        max_seen = (if h.n = 0 then Float.nan else h.vmax) }
 
 let snapshot t =
   run_hooks t;
@@ -231,15 +248,17 @@ let to_json t =
         Buffer.add_string b "{\"type\": \"gauge\", \"value\": ";
         jfloat b g;
         Buffer.add_char b '}'
-      | Histogram { bounds; counts; count; sum } ->
+      | Histogram { bounds; counts; count; sum; max_seen } ->
         Buffer.add_string b (Printf.sprintf "{\"type\": \"histogram\", \"count\": %d, \"sum\": " count);
         jfloat b sum;
         Buffer.add_string b ", \"mean\": ";
         jfloat b (if count = 0 then Float.nan else sum /. float_of_int count);
+        Buffer.add_string b ", \"max\": ";
+        jfloat b max_seen;
         List.iter
           (fun q ->
             Buffer.add_string b (Printf.sprintf ", \"p%g\": " (q *. 100.));
-            jfloat b (quantile_of ~bounds ~counts ~n:count q))
+            jfloat b (quantile_of ~bounds ~counts ~n:count ~max_seen q))
           [ 0.5; 0.95; 0.99 ];
         Buffer.add_string b ", \"buckets\": [";
         let nb = Array.length bounds in

@@ -80,9 +80,10 @@ val bucket_counts : histogram -> (float * int) list
 
 val quantile : histogram -> float -> float
 (** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) by
-    linear interpolation within the bucket holding the target rank;
-    samples in the overflow bucket are attributed to the last finite
-    edge. [nan] when the histogram is empty. *)
+    linear interpolation within the bucket holding the target rank.
+    Ranks landing in the overflow bucket report the largest observed
+    sample (not the last finite edge), and every estimate is clamped
+    to that observed maximum. [nan] when the histogram is empty. *)
 
 (* --- snapshot / export ----------------------------------------------- *)
 
@@ -94,6 +95,7 @@ type value =
       counts : int array;  (** length = [Array.length bounds + 1] (overflow last) *)
       count : int;
       sum : float;
+      max_seen : float;    (** largest observed sample; [nan] when empty *)
     }
 
 val snapshot : t -> (string * value) list

@@ -250,13 +250,15 @@ let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
       ~kind:"spans.open"
       (String.concat ", " (List.map (fun s -> s.Span.name) open_spans));
   let ring_blob = Recorder.export recorder in
-  let rec_started = Clock.now clock in
+  (* Its own child span: the critical-path analyzer measures the
+     recorder tax as an antagonist overlapping the epoch window. *)
+  let s_rec = Span.start spans "ckpt.recorder" in
   Kernel.charge k
     (Costmodel.page_copy
        ~pages:((String.length ring_blob + page_bytes - 1) / page_bytes));
   Metrics.observe_duration
     (Metrics.histogram metrics "ckpt.recorder_us")
-    (Duration.sub (Clock.now clock) rec_started);
+    (Span.finish spans s_rec);
   (* Attribution is barrier-side data (who dirtied what), valid even if
      the flush below degrades; reading it also resets the per-object
      COW-break counters for the next cycle. *)
@@ -416,6 +418,16 @@ let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
     }
   in
   g.Types.last_breakdown <- Some breakdown;
+  if Probe.enabled k.Kernel.probes Probe.Ckpt_phase then begin
+    let fire op d =
+      Probe.fire k.Kernel.probes Probe.Ckpt_phase ~dev:"" ~op ~gen
+        ~pgid:g.Types.pgid ~us:(Duration.to_us d) ~blocks:pages_captured
+    in
+    fire "quiesce" quiesce;
+    fire "serialize" metadata_copy;
+    fire "cow_mark" lazy_data_copy;
+    fire "stop" stop_time
+  end;
   Tracelog.recordf k.Kernel.trace ~subsystem:"ckpt"
     "pgroup %d gen %d %s stop=%.1fus pages=%d%s" g.Types.pgid gen
     (match mode with `Full -> "full" | `Incremental -> "incr")
@@ -447,7 +459,12 @@ let finalize (k : Kernel.t) (g : Types.pgroup) (b : Types.ckpt_breakdown) =
       ~attrs:
         [ ("pgid", string_of_int g.Types.pgid);
           ("gen", string_of_int b.Types.gen) ]
-      ~start_at:flush_started ~end_at:b.Types.durable_at ()
+      ~start_at:flush_started ~end_at:b.Types.durable_at ();
+    if Probe.enabled k.Kernel.probes Probe.Ckpt_phase then
+      Probe.fire k.Kernel.probes Probe.Ckpt_phase ~dev:"" ~op:"flush"
+        ~gen:b.Types.gen ~pgid:g.Types.pgid
+        ~us:(Duration.to_us (Duration.sub b.Types.durable_at flush_started))
+        ~blocks:b.Types.pages_captured
 
 let checkpoint (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?with_fs () =
   let b = capture k g ?mode ?name ?with_fs () in

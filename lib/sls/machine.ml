@@ -128,12 +128,13 @@ let build_on ?(max_inflight_ckpts = 2) ~kernel ~nvme ~memdev ~disk_store
      incarnation (possibly unmarshaled from a universe file) and must
      not keep reporting into the dead kernel's handles. *)
   let metrics = kernel.Kernel.metrics and spans = kernel.Kernel.spans in
-  Devarray.set_observability nvme ~metrics ~spans ();
-  Devarray.set_observability memdev ~metrics ~spans ();
-  Store.set_observability disk_store ~metrics ~spans ();
-  Store.set_observability mem_store ~metrics ~spans ();
+  let probes = kernel.Kernel.probes in
+  Devarray.set_observability nvme ~metrics ~spans ~probes ();
+  Devarray.set_observability memdev ~metrics ~spans ~probes ();
+  Store.set_observability disk_store ~metrics ~spans ~probes ();
+  Store.set_observability mem_store ~metrics ~spans ~probes ();
   let swap_dev =
-    Blockdev.create ~metrics ~spans ~clock:kernel.Kernel.clock
+    Blockdev.create ~metrics ~spans ~probes ~clock:kernel.Kernel.clock
       ~profile:(Devarray.profile nvme) "swap0"
   in
   let swap = Swap.create ~dev:swap_dev ~pool:kernel.Kernel.pool in
@@ -365,7 +366,14 @@ let checkpoint_now t g ?mode ?name () =
          t.pending_ckpts <- rest;
          complete_one t pc
      done;
-     backpressure := Duration.sub (now t) bp_started);
+     backpressure := Duration.sub (now t) bp_started;
+     (* A non-zero wait leaves a span on the pipeline track: the
+        critical-path analyzer charges it as an antagonist of whatever
+        epoch it overlaps. *)
+     if Duration.(!backpressure > zero) then
+       Span.record (spans t) ~track:"ckpt.pipeline" ~name:"ckpt.backpressure"
+         ~attrs:[ ("pgid", string_of_int g.Types.pgid) ]
+         ~start_at:bp_started ~end_at:(now t) ());
   (* Saturation is visible, not silent: the wait (zero when the
      pipeline had room) is a histogram aligned 1:1 with ckpt.count. *)
   Metrics.observe_duration
@@ -783,8 +791,8 @@ let attach_standby t ?faults ?(link_profile = Profile.net_10gbe) ?ack_timeout
   in
   let repl =
     Replica.establish ?ack_timeout ?max_attempts ~metrics:(metrics t)
-      ~spans:(spans t) ~link ~primary_side:`A ~primary:t.disk_store
-      ~standby:store ()
+      ~spans:(spans t) ~probes:t.kernel.Kernel.probes ~link ~primary_side:`A
+      ~primary:t.disk_store ~standby:store ()
   in
   t.standby <- Some (g.Types.pgid, repl);
   let rec_ = recorder t in
@@ -878,3 +886,31 @@ let failover t =
       { fo_rpo = rpo; fo_primary_latest = Store.latest t.disk_store;
         fo_promoted_gen = promoted_gen;
         fo_standby_generations = standby_generations } )
+
+(* --- critical path ---------------------------------------------------- *)
+
+let critical_path ?gen t =
+  match Critpath.analyze (spans t) ?gen () with
+  | Error _ as e -> e
+  | Ok r ->
+    (* Mirror writes ride inside the commit's own transfers, so the
+       span tree cannot attribute them; estimate the tax from
+       provenance through the device profile instead. *)
+    let r =
+      match Store.gen_provenance t.disk_store r.Critpath.cp_gen with
+      | Some pv when pv.Store.pv_mirror_blocks > 0 ->
+        let us =
+          Duration.to_us
+            (Profile.transfer_cost (Devarray.profile t.nvme) ~op:`Write
+               ~bytes:(pv.Store.pv_mirror_blocks * Blockdev.block_size))
+        in
+        let ants =
+          { Critpath.an_name = "mirror_writes"; an_us = us }
+          :: r.Critpath.cp_antagonists
+          |> List.sort (fun a b -> Float.compare b.Critpath.an_us a.Critpath.an_us)
+        in
+        { r with Critpath.cp_antagonists = ants }
+      | _ -> r
+    in
+    Critpath.publish (metrics t) r;
+    Ok r

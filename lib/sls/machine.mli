@@ -315,3 +315,12 @@ val drain_storage : t -> unit
     are durable. Crash-test fixtures use this to define "the store
     caught up". Unlike the device queues' [busy_until], unrelated raw
     device traffic does not gate this. *)
+
+val critical_path : ?gen:int -> t -> (Critpath.report, string) result
+(** {!Critpath.analyze} over this machine's span recorder (default:
+    the newest finalized generation), augmented with a [mirror_writes]
+    antagonist estimated from the generation's provenance (mirror
+    blocks through the device profile's write cost — mirror traffic
+    rides inside the commit's own transfers, so the span tree cannot
+    see it separately). The report is also published as the
+    [ckpt.critpath.*] metrics family. *)

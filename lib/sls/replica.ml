@@ -142,6 +142,7 @@ type t = {
   prng : Prng.t;  (* retransmission jitter *)
   metrics : Metrics.t option;
   spans : Span.t option;
+  probes : Probe.t option;
   mutable next_seq : int;
   (* primary-side transmitter state *)
   mutable acked : Store.gen option;  (* last primary gen acked durable *)
@@ -206,7 +207,7 @@ let metric_incr t name =
   Option.iter (fun m -> Metrics.incr (Metrics.counter m name)) t.metrics
 
 let establish ?(ack_timeout = Duration.milliseconds 5) ?(max_attempts = 10)
-    ?(max_backoff = Duration.milliseconds 40) ?metrics ?spans ~link
+    ?(max_backoff = Duration.milliseconds 40) ?metrics ?spans ?probes ~link
     ~primary_side ~primary ~standby () =
   if max_attempts < 1 then invalid_arg "Replica.establish: max_attempts < 1";
   incr session_counter;
@@ -237,7 +238,7 @@ let establish ?(ack_timeout = Duration.milliseconds 5) ?(max_attempts = 10)
     sid = !session_counter;
     ack_timeout; max_attempts; max_backoff;
     prng = Prng.create ~seed:(Int64.of_int (0x5EED + !session_counter));
-    metrics; spans;
+    metrics; spans; probes;
     next_seq = 1;
     acked = latest;
     state = `Idle;
@@ -269,6 +270,16 @@ let standby_side t : Netlink.side =
 let send_frame t ~from_ p =
   let raw = encode_frame ~sid:t.sid p in
   bump t (fun s -> { s with wire_bytes = s.wire_bytes + String.length raw });
+  if Probe.on t.probes Repl_msg then begin
+    let op, gen, pgid =
+      match p with
+      | Data { primary_gen; pgid; _ } -> ("data", primary_gen, pgid)
+      | Ack { primary_gen; _ } -> ("ack", primary_gen, -1)
+      | Nak { have; _ } -> ("nak", Option.value have ~default:(-1), -1)
+    in
+    Probe.fire (Option.get t.probes) Repl_msg ~dev:"link" ~op ~gen ~pgid
+      ~us:0.0 ~blocks:(String.length raw)
+  end;
   ignore (Netlink.send t.link ~from_ raw)
 
 (* --- standby end ------------------------------------------------------ *)
@@ -538,6 +549,9 @@ let ship t ~gen ~pgid =
        bump t (fun s -> { s with gave_up = s.gave_up + 1 });
        metric_incr t "repl.gave_up");
     set_lag_gauge t;
+    if Probe.on t.probes Repl_msg then
+      Probe.fire (Option.get t.probes) Repl_msg ~dev:"link" ~op:"ship" ~gen
+        ~pgid ~us:(Duration.to_us rtt) ~blocks:!bytes;
     Option.iter
       (fun sp ->
         Span.record sp ~track:"repl" ~name:"repl.ship"

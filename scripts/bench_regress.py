@@ -30,6 +30,29 @@ Guarded metrics:
                                         worst sweep point (lower is
                                         better; the bench itself also
                                         enforces the hard <1% budget)
+  critpath     / s4_stop_us             critical-path stop time as the
+                                        analyzer reconstructs it from
+                                        spans (lower is better;
+                                        simulated, so deterministic —
+                                        the wall-clock probe numbers
+                                        are deliberately NOT guarded
+                                        against the baseline, only
+                                        against the absolute budget)
+
+Absolute limits (no baseline needed — the value itself is the gate):
+  critpath     / s1_stop_match ... s8_stop_match   must be 1: the
+                                        barrier segments summed to the
+                                        engine's measured stop time
+                                        within 1%
+  critpath     / s1_segments ... s8_segments       must be >= 4: a
+                                        degenerate (empty or collapsed)
+                                        critical path fails even if the
+                                        bench printed something
+  critpath     / probe_sim_identical    must be 1: subscriptions never
+                                        perturb simulated time
+  critpath     / probe_overhead_pct     must stay under 3: tax of live
+                                        probe aggregations on a
+                                        checkpoint-saturated workload
 
 Histogram distribution shape: any guarded target may carry
 "<key>_buckets" entries (per-bucket counts as emitted by the bench's
@@ -55,7 +78,44 @@ GUARDS = [
     ("repl-sweep", "loss_0_goodput_mibps", "higher"),
     ("repl-sweep", "loss_1e-2_goodput_mibps", "higher"),
     ("repl-sweep", "loss_1e-2_time_to_converge_ms", "lower"),
+    ("critpath", "s4_stop_us", "lower"),
 ]
+
+# (target, key, op, limit): checked against the results document alone,
+# independent of any baseline drift. "ge"/"le" compare the value to the
+# limit; a key missing from a target that ran is a failure.
+ABS_LIMITS = [
+    ("critpath", "s1_stop_match", "ge", 1),
+    ("critpath", "s2_stop_match", "ge", 1),
+    ("critpath", "s4_stop_match", "ge", 1),
+    ("critpath", "s8_stop_match", "ge", 1),
+    ("critpath", "s1_segments", "ge", 4),
+    ("critpath", "s2_segments", "ge", 4),
+    ("critpath", "s4_segments", "ge", 4),
+    ("critpath", "s8_segments", "ge", 4),
+    ("critpath", "probe_sim_identical", "ge", 1),
+    ("critpath", "probe_overhead_pct", "le", 3.0),
+]
+
+
+def check_abs_limits(results):
+    """Gate values against fixed limits. Returns failure count."""
+    failures = 0
+    for target, key, op, limit in ABS_LIMITS:
+        if target not in results:
+            print(f"  skip {target}/{key}: target not in results")
+            continue
+        cur = lookup(results, target, key)
+        if cur is None:
+            print(f"FAIL {target}/{key}: missing from results (limit {op} {limit:g})")
+            failures += 1
+            continue
+        ok = cur >= limit if op == "ge" else cur <= limit
+        verdict = "ok  " if ok else "FAIL"
+        print(f"{verdict} {target}/{key}: {cur:g} (limit {op} {limit:g})")
+        if not ok:
+            failures += 1
+    return failures
 
 # How many buckets the top of a distribution may shift right relative
 # to the baseline before we call it a shape regression.
@@ -165,6 +225,7 @@ def main(argv):
         )
         failed = failed or not ok
     failed = failed or check_buckets(results, baseline) > 0
+    failed = failed or check_abs_limits(results) > 0
     return 1 if failed else 0
 
 

@@ -123,14 +123,14 @@ let test_quantile_interpolation () =
   done;
   check_float "p50 at the first edge" 10.0 (Metrics.quantile h 0.5);
   check_float "p75 interpolates" 15.0 (Metrics.quantile h 0.75);
-  check_float "p100 is the covering edge" 20.0 (Metrics.quantile h 1.0)
+  check_float "p100 clamps to the observed max" 15.0 (Metrics.quantile h 1.0)
 
 let test_quantile_overflow_and_empty () =
   let m = Metrics.create (Clock.create ()) in
   let h = Metrics.histogram m ~bounds:[| 10.; 20. |] "qo" in
   check_bool "empty quantile is nan" true (Float.is_nan (Metrics.quantile h 0.5));
   Metrics.observe h 1000.0;
-  check_float "overflow pinned to the last edge" 20.0 (Metrics.quantile h 0.99)
+  check_float "overflow reports the observed max" 1000.0 (Metrics.quantile h 0.99)
 
 let test_snapshot_and_json () =
   let clock = Clock.create () in
