@@ -12,7 +12,7 @@
      bench/main.exe bechamel              # wall-clock microbenchmarks
    Targets: table3 table4 freq-sweep dedup extcons lazy-restore criu
             kv-modes hdd stripe-sweep fault-sweep phase-breakdown
-            ckpt-rate repl-sweep critpath bechamel *)
+            ckpt-rate repl-sweep critpath qos-sweep bechamel *)
 
 open Aurora_simtime
 open Aurora_device
@@ -100,10 +100,14 @@ let json_write () =
         Buffer.add_string buf "\n  }")
       !json_acc;
     Buffer.add_string buf "\n}\n";
-    (match open_out path with
+    (* Write-then-rename so a crash (or a concurrent reader — CI tails
+       the file while the bench runs) never sees a truncated document. *)
+    let tmp = path ^ ".tmp" in
+    (match open_out tmp with
      | oc ->
        Buffer.output_buffer oc buf;
        close_out oc;
+       Sys.rename tmp path;
        Printf.printf "\n[json results written to %s]\n" path
      | exception Sys_error msg ->
        Printf.eprintf "cannot write json results: %s\n" msg;
@@ -115,10 +119,11 @@ let json_write () =
 
 (* A Redis-scale instance: [gib] gibibytes of resident working set,
    preloaded. Returns (machine, container id, process, config). *)
-let redis_fixture ?(profile = Profile.optane_900p) ?stripes ?max_inflight ~mib () =
+let redis_fixture ?(profile = Profile.optane_900p) ?stripes ?max_inflight
+    ?io_sched ?dedup ~mib () =
   let m =
     Machine.create ~storage_profile:profile ?stripes
-      ?max_inflight_ckpts:max_inflight ()
+      ?max_inflight_ckpts:max_inflight ?io_sched ?dedup ()
   in
   let k = m.Machine.kernel in
   let c = Kernel.new_container k ~name:"redis" in
@@ -1580,6 +1585,157 @@ let critpath () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* L-qos: foreground read latency under checkpoint flush               *)
+(* ------------------------------------------------------------------ *)
+
+(* The QoS claim: with the weighted scheduler, a foreground read issued
+   while a pipelined checkpoint flush drains slots into a reserved gap
+   instead of queueing behind the whole extent batch — p99 read latency
+   drops by an integer factor while the flush completes only fg/flush
+   weight slower. Fixture: a write-heavy kvstore checkpointed in Full
+   mode (dedup off) every 4 ms over 4 stripes with a window of 2, so
+   the device spends roughly half its capacity on flush extents. A
+   skewed reader (the repo's 80/20 hot-set approximation of a zipfian)
+   issues one committed-generation page read every ~230 us of simulated
+   time and records the end-to-end latency. Identical runs under Fifo
+   and Wdrr; everything is deterministic, so CI replays this target
+   twice and diffs the JSON byte-for-byte. *)
+let qos_sweep () =
+  section "L-qos: foreground read latency vs checkpoint flush (I/O scheduler)";
+  row "%8s %8s %12s %12s %12s %12s %12s %10s\n" "sched" "reads" "read p50"
+    "read p99" "read max" "flush mean" "stop p99" "gap fills";
+  let measure ~label ~io_sched =
+    let m, c, _p, _cfg =
+      redis_fixture ~stripes:4 ~max_inflight:2 ~io_sched ~dedup:false ~mib:16 ()
+    in
+    let g =
+      Machine.persist m
+        ~interval:(Duration.milliseconds 4)
+        (`Container c.Container.cid)
+    in
+    (* Full captures: every epoch flushes the whole working set, the
+       sustained-antagonist shape (incremental would shrink the batch
+       to the dirty set and with it the contention under test). *)
+    g.Types.incremental <- false;
+    ignore (Machine.checkpoint_now m g ~mode:`Full ());
+    Machine.drain_storage m;
+    let store = m.Machine.disk_store in
+    let gen0 = Option.get (Store.latest store) in
+    (* The reader targets the data object: the oid carrying the most
+       pages in the primed generation. *)
+    let oid, npages =
+      List.fold_left
+        (fun (boid, bn) oid ->
+          let n =
+            Store.fold_pages store gen0 ~oid ~init:0 ~f:(fun acc _ _ -> acc + 1)
+          in
+          if n > bn then (oid, n) else (boid, bn))
+        (-1, 0) (Store.oids store gen0)
+    in
+    let pindexes =
+      Array.of_list
+        (List.rev
+           (Store.fold_pages store gen0 ~oid ~init:[] ~f:(fun acc i _ -> i :: acc)))
+    in
+    (* Deterministic skewed sampler (splitmix-style LCG): 80% of reads
+       hit the first 20% of the page space. *)
+    let rng = ref 0x2545F4914F6CDD1DL in
+    let next () =
+      rng := Int64.add (Int64.mul !rng 6364136223846793005L) 1442695040888963407L;
+      float_of_int (Int64.to_int (Int64.shift_right_logical !rng 11))
+      /. 9007199254740992.
+    in
+    let pick () =
+      let hot = max 1 (npages / 5) in
+      let idx =
+        if next () < 0.8 then int_of_float (next () *. float_of_int hot)
+        else hot + int_of_float (next () *. float_of_int (max 1 (npages - hot)))
+      in
+      pindexes.(min idx (Array.length pindexes - 1))
+    in
+    let lat = Stats.create () in
+    let missed = ref 0 in
+    let stride = Duration.microseconds 230 in
+    let deadline = Duration.add (Machine.now m) (Duration.milliseconds 120) in
+    while Duration.(Machine.now m < deadline) do
+      Machine.run m stride;
+      let gen = match Store.latest store with Some g -> g | None -> gen0 in
+      let t0 = Machine.now m in
+      match Store.read_page store gen ~oid ~pindex:(pick ()) with
+      | Some _ -> Stats.add_duration lat (Duration.sub (Machine.now m) t0)
+      | None -> incr missed
+    done;
+    Machine.drain_storage m;
+    let mm = Machine.metrics m in
+    let flush_mean = Metrics.hist_mean (Metrics.histogram mm "ckpt.flush_us") in
+    let stop_p99 = Metrics.quantile (Metrics.histogram mm "ckpt.stop_us") 0.99 in
+    let ss = Devarray.sched_stats m.Machine.nvme in
+    let p50 = Stats.percentile lat 50.0
+    and p99 = Stats.percentile lat 99.0
+    and pmax = Stats.percentile lat 100.0 in
+    json_record "qos-sweep"
+      [
+        (label ^ "_reads", jint (Stats.count lat));
+        (label ^ "_reads_missed", jint !missed);
+        (label ^ "_read_mean_us", jnum (Stats.mean lat));
+        (label ^ "_read_p50_us", jnum p50);
+        (label ^ "_read_p99_us", jnum p99);
+        (label ^ "_read_max_us", jnum pmax);
+        (label ^ "_flush_mean_us", jnum flush_mean);
+        (label ^ "_stop_p99_us", jnum stop_p99);
+        (label ^ "_fg_gap_fills", jint ss.Iosched.s_fg_gap_fills);
+        (label ^ "_fg_wait_us", jnum ss.Iosched.s_fg_wait_us);
+      ];
+    row "%8s %8d %12.1f %12.1f %12.1f %12.1f %12.1f %10d\n" label
+      (Stats.count lat) p50 p99 pmax flush_mean stop_p99 ss.Iosched.s_fg_gap_fills;
+    (p99, flush_mean, stop_p99)
+  in
+  let fifo_p99, fifo_flush, fifo_stop = measure ~label:"fifo" ~io_sched:Iosched.Fifo in
+  let wdrr_p99, wdrr_flush, wdrr_stop =
+    measure ~label:"wdrr" ~io_sched:Iosched.default_wdrr
+  in
+  let improve_pct =
+    if fifo_p99 > 0. then (fifo_p99 -. wdrr_p99) /. fifo_p99 *. 100. else Float.nan
+  in
+  let flush_cost_pct =
+    if fifo_flush > 0. then (wdrr_flush -. fifo_flush) /. fifo_flush *. 100.
+    else Float.nan
+  in
+  let stop_drift_pct =
+    if fifo_stop > 0. then
+      Float.abs (wdrr_stop -. fifo_stop) /. fifo_stop *. 100.
+    else 0.
+  in
+  (* Acceptance: scheduler on -> foreground p99 at least 30% lower, the
+     flush at most 10% slower, the barrier (stop time) untouched within
+     5% — the scheduler reorders device service, never the barrier. *)
+  let improve_ok = Float.is_finite improve_pct && improve_pct >= 30. in
+  let flush_ok = Float.is_finite flush_cost_pct && flush_cost_pct <= 10. in
+  let stop_ok = stop_drift_pct <= 5. in
+  json_record "qos-sweep"
+    [
+      ("p99_improve_pct", jnum improve_pct);
+      ("flush_cost_pct", jnum flush_cost_pct);
+      ("stop_drift_pct", jnum stop_drift_pct);
+      ("qos_p99_improve_flag", jint (if improve_ok then 1 else 0));
+      ("qos_flush_flag", jint (if flush_ok then 1 else 0));
+      ("qos_stop_flag", jint (if stop_ok then 1 else 0));
+    ];
+  row "\nforeground p99 read latency: %.1f us fifo -> %.1f us wdrr (%.1f%% lower, %s)\n"
+    fifo_p99 wdrr_p99 improve_pct
+    (if improve_ok then "ok" else "BELOW 30% TARGET");
+  row "flush completion: %.1f us -> %.1f us (%+.1f%%, %s)\n" fifo_flush wdrr_flush
+    flush_cost_pct
+    (if flush_ok then "within the 10% budget" else "OVER 10% BUDGET");
+  row "p99 stop time: %.1f us vs %.1f us (drift %.1f%%, %s)\n" fifo_stop wdrr_stop
+    stop_drift_pct
+    (if stop_ok then "unchanged" else "PERTURBED");
+  if not (improve_ok && flush_ok && stop_ok) then begin
+    prerr_endline "qos-sweep: scheduler acceptance criteria not met";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1603,6 +1759,7 @@ let all_targets =
     ("ckpt-rate", ckpt_rate);
     ("repl-sweep", repl_sweep);
     ("critpath", critpath);
+    ("qos-sweep", qos_sweep);
     ("bechamel", run_bechamel);
   ]
 

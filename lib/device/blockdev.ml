@@ -38,7 +38,7 @@ type t = {
   profile : Profile.t;
   capacity_blocks : int option;
   slots : (int, slot) Hashtbl.t;
-  mutable busy_until : Duration.t;     (* device queue drains at this time *)
+  sched : Iosched.t;                   (* queue state; horizon = busy_until *)
   mutable pending : batch list;        (* in-flight batches, newest first *)
   mutable st : stats;
   mutable faults : Fault.injector option;
@@ -56,9 +56,10 @@ let make_counters name m =
     c_blocks_written = Metrics.counter m (pre ^ "blocks_written");
     c_xfer_us = Metrics.histogram m (pre ^ "xfer_us") }
 
-let create ?capacity_blocks ?faults ?metrics ?spans ?probes ~clock ~profile name =
+let create ?(sched = Iosched.Fifo) ?capacity_blocks ?faults ?metrics ?spans ?probes
+    ~clock ~profile name =
   { name; clock; profile; capacity_blocks; slots = Hashtbl.create 4096;
-    busy_until = Duration.zero; pending = []; st = zero_stats; faults;
+    sched = Iosched.create sched; pending = []; st = zero_stats; faults;
     obs_counters = Option.map (make_counters name) metrics;
     obs_spans = spans; obs_probes = probes }
 
@@ -71,7 +72,8 @@ let name t = t.name
 let profile t = t.profile
 let clock t = t.clock
 let capacity_blocks t = t.capacity_blocks
-let busy_until t = t.busy_until
+let busy_until t = Iosched.horizon t.sched
+let sched_stats t = Iosched.stats t.sched
 let faults t = t.faults
 let set_faults t inj = t.faults <- inj
 
@@ -103,15 +105,16 @@ let note_command t ~op ~blocks cost =
      | `Read -> Metrics.add c.c_blocks_read blocks
      | `Write -> Metrics.add c.c_blocks_written blocks)
 
-let charge_sync t ~op ~blocks =
+let charge_sync t ~cls ~op ~blocks =
   let cost = Profile.transfer_cost t.profile ~op ~bytes:(blocks * block_size) in
-  let start = Duration.max (Clock.now t.clock) t.busy_until in
-  let completion = Duration.add start cost in
-  t.busy_until <- completion;
+  let _start, completion =
+    Iosched.schedule t.sched ~now:(Clock.now t.clock) ~cls ~cost ~blocks
+  in
   note_command t ~op ~blocks cost;
   if Probe.on t.obs_probes Probe.Dev_io then
     Probe.fire (Option.get t.obs_probes) Probe.Dev_io ~dev:t.name
       ~op:(match op with `Read -> "read" | `Write -> "write")
+      ~cls:(Iosched.cls_name cls)
       ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks;
   Clock.advance_to t.clock completion
 
@@ -129,8 +132,8 @@ let inject_read_fault t i =
       raise (Fault.Io_error (Fault.Latent { dev = t.name; phys = i }))
     end
 
-let read t i =
-  charge_sync t ~op:`Read ~blocks:1;
+let read ?(cls = Iosched.Foreground) t i =
+  charge_sync t ~cls ~op:`Read ~blocks:1;
   t.st <- { t.st with reads = t.st.reads + 1; blocks_read = t.st.blocks_read + 1 };
   inject_read_fault t i;
   (slot t i).current
@@ -154,33 +157,34 @@ let batch_content t i =
     end
     else (slot t i).current
 
-let read_many_async t indices =
+let read_many_async ?(cls = Iosched.Foreground) t indices =
   let n = List.length indices in
   let completion =
-    if n = 0 then Duration.max (Clock.now t.clock) t.busy_until
+    if n = 0 then Duration.max (Clock.now t.clock) (busy_until t)
     else begin
       let cost = Profile.transfer_cost t.profile ~op:`Read ~bytes:(n * block_size) in
-      let start = Duration.max (Clock.now t.clock) t.busy_until in
-      let completion = Duration.add start cost in
-      t.busy_until <- completion;
+      let start, completion =
+        Iosched.schedule t.sched ~now:(Clock.now t.clock) ~cls ~cost ~blocks:n
+      in
       t.st <- { t.st with reads = t.st.reads + 1; blocks_read = t.st.blocks_read + n };
       note_command t ~op:`Read ~blocks:n cost;
       (match t.obs_spans with
        | None -> ()
        | Some spans ->
          Span.record spans ~track:t.name ~name:"dev.read"
-           ~attrs:[ ("blocks", string_of_int n) ]
+           ~attrs:[ ("blocks", string_of_int n); ("cls", Iosched.cls_name cls) ]
            ~start_at:start ~end_at:completion ());
       if Probe.on t.obs_probes Probe.Dev_io then
         Probe.fire (Option.get t.obs_probes) Probe.Dev_io ~dev:t.name
-          ~op:"read" ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks:n;
+          ~op:"read" ~cls:(Iosched.cls_name cls)
+          ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks:n;
       completion
     end
   in
   (List.map (fun i -> batch_content t i) indices, completion)
 
-let read_many t indices =
-  let contents, completion = read_many_async t indices in
+let read_many ?cls t indices =
+  let contents, completion = read_many_async ?cls t indices in
   Clock.advance_to t.clock completion;
   contents
 
@@ -239,23 +243,29 @@ let apply_write_faults t writes =
     in
     (writes, !retry_cost)
 
-let write_many t writes =
+let write_many ?(cls = Iosched.Foreground) t writes =
   let writes, retry_cost = apply_write_faults t writes in
   let n = List.length writes in
-  if n > 0 then charge_sync t ~op:`Write ~blocks:n;
+  if n > 0 then charge_sync t ~cls ~op:`Write ~blocks:n;
   if Duration.(retry_cost > zero) then begin
-    t.busy_until <- Duration.add t.busy_until retry_cost;
-    Clock.advance_to t.clock t.busy_until
+    Iosched.extend t.sched retry_cost;
+    (match Iosched.config t.sched with
+     | Iosched.Fifo -> Clock.advance_to t.clock (busy_until t)
+     | Iosched.Wdrr _ ->
+       (* The retried command may have been served from reserved slack
+          ahead of the queue tail; the caller still waits out the
+          retries, but not the whole bulk horizon. *)
+       Clock.advance t.clock retry_cost)
   end;
   t.st <- { t.st with writes = t.st.writes + 1; blocks_written = t.st.blocks_written + n };
   List.iter (store_block t ~completed:true) writes
 
-let write t i c = write_many t [ (i, c) ]
+let write ?cls t i c = write_many ?cls t [ (i, c) ]
 
 (* Queue one transfer per extent (latency charged per extent, bandwidth
    per block); the whole submission completes — and, on non-volatile
    caches, becomes durable — at the time the last extent drains. *)
-let write_extents ?not_before t extents =
+let write_extents ?not_before ?(cls = Iosched.Flush) t extents =
   let extents = List.filter (fun e -> e <> []) extents in
   let extents, retry_cost =
     if t.faults = None then (extents, Duration.zero)
@@ -274,12 +284,12 @@ let write_extents ?not_before t extents =
   in
   let nblocks = List.fold_left (fun acc e -> acc + List.length e) 0 extents
   and nextents = List.length extents in
-  let start = Duration.max (Clock.now t.clock) t.busy_until in
-  let start = match not_before with
+  if nextents = 0 then begin
+    let start = Duration.max (Clock.now t.clock) (busy_until t) in
+    match not_before with
     | Some at -> Duration.max start at
     | None -> start
-  in
-  if nextents = 0 then start
+  end
   else begin
     let cost =
       List.fold_left
@@ -290,8 +300,10 @@ let write_extents ?not_before t extents =
         (* Controller-internal write retries extend the transfer. *)
         retry_cost extents
     in
-    let completion = Duration.add start cost in
-    t.busy_until <- completion;
+    let start, completion =
+      Iosched.schedule t.sched ~now:(Clock.now t.clock) ?not_before ~cls ~cost
+        ~blocks:nblocks
+    in
     t.st <- { t.st with writes = t.st.writes + nextents;
                         blocks_written = t.st.blocks_written + nblocks };
     (match t.obs_counters with
@@ -305,10 +317,12 @@ let write_extents ?not_before t extents =
      | Some spans ->
        Span.record spans ~track:t.name ~name:"dev.write"
          ~attrs:
-           [ ("blocks", string_of_int nblocks); ("extents", string_of_int nextents) ]
+           [ ("blocks", string_of_int nblocks); ("extents", string_of_int nextents);
+             ("cls", Iosched.cls_name cls) ]
          ~start_at:start ~end_at:completion ());
     if Probe.on t.obs_probes Probe.Dev_io then
       Probe.fire (Option.get t.obs_probes) Probe.Dev_io ~dev:t.name ~op:"write"
+        ~cls:(Iosched.cls_name cls)
         ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks:nblocks;
     (* Content is visible immediately (the store serializes access),
        but the batch is remembered as in-flight so a crash before
@@ -320,7 +334,7 @@ let write_extents ?not_before t extents =
     completion
   end
 
-let write_async ?not_before t writes = write_extents ?not_before t [ writes ]
+let write_async ?not_before ?cls t writes = write_extents ?not_before ?cls t [ writes ]
 
 (* A small control write on its own submission queue: charged from the
    current instant instead of behind queued data transfers — modeling a
@@ -339,6 +353,9 @@ let write_oob t writes =
         (Profile.transfer_cost t.profile ~op:`Write ~bytes:(n * block_size))
     in
     let completion = Duration.add start cost in
+    (* Timing stays out-of-band (its own queue pair, charged from now),
+       but the traffic is accounted to the Background class. *)
+    Iosched.note_unscheduled t.sched ~cls:Iosched.Background ~cost ~blocks:n;
     t.st <- { t.st with writes = t.st.writes + 1;
                         blocks_written = t.st.blocks_written + n };
     (match t.obs_counters with
@@ -353,10 +370,11 @@ let write_oob t writes =
      | None -> ()
      | Some spans ->
        Span.record spans ~track:t.name ~name:"dev.oob"
-         ~attrs:[ ("blocks", string_of_int n) ]
+         ~attrs:[ ("blocks", string_of_int n); ("cls", "bg") ]
          ~start_at:start ~end_at:completion ());
     if Probe.on t.obs_probes Probe.Dev_io then
       Probe.fire (Option.get t.obs_probes) Probe.Dev_io ~dev:t.name ~op:"oob"
+        ~cls:"bg"
         ~gen:(-1) ~pgid:(-1) ~us:(Duration.to_us cost) ~blocks:n;
     List.iter (store_block t ~completed:false) writes;
     t.pending <- { done_at = completion; writes } :: t.pending;
@@ -384,7 +402,7 @@ let await t completion =
   settle_pending t
 
 let flush t =
-  Clock.advance_to t.clock t.busy_until;
+  Clock.advance_to t.clock (busy_until t);
   Clock.advance t.clock t.profile.Profile.flush_latency;
   t.pending <- [];
   t.st <- { t.st with flushes = t.st.flushes + 1 };
@@ -395,7 +413,7 @@ let crash t =
      durable; queued-but-incomplete ones never happened. *)
   settle_pending t;
   t.pending <- [];
-  t.busy_until <- Clock.now t.clock;
+  Iosched.reset_to t.sched (Clock.now t.clock);
   Hashtbl.iter (fun _ s -> s.current <- s.durable) t.slots
 
 let stats t = t.st

@@ -28,18 +28,22 @@ type content =
 type t
 
 val create :
+  ?sched:Iosched.config ->
   ?capacity_blocks:int -> ?faults:Fault.injector -> ?metrics:Metrics.t ->
   ?spans:Span.t -> ?probes:Probe.t -> clock:Clock.t -> profile:Profile.t ->
   string -> t
-(** [create ~clock ~profile name]. [capacity_blocks] defaults to
-    unlimited; when set, writes past the capacity raise
-    [Invalid_argument]. [faults] attaches a media-fault injector
-    (default: a perfect device). [metrics] registers per-device
-    counters ([dev.<name>.commands], [.blocks_read], [.blocks_written])
-    and a transfer-duration histogram ([dev.<name>.xfer_us]);
-    [spans] records batched transfers ([dev.read] / [dev.write] /
-    [dev.oob]) on a track named after the device; [probes] fires the
-    [dev.io] tracepoint per command ([op] read/write/oob). *)
+(** [create ~clock ~profile name]. [sched] selects the I/O scheduler
+    ({!Iosched.Fifo} by default — the historical single-queue timing,
+    bit-exact). [capacity_blocks] defaults to unlimited; when set,
+    writes past the capacity raise [Invalid_argument]. [faults]
+    attaches a media-fault injector (default: a perfect device).
+    [metrics] registers per-device counters ([dev.<name>.commands],
+    [.blocks_read], [.blocks_written]) and a transfer-duration
+    histogram ([dev.<name>.xfer_us]); [spans] records batched
+    transfers ([dev.read] / [dev.write] / [dev.oob]) on a track named
+    after the device, each carrying a [cls] attribute; [probes] fires
+    the [dev.io] tracepoint per command ([op] read/write/oob, [cls]
+    fg/flush/bg/deadline). *)
 
 val set_observability :
   t -> ?metrics:Metrics.t -> ?spans:Span.t -> ?probes:Probe.t -> unit -> unit
@@ -57,20 +61,21 @@ val capacity_blocks : t -> int option
 val faults : t -> Fault.injector option
 val set_faults : t -> Fault.injector option -> unit
 
-val read : t -> int -> content
-(** Synchronous single-block read; charges the clock. Unwritten blocks
-    read as [Zero]. Raises [Invalid_argument] on negative index.
-    Under a fault injector, raises {!Fault.Io_error} — the command's
-    time is charged either way — for a dropped device, an injected
-    transient error, or a latent sector. *)
+val read : ?cls:Iosched.cls -> t -> int -> content
+(** Synchronous single-block read; charges the clock. [cls] defaults
+    to [Foreground]. Unwritten blocks read as [Zero]. Raises
+    [Invalid_argument] on negative index. Under a fault injector,
+    raises {!Fault.Io_error} — the command's time is charged either
+    way — for a dropped device, an injected transient error, or a
+    latent sector. *)
 
-val read_many : t -> int list -> content list
+val read_many : ?cls:Iosched.cls -> t -> int list -> content list
 (** One command: latency charged once, bandwidth per block. Batch
     reads are best-effort: blocks on latent sectors (or a dropped
     device) come back [Zero] instead of failing the transfer — callers
     that need certainty verify checksums and re-issue single reads. *)
 
-val read_many_async : t -> int list -> content list * Duration.t
+val read_many_async : ?cls:Iosched.cls -> t -> int list -> content list * Duration.t
 (** Queue one read command and return the contents together with the
     absolute completion time {e without} advancing the clock. The
     device array uses this to issue reads on several devices at the
@@ -82,10 +87,10 @@ val peek : t -> int -> content
     return, where the fault itself charges the read cost (lazy
     restore), or assertions in tests. *)
 
-val write : t -> int -> content -> unit
-(** Synchronous write into the device cache; charges the clock. The
-    block is durable only after {!flush} (or immediately when the
-    profile has a non-volatile cache).
+val write : ?cls:Iosched.cls -> t -> int -> content -> unit
+(** Synchronous write into the device cache; charges the clock. [cls]
+    defaults to [Foreground]. The block is durable only after {!flush}
+    (or immediately when the profile has a non-volatile cache).
 
     Under a fault injector: transient write errors are retried by the
     controller with exponential backoff (the extra time is charged to
@@ -95,18 +100,23 @@ val write : t -> int -> content -> unit
     device raises. These semantics apply to every write entry point
     below as well. *)
 
-val write_many : t -> (int * content) list -> unit
+val write_many : ?cls:Iosched.cls -> t -> (int * content) list -> unit
 
-val write_async : ?not_before:Duration.t -> t -> (int * content) list -> Duration.t
+val write_async :
+  ?not_before:Duration.t -> ?cls:Iosched.cls -> t -> (int * content) list ->
+  Duration.t
 (** Queue the writes on the device timeline; returns the absolute
     simulated time at which they complete (and, for non-volatile
-    caches, become durable). Does not advance the clock.
-    [not_before] delays the transfer's start past the given absolute
-    time even if the queue drains earlier — the commit barrier: a
-    superblock write ordered after in-flight data on {e other}
-    devices of an array. *)
+    caches, become durable). Does not advance the clock. [cls]
+    defaults to [Flush] — checkpoint extents are the dominant async
+    traffic. [not_before] delays the transfer's start past the given
+    absolute time even if the queue drains earlier — the commit
+    barrier: a superblock write ordered after in-flight data on
+    {e other} devices of an array. *)
 
-val write_extents : ?not_before:Duration.t -> t -> (int * content) list list -> Duration.t
+val write_extents :
+  ?not_before:Duration.t -> ?cls:Iosched.cls -> t -> (int * content) list list ->
+  Duration.t
 (** Like {!write_async}, but each inner list is one contiguous extent
     and is charged as its own transfer (latency per extent, bandwidth
     per block). Durability semantics are per-submission: all extents
@@ -119,7 +129,8 @@ val write_oob : t -> (int * content) list -> Duration.t
     (a separate NVMe queue pair), so it can become durable while an
     earlier, larger submission is still draining. Used for the store's
     black-box slot. Crash and durability semantics match
-    {!write_async}; [busy_until] is not extended. *)
+    {!write_async}; [busy_until] is not extended. Accounted to the
+    [Background] class without being scheduled. *)
 
 val await : t -> Duration.t -> unit
 (** Advance the clock to the given absolute completion time if it is in
@@ -155,6 +166,11 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** Per-class scheduler accounting (ops, blocks, service time, gap
+    reservation/fill/expiry). *)
+val sched_stats : t -> Iosched.stats
+
 val reset_stats : t -> unit
 val used_blocks : t -> int
 (** Number of distinct blocks ever written and still holding content. *)

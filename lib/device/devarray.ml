@@ -19,7 +19,7 @@ type t = {
   mutable current : group option;
 }
 
-let create ?stripes ?capacity_blocks ?faults ?metrics ?spans ?probes ~clock
+let create ?sched ?stripes ?capacity_blocks ?faults ?metrics ?spans ?probes ~clock
     ~profile name =
   let stripes =
     match stripes with Some n -> n | None -> profile.Profile.stripes
@@ -56,8 +56,8 @@ let create ?stripes ?capacity_blocks ?faults ?metrics ?spans ?probes ~clock
   in
   let devs =
     Array.init stripes (fun i ->
-        Blockdev.create ?capacity_blocks:per_dev_capacity ?faults:injectors.(i)
-          ?metrics ?spans ?probes ~clock ~profile
+        Blockdev.create ?sched ?capacity_blocks:per_dev_capacity
+          ?faults:injectors.(i) ?metrics ?spans ?probes ~clock ~profile
           (Printf.sprintf "%s.%d" name i))
   in
   { name; stripes; devs; current = None }
@@ -115,15 +115,15 @@ let extents_of writes =
 
 (* --- synchronous I/O ------------------------------------------------ *)
 
-let read t b =
+let read ?cls t b =
   let d, phys = locate t b in
-  Blockdev.read t.devs.(d)  phys
+  Blockdev.read ?cls t.devs.(d) phys
 
 let peek t b =
   let d, phys = locate t b in
   Blockdev.peek t.devs.(d) phys
 
-let read_many t indices =
+let read_many ?cls t indices =
   (* Issue one command per device touched, all starting now; the
      caller waits for the slowest. Results keep request order. *)
   let n = List.length indices in
@@ -141,7 +141,7 @@ let read_many t indices =
       | [] -> ()
       | reqs ->
         let contents, done_at =
-          Blockdev.read_many_async t.devs.(d) (List.map snd reqs)
+          Blockdev.read_many_async ?cls t.devs.(d) (List.map snd reqs)
         in
         completion := Duration.max !completion done_at;
         List.iter2 (fun (pos, _) c -> results.(pos) <- c) reqs contents)
@@ -154,7 +154,7 @@ let read_many t indices =
 
 (* Array variant for preallocated hot paths (restore prefetch):
    identical semantics to {!read_many}, zero list churn. *)
-let read_many_arr t indices =
+let read_many_arr ?cls t indices =
   let n = Array.length indices in
   let results = Array.make n Blockdev.Zero in
   if n > 0 then begin
@@ -171,7 +171,7 @@ let read_many_arr t indices =
         | [] -> ()
         | reqs ->
           let contents, done_at =
-            Blockdev.read_many_async t.devs.(d) (List.map snd reqs)
+            Blockdev.read_many_async ?cls t.devs.(d) (List.map snd reqs)
           in
           completion := Duration.max !completion done_at;
           List.iter2 (fun (pos, _) c -> results.(pos) <- c) reqs contents)
@@ -183,14 +183,14 @@ let read_many_arr t indices =
 
 (* --- asynchronous I/O ----------------------------------------------- *)
 
-let submit ?not_before t writes =
+let submit ?not_before ?cls t writes =
   let per_dev = partition t writes in
   let completion = ref Duration.zero in
   Array.iteri
     (fun d dev_writes ->
       if dev_writes <> [] then begin
         let exts = extents_of dev_writes in
-        let done_at = Blockdev.write_extents ?not_before t.devs.(d) exts in
+        let done_at = Blockdev.write_extents ?not_before ?cls t.devs.(d) exts in
         completion := Duration.max !completion done_at;
         match t.current with
         | None -> ()
@@ -243,13 +243,14 @@ let busy_until t =
     (fun acc dev -> Duration.max acc (Blockdev.busy_until dev))
     Duration.zero t.devs
 
-let write_async ?not_before t writes =
-  let completion = submit ?not_before t writes in
+let write_async ?not_before ?cls t writes =
+  let completion = submit ?not_before ?cls t writes in
   if Duration.equal completion Duration.zero then
     Duration.max (Clock.now (clock t)) (busy_until t)
   else completion
 
-let write_barrier t writes = write_async ~not_before:(busy_until t) t writes
+let write_barrier ?cls t writes =
+  write_async ~not_before:(busy_until t) ?cls t writes
 
 let await t completion =
   Clock.advance_to (clock t) completion;
@@ -257,9 +258,9 @@ let await t completion =
 
 let await_group t g = await t (group_completion g)
 
-let write_many t writes = await t (write_async t writes)
+let write_many ?cls t writes = await t (write_async ?cls t writes)
 
-let write t b c = write_many t [ (b, c) ]
+let write ?cls t b c = write_many ?cls t [ (b, c) ]
 
 let flush t =
   (* Drain every queue first so the per-device flush barriers overlap
@@ -286,6 +287,11 @@ let stats t =
         })
     Blockdev.{ reads = 0; writes = 0; blocks_read = 0; blocks_written = 0; flushes = 0 }
     (device_stats t)
+
+let sched_stats t =
+  Array.fold_left
+    (fun acc dev -> Iosched.add_stats acc (Blockdev.sched_stats dev))
+    Iosched.zero_stats t.devs
 
 let reset_stats t = Array.iter Blockdev.reset_stats t.devs
 

@@ -24,16 +24,18 @@ open Aurora_simtime
 
 type t
 
-val create : ?stripes:int -> ?capacity_blocks:int -> ?faults:Fault.plan ->
+val create : ?sched:Iosched.config -> ?stripes:int -> ?capacity_blocks:int ->
+  ?faults:Fault.plan ->
   ?metrics:Metrics.t -> ?spans:Span.t -> ?probes:Probe.t ->
   clock:Clock.t -> profile:Profile.t -> string -> t
 (** [create ~clock ~profile name] builds devices [name.0] ..
-    [name.n-1]. [stripes] defaults to the profile's stripe count;
-    [capacity_blocks] is the {e logical} capacity, split evenly.
-    [faults] attaches a deterministic media-fault plan: each device
-    gets its own seeded {!Fault.injector}; the plan's logical latent
-    blocks and dropped stripe indices are resolved through the stripe
-    map. Raises [Invalid_argument] when [stripes < 1]. *)
+    [name.n-1]. [sched] selects each device's I/O scheduler
+    ({!Iosched.Fifo} by default). [stripes] defaults to the profile's
+    stripe count; [capacity_blocks] is the {e logical} capacity, split
+    evenly. [faults] attaches a deterministic media-fault plan: each
+    device gets its own seeded {!Fault.injector}; the plan's logical
+    latent blocks and dropped stripe indices are resolved through the
+    stripe map. Raises [Invalid_argument] when [stripes < 1]. *)
 
 val set_observability :
   t -> ?metrics:Metrics.t -> ?spans:Span.t -> ?probes:Probe.t -> unit -> unit
@@ -61,29 +63,32 @@ val logical : t -> dev:int -> phys:int -> int
 
 (* --- synchronous I/O ------------------------------------------------ *)
 
-val read : t -> int -> Blockdev.content
+val read : ?cls:Iosched.cls -> t -> int -> Blockdev.content
 val peek : t -> int -> Blockdev.content
 
-val read_many : t -> int list -> Blockdev.content list
+val read_many : ?cls:Iosched.cls -> t -> int list -> Blockdev.content list
 (** One command per device touched, issued at the same simulated
     instant; the clock advances to the slowest device's completion.
-    Results are in request order. *)
+    Results are in request order. [cls] defaults to [Foreground]. *)
 
-val read_many_arr : t -> int array -> Blockdev.content array
+val read_many_arr : ?cls:Iosched.cls -> t -> int array -> Blockdev.content array
 (** Array variant of {!read_many} for preallocated hot paths: same
     batching and timing, results in request order, no list churn. *)
 
-val write : t -> int -> Blockdev.content -> unit
-val write_many : t -> (int * Blockdev.content) list -> unit
+val write : ?cls:Iosched.cls -> t -> int -> Blockdev.content -> unit
+val write_many : ?cls:Iosched.cls -> t -> (int * Blockdev.content) list -> unit
 (** Striped synchronous write: submits per-device extents in parallel
     and blocks until the slowest device completes. *)
 
 (* --- asynchronous I/O and the commit barrier ------------------------ *)
 
-val write_async : ?not_before:Duration.t -> t -> (int * Blockdev.content) list -> Duration.t
+val write_async :
+  ?not_before:Duration.t -> ?cls:Iosched.cls -> t ->
+  (int * Blockdev.content) list -> Duration.t
 (** Partition the writes per device, coalesce contiguous physical
     blocks into extents, queue one submission per device, and return
-    the {e max} completion time. Does not advance the clock. *)
+    the {e max} completion time. Does not advance the clock. [cls]
+    defaults to [Flush]. *)
 
 val write_oob : t -> (int * Blockdev.content) list -> Duration.t
 (** Out-of-band control write: dedicated per-device submission queues
@@ -91,7 +96,7 @@ val write_oob : t -> (int * Blockdev.content) list -> Duration.t
     can become durable while earlier data submissions still drain.
     Used for the store's black-box slot; see {!Blockdev.write_oob}. *)
 
-val write_barrier : t -> (int * Blockdev.content) list -> Duration.t
+val write_barrier : ?cls:Iosched.cls -> t -> (int * Blockdev.content) list -> Duration.t
 (** The commit barrier: the writes start only after {e every} device
     queue (as of submission) has drained — a superblock ordered after
     in-flight data on all stripes. Returns the completion time. *)
@@ -141,6 +146,10 @@ val stats : t -> Blockdev.stats
 (** Aggregate: field-wise sum of {!device_stats}. *)
 
 val device_stats : t -> Blockdev.stats array
+
+(** Per-class scheduler accounting summed over the stripes. *)
+val sched_stats : t -> Iosched.stats
+
 val reset_stats : t -> unit
 val used_blocks : t -> int
 

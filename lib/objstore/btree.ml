@@ -297,7 +297,7 @@ let rec fold_range t ~root ~lo ~hi ~init ~f =
 
 (* --- flushing / cache management ----------------------------------- *)
 
-let flush_dirty ?tee t =
+let flush_dirty ?tee ?cls t =
   let dirty =
     Hashtbl.fold (fun b c acc -> if c.dirty then (b, c) :: acc else acc) t.cache []
   in
@@ -310,7 +310,7 @@ let flush_dirty ?tee t =
     | None -> writes
   in
   if writes = [] then Clock.now (Devarray.clock t.dev)
-  else Devarray.write_async t.dev writes
+  else Devarray.write_async ?cls t.dev writes
 
 let dirty_count t = Hashtbl.fold (fun _ c n -> if c.dirty then n + 1 else n) t.cache 0
 let cached_count t = Hashtbl.length t.cache

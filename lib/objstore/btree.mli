@@ -66,7 +66,9 @@ val retain_root : t -> int -> unit
 (** Take an extra reference on a root (e.g. when a new generation
     starts from the previous generation's tree). *)
 
-val flush_dirty : ?tee:((int * Blockdev.content) list -> (int * Blockdev.content) list) -> t -> Duration.t
+val flush_dirty :
+  ?tee:((int * Blockdev.content) list -> (int * Blockdev.content) list) ->
+  ?cls:Iosched.cls -> t -> Duration.t
 (** Queue all dirty cached nodes to the device (asynchronously);
     returns the absolute completion time ({!Aurora_simtime.Duration}),
     or the current time when nothing was dirty. [tee] observes the

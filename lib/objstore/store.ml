@@ -139,6 +139,11 @@ type t = {
      earlier could tear a crash that falls back to an older superblock
      still referencing them. *)
   mutable bbox_seq : int; (* black-box slot alternation counter *)
+  mutable read_cls : Iosched.cls;
+  (* The I/O class charged for store reads. [Foreground] normally;
+     scrub/fsck and replication export flip it to [Background] around
+     their scans so bulk verification never competes with application
+     reads for reserved scheduler slack. *)
 }
 
 let open_prov t =
@@ -188,7 +193,7 @@ let max_read_retries = 4
    to the simulated clock; persistent faults (latent sectors, dropped
    devices, exhausted retries) surface as [Error]. *)
 let rec device_read_retry t block attempt =
-  match Devarray.read t.dev block with
+  match Devarray.read ~cls:t.read_cls t.dev block with
   | c -> Ok c
   | exception Fault.Io_error (Fault.Transient _ as e) ->
     if attempt >= max_read_retries then Error e
@@ -204,7 +209,8 @@ let heal t block content origin =
   (* Best-effort rewrite: restores the content and clears any latent
      error on the sector. If the rewrite itself fails the repair still
      served this read; the block stays degraded on disk. *)
-  (try Devarray.write t.dev block content with Fault.Io_error _ -> ());
+  (try Devarray.write ~cls:Iosched.Background t.dev block content
+   with Fault.Io_error _ -> ());
   t.repair_log <- (block, origin) :: t.repair_log;
   match origin with
   | Mirror -> t.io.repaired_from_mirror <- t.io.repaired_from_mirror + 1
@@ -393,7 +399,7 @@ let make ?(dedup = true) ?prot dev =
       repair_log = []; quarantined = []; provs = Hashtbl.create 16;
       obs_counters = None; obs_spans = None; obs_probes = None;
       gen_durable = Hashtbl.create 16; sb_horizon = Duration.zero;
-      deferred = []; bbox_seq = 0 }
+      deferred = []; bbox_seq = 0; read_cls = Iosched.Foreground }
   in
   Alloc.add_on_free alloc (fun b ->
       Hashtbl.remove t.csums b;
@@ -561,6 +567,8 @@ let format ?dedup ?protection ~dev () =
 
 let device t = t.dev
 let protection t = t.prot
+let read_class t = t.read_cls
+let set_read_class t cls = t.read_cls <- cls
 
 let set_observability t ?metrics ?spans ?probes () =
   t.obs_counters <-
@@ -869,7 +877,7 @@ let write_superblock ?(after = Duration.zero) t =
     else []
   in
   let table_done =
-    Devarray.write_async t.dev
+    Devarray.write_async ~cls:Iosched.Deadline t.dev
       (List.map (fun (b, chunk) -> (b, Blockdev.Data chunk)) (blocks @ mirror_blocks))
   in
   List.iter (fun b -> Alloc.decref t.alloc b) t.prev_gentable_blocks;
@@ -883,7 +891,7 @@ let write_superblock ?(after = Duration.zero) t =
   let slot = t.commit_seq mod superblock_slots in
   let not_before = Duration.max after (Duration.max table_done t.sb_horizon) in
   let durable_at =
-    Devarray.write_async ~not_before t.dev
+    Devarray.write_async ~not_before ~cls:Iosched.Deadline t.dev
       [ (slot, Blockdev.Data (encode_superblock t)) ]
   in
   (* Blocks freed since the previous superblock become reusable once
@@ -1032,7 +1040,7 @@ let note_flush t ~gen ~started ~durable_at ~data_blocks =
       ~us:(Duration.to_us (Duration.sub durable_at started))
       ~blocks:data_blocks
 
-let commit_unchecked t ?name () =
+let commit_unchecked t ?name ?(cls = Iosched.Flush) () =
   let g, root = require_open t in
   let flush_started = Clock.now (Devarray.clock t.dev) in
   t.open_gen <- None;
@@ -1047,7 +1055,7 @@ let commit_unchecked t ?name () =
   let data_batch = List.rev t.pending_pages in
   t.pending_pages <- [];
   let data_blocks = List.length data_batch in
-  if data_batch <> [] then ignore (Devarray.write_async t.dev data_batch);
+  if data_batch <> [] then ignore (Devarray.write_async ~cls t.dev data_batch);
   let prov = Hashtbl.find_opt t.provs g in
   (* The tee sees every flushed tree node, so provenance counts them
      even when the protection machinery (the tee's other job) is off. *)
@@ -1062,7 +1070,7 @@ let commit_unchecked t ?name () =
      | None -> ());
     extra
   in
-  ignore (Btree.flush_dirty ~tee:counting_tee t.tree);
+  ignore (Btree.flush_dirty ~tee:counting_tee ~cls t.tree);
   (* The gentable carries the provenance rows, so the commit-block
      count must be final before the table is encoded. Ints serialize
      fixed-width: a trial encoding has the same size as the real one,
@@ -1097,9 +1105,9 @@ let rollback t g =
   Devarray.discard_group t.dev;
   rebuild t
 
-let commit_result t ?name () =
+let commit_result t ?name ?cls () =
   let g0 = match t.open_gen with Some (g, _) -> g | None -> fst (require_open t) in
-  match commit_unchecked t ?name () with
+  match commit_unchecked t ?name ?cls () with
   | res -> Ok res
   | exception Alloc.Out_of_space ->
     rollback t g0;
@@ -1108,8 +1116,8 @@ let commit_result t ?name () =
     (try rollback t g0 with Fault.Io_error _ | Fail _ -> ());
     Error (Device_failed (Fault.describe e))
 
-let commit t ?name () =
-  match commit_result t ?name () with
+let commit t ?name ?cls () =
+  match commit_result t ?name ?cls () with
   | Ok res -> res
   | Error e -> raise (Fail e)
 
@@ -1227,7 +1235,7 @@ let read_pages_batch t g ~oid ~pindexes =
       | Some (Btree.Imm _) | None -> ()
     done;
     let m = !m in
-    let contents = Devarray.read_many_arr t.dev (Array.sub blocks 0 m) in
+    let contents = Devarray.read_many_arr ~cls:t.read_cls t.dev (Array.sub blocks 0 m) in
     Array.init m (fun i ->
         let block = blocks.(i) in
         (* Batch reads are best-effort DMA: a latent sector comes back
@@ -1775,7 +1783,10 @@ let scrub_pass t scanned =
      path with cold caches, so latent sectors and rotted content are
      found and healed now rather than at the next restore. A
      generation with an unrepairable block is dropped and reported
-     lost. *)
+     lost. The whole scan is background I/O. *)
+  let saved_cls = t.read_cls in
+  t.read_cls <- Iosched.Background;
+  Fun.protect ~finally:(fun () -> t.read_cls <- saved_cls) @@ fun () ->
   Btree.reset_cache t.tree;
   let dropped = ref false in
   let scrub_gen root =

@@ -95,6 +95,14 @@ val open_exn : dev:Devarray.t -> t
 val device : t -> Devarray.t
 val protection : t -> protection
 
+val read_class : t -> Iosched.cls
+val set_read_class : t -> Iosched.cls -> unit
+(** The I/O class charged for store reads ([Foreground] by default).
+    Bulk scanners — scrub, fsck, replication export — set
+    [Background] around their scans and restore the previous class
+    after, so verification traffic never competes with application
+    reads for the scheduler's reserved slack. *)
+
 val set_observability :
   t -> ?metrics:Metrics.t -> ?spans:Span.t -> ?probes:Probe.t -> unit -> unit
 (** Rebind (or, with no arguments, detach) instrumentation. With
@@ -135,14 +143,19 @@ val put_blob : t -> oid:int -> index:int -> string -> unit
     Deduplicated store-wide by content hash, like pages. Raises
     [Invalid_argument] if the blob exceeds the block size. *)
 
-val commit : t -> ?name:string -> unit -> gen * Duration.t
+val commit : t -> ?name:string -> ?cls:Iosched.cls -> unit -> gen * Duration.t
 (** Close the open generation; returns it with its durability time
     (see above). Does not advance the clock past CPU serialization
-    cost — flushing proceeds on the device timeline. Raises {!Fail}
-    ([Out_of_space] or [Device_failed]) after rolling the generation
-    back; committed generations keep serving. *)
+    cost — flushing proceeds on the device timeline. [cls] is the I/O
+    class charged for the epoch's data and tree-node extents (default
+    [Flush]; the checkpoint pipeline promotes to [Deadline] when a
+    caller is already waiting on the epoch). The generation table and
+    superblock are always [Deadline] — they are the commit barrier.
+    Raises {!Fail} ([Out_of_space] or [Device_failed]) after rolling
+    the generation back; committed generations keep serving. *)
 
-val commit_result : t -> ?name:string -> unit -> (gen * Duration.t, error) result
+val commit_result :
+  t -> ?name:string -> ?cls:Iosched.cls -> unit -> (gen * Duration.t, error) result
 (** {!commit} with the failure as a value. On [Error] the open
     generation has been rolled back (allocator, dedup and caches
     rebuilt from committed state) and the store remains usable. *)

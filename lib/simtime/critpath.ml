@@ -219,11 +219,31 @@ let analyze spans ?gen ?(extra = []) () =
             else acc)
           0. all
       in
+      (* Per-I/O-class rows: device traffic sharing the window with the
+         chain, keyed by the scheduler class stamped on each transfer.
+         The generation's own flush transfers (the [dev_writes] chain
+         set) are excluded — only competing traffic is an antagonist. *)
+      let chain_ids = List.map (fun (s : Span.span) -> s.Span.id) dev_writes in
+      let cls_overlap cname =
+        List.fold_left
+          (fun acc (s : Span.span) ->
+            if
+              (s.Span.name = "dev.read" || s.Span.name = "dev.write")
+              && attr s "cls" = Some cname
+              && not (List.mem s.Span.id chain_ids)
+            then acc +. overlap_us s ~from_:barrier_at ~until:durable_at
+            else acc)
+          0. all
+      in
       let antagonists =
         [ ("backpressure", sum_overlap "ckpt.backpressure");
           ("recorder", sum_overlap "ckpt.recorder");
           ("repl_ship", repl_us);
-          ("oob_writes", sum_overlap "dev.oob") ]
+          ("oob_writes", sum_overlap "dev.oob");
+          ("io_fg", cls_overlap "fg");
+          ("io_flush", cls_overlap "flush");
+          ("io_bg", cls_overlap "bg");
+          ("io_deadline", cls_overlap "deadline") ]
         @ extra
         |> List.filter (fun (_, us) -> us > 0.)
         |> List.map (fun (an_name, an_us) -> { an_name; an_us })

@@ -34,7 +34,7 @@ let point_of_name = function
 
 (* --- query DSL ------------------------------------------------------- *)
 
-type field = Fdev | Fop | Fgen | Fpgid | Fus | Fblocks
+type field = Fdev | Fop | Fcls | Fgen | Fpgid | Fus | Fblocks
 type cmp = Eq | Ne | Lt | Le | Gt | Ge
 type value = Num of float | Str of string
 
@@ -61,6 +61,7 @@ type spec = {
 let field_name = function
   | Fdev -> "dev"
   | Fop -> "op"
+  | Fcls -> "cls"
   | Fgen -> "gen"
   | Fpgid -> "pgid"
   | Fus -> "us"
@@ -69,13 +70,14 @@ let field_name = function
 let field_of_name = function
   | "dev" -> Some Fdev
   | "op" -> Some Fop
+  | "cls" -> Some Fcls
   | "gen" -> Some Fgen
   | "pgid" -> Some Fpgid
   | "us" -> Some Fus
   | "blocks" -> Some Fblocks
   | _ -> None
 
-let string_field = function Fdev | Fop -> true | _ -> false
+let string_field = function Fdev | Fop | Fcls -> true | _ -> false
 
 (* --- tokenizer ------------------------------------------------------- *)
 
@@ -406,31 +408,33 @@ let num_of ~gen ~pgid ~us ~blocks = function
   | Fpgid -> float_of_int pgid
   | Fus -> us
   | Fblocks -> float_of_int blocks
-  | Fdev | Fop -> nan
+  | Fdev | Fop | Fcls -> nan
 
-let str_of ~dev ~op = function
+let str_of ~dev ~op ~cls = function
   | Fdev -> dev
   | Fop -> op
+  | Fcls -> cls
   | _ -> ""
 
-let key_of ~dev ~op ~gen ~pgid ~us ~blocks = function
+let key_of ~dev ~op ~cls ~gen ~pgid ~us ~blocks = function
   | Fdev -> dev
   | Fop -> op
+  | Fcls -> cls
   | Fgen -> string_of_int gen
   | Fpgid -> string_of_int pgid
   | Fus -> print_num us
   | Fblocks -> string_of_int blocks
 
-let rec eval_pred p ~dev ~op ~gen ~pgid ~us ~blocks =
+let rec eval_pred p ~dev ~op ~cls ~gen ~pgid ~us ~blocks =
   match p with
   | And (a, b) ->
-    eval_pred a ~dev ~op ~gen ~pgid ~us ~blocks
-    && eval_pred b ~dev ~op ~gen ~pgid ~us ~blocks
+    eval_pred a ~dev ~op ~cls ~gen ~pgid ~us ~blocks
+    && eval_pred b ~dev ~op ~cls ~gen ~pgid ~us ~blocks
   | Or (a, b) ->
-    eval_pred a ~dev ~op ~gen ~pgid ~us ~blocks
-    || eval_pred b ~dev ~op ~gen ~pgid ~us ~blocks
+    eval_pred a ~dev ~op ~cls ~gen ~pgid ~us ~blocks
+    || eval_pred b ~dev ~op ~cls ~gen ~pgid ~us ~blocks
   | Cmp (f, c, Str s) -> (
-    let v = str_of ~dev ~op f in
+    let v = str_of ~dev ~op ~cls f in
     match c with
     | Eq -> String.equal v s
     | Ne -> not (String.equal v s)
@@ -548,7 +552,7 @@ let update_cell c agg ~gen ~pgid ~us ~blocks =
     let b = qbucket v in
     c.c_buckets.(b) <- c.c_buckets.(b) + 1
 
-let fire t point ~dev ~op ~gen ~pgid ~us ~blocks =
+let fire ?(cls = "") t point ~dev ~op ~gen ~pgid ~us ~blocks =
   List.iter
     (fun sub ->
       if sub.spec.sp_point = point then begin
@@ -556,14 +560,14 @@ let fire t point ~dev ~op ~gen ~pgid ~us ~blocks =
         let matches =
           match sub.spec.sp_pred with
           | None -> true
-          | Some p -> eval_pred p ~dev ~op ~gen ~pgid ~us ~blocks
+          | Some p -> eval_pred p ~dev ~op ~cls ~gen ~pgid ~us ~blocks
         in
         if matches then begin
           sub.s_matched <- sub.s_matched + 1;
           let key =
             match sub.spec.sp_by with
             | None -> ""
-            | Some f -> key_of ~dev ~op ~gen ~pgid ~us ~blocks f
+            | Some f -> key_of ~dev ~op ~cls ~gen ~pgid ~us ~blocks f
           in
           let want_buckets =
             match sub.spec.sp_agg with Quantize _ -> true | _ -> false

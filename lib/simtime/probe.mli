@@ -20,7 +20,7 @@
                parenthesised freely; && binds tighter than ||
       CMP   := FIELD (= | != | < | <= | > | >=) VALUE
       AGG   := count | sum(F) | min(F) | max(F) | avg(F) | quantize(F)
-      FIELD := dev | op | gen | pgid | us | blocks
+      FIELD := dev | op | cls | gen | pgid | us | blocks
     v}
 
     e.g. ["dev.io where dev = nvme1 && us > 50 agg quantize(us) by op"].
@@ -53,17 +53,19 @@ val on : t option -> point -> bool
     subsystems that hold an optional registry. *)
 
 val fire :
-  t -> point ->
-  dev:string -> op:string -> gen:int -> pgid:int -> us:float -> blocks:int ->
-  unit
+  ?cls:string -> t -> point ->
+  dev:string -> op:string -> gen:int -> pgid:int -> us:float ->
+  blocks:int -> unit
 (** Deliver one event to every subscription on the point. Callers must
     only reach this under an {!enabled}/{!on} guard so argument
     computation is skipped on the disabled path. Fields that do not
-    apply use [""] / [-1]. *)
+    apply use [""] / [-1]. [cls] is the I/O scheduling class on
+    [dev.io] events (["fg"] / ["flush"] / ["bg"] / ["deadline"]);
+    it defaults to [""]. *)
 
 (* --- query DSL ------------------------------------------------------- *)
 
-type field = Fdev | Fop | Fgen | Fpgid | Fus | Fblocks
+type field = Fdev | Fop | Fcls | Fgen | Fpgid | Fus | Fblocks
 type cmp = Eq | Ne | Lt | Le | Gt | Ge
 
 type value = Num of float | Str of string

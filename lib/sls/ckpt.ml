@@ -161,7 +161,8 @@ let attribution (k : Kernel.t) (g : Types.pgroup) ~gen
     at_procs = proc_rows;
   }
 
-let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
+let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true)
+    ?flush_cls () =
   let store =
     match Types.primary_store g with
     | Some s -> s
@@ -331,7 +332,7 @@ let capture (k : Kernel.t) (g : Types.pgroup) ?mode ?name ?(with_fs = true) () =
       if with_fs then
         Aurora_slsfs.Slsfs.checkpoint_fs store k.Kernel.fs
           ~popen_of_vid:(persistent_opens k g);
-      Store.commit store ?name ()
+      Store.commit store ?name ?cls:flush_cls ()
     with
     | gen', durable_at ->
       assert (gen = gen');

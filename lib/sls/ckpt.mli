@@ -28,6 +28,7 @@ val capture :
   ?mode:[ `Full | `Incremental ] ->
   ?name:string ->
   ?with_fs:bool ->
+  ?flush_cls:Aurora_device.Iosched.cls ->
   unit ->
   Types.ckpt_breakdown
 (** Barrier + background submission only: quiesce, serialize, arm COW,
@@ -37,8 +38,12 @@ val capture :
     calling {!finalize} once the clock passes [durable_at] — the
     machine keeps a bounded pipeline of such epochs in flight.
     [mode] defaults to the group's configured [incremental] flag;
-    [with_fs] (default true) also checkpoints the file system. Raises
-    [Invalid_argument] when the group has no local backend. *)
+    [with_fs] (default true) also checkpoints the file system.
+    [flush_cls] is the I/O class of the epoch's flush extents
+    (default [Flush]; the machine promotes to [Deadline] when the
+    pipeline window is full and the caller will quiesce on this
+    epoch). Raises [Invalid_argument] when the group has no local
+    backend. *)
 
 val finalize : Kernel.t -> Types.pgroup -> Types.ckpt_breakdown -> unit
 (** Completion continuation for one captured epoch: charges the retire

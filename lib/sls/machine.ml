@@ -69,6 +69,22 @@ let sync_metrics t =
       set ("dev." ^ label ^ ".blocks_read_total") st.Blockdev.blocks_read;
       set ("dev." ^ label ^ ".blocks_written_total") st.Blockdev.blocks_written;
       set ("dev." ^ label ^ ".flushes") st.Blockdev.flushes;
+      let ss = Devarray.sched_stats dev in
+      List.iter
+        (fun cls ->
+          let i = Iosched.cls_index cls in
+          let p = "dev." ^ label ^ ".sched." ^ Iosched.cls_name cls ^ "." in
+          set (p ^ "ops") ss.Iosched.s_ops.(i);
+          set (p ^ "blocks") ss.Iosched.s_blocks.(i);
+          set (p ^ "service_us") (int_of_float ss.Iosched.s_service_us.(i)))
+        [ Iosched.Foreground; Iosched.Flush; Iosched.Background;
+          Iosched.Deadline ];
+      let p = "dev." ^ label ^ ".sched." in
+      set (p ^ "fg_gap_fills") ss.Iosched.s_fg_gap_fills;
+      set (p ^ "fg_wait_us") (int_of_float ss.Iosched.s_fg_wait_us);
+      set (p ^ "gaps_reserved_us") (int_of_float ss.Iosched.s_gaps_reserved_us);
+      set (p ^ "gaps_used_us") (int_of_float ss.Iosched.s_gaps_used_us);
+      set (p ^ "gaps_expired_us") (int_of_float ss.Iosched.s_gaps_expired_us);
       let f = Devarray.fault_stats dev in
       set ("fault." ^ label ^ ".transient_reads") f.Fault.transient_reads;
       set ("fault." ^ label ^ ".transient_writes") f.Fault.transient_writes;
@@ -161,7 +177,7 @@ let build_on ?(max_inflight_ckpts = 2) ~kernel ~nvme ~memdev ~disk_store
 
 let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
     ?(fs_with_disk = false) ?dedup ?faults ?storage_blocks ?max_inflight_ckpts
-    () =
+    ?io_sched () =
   let kernel0 = Kernel.create ?capacity_pages () in
   let clock = kernel0.Kernel.clock in
   let fs =
@@ -171,8 +187,8 @@ let create ?(storage_profile = Profile.optane_900p) ?stripes ?capacity_pages
   in
   kernel0.Kernel.fs <- fs;
   let nvme =
-    Devarray.create ?stripes ?faults ?capacity_blocks:storage_blocks ~clock
-      ~profile:storage_profile "nvme"
+    Devarray.create ?stripes ?faults ?capacity_blocks:storage_blocks
+      ?sched:io_sched ~clock ~profile:storage_profile "nvme"
   in
   let memdev = Devarray.create ~stripes:1 ~clock ~profile:Profile.dram "memdev" in
   let disk_store = Store.format ?dedup ~dev:nvme () in
@@ -282,7 +298,18 @@ let checkpoint_now t g ?mode ?name () =
   (* Retire anything that landed since the last barrier first: keeps
      the history window tight and the in-flight window honest. *)
   complete_due t;
-  let b = Ckpt.capture t.kernel g ?mode ?name () in
+  let window = max 1 t.max_inflight_ckpts in
+  (* I/O class of this epoch's flush extents. When the pipeline has
+     headroom the flush drains at [Flush] priority so foreground reads
+     can overtake it; when this barrier will quiesce on its own epoch
+     (window full, or the synchronous engine), the epoch is promoted to
+     [Deadline] so durability is not delayed by the pacing gaps. *)
+  let flush_cls =
+    if window <= 1 || List.length t.pending_ckpts + 1 >= window then
+      Iosched.Deadline
+    else Iosched.Flush
+  in
+  let b = Ckpt.capture t.kernel g ?mode ?name ~flush_cls () in
   (* Feed the watchdog before any secondary-backend work moves the
      clock: the stop window ends when the application resumes. Breaches
      also land in the flight recorder, so they survive the crash they
@@ -354,7 +381,6 @@ let checkpoint_now t g ?mode ?name () =
         pipeline is back under it. With a window of 1 this is exactly
         the synchronous engine. *)
      t.pending_ckpts <- t.pending_ckpts @ [ { Types.pc_group = g; pc_b = b } ];
-     let window = max 1 t.max_inflight_ckpts in
      let bp_started = now t in
      while List.length t.pending_ckpts >= window do
        match t.pending_ckpts with

@@ -87,6 +87,7 @@ val create :
   ?faults:Fault.plan ->
   ?storage_blocks:int ->
   ?max_inflight_ckpts:int ->
+  ?io_sched:Iosched.config ->
   unit ->
   t
 (** A fresh machine. [storage_profile] (default Optane 900P) is the
@@ -101,7 +102,10 @@ val create :
     and mirroring on. [storage_blocks] caps the disk array's logical
     capacity — checkpoints degrade (not crash) when it fills.
     [max_inflight_ckpts] (default 2) bounds the checkpoint pipeline —
-    see the field above. *)
+    see the field above. [io_sched] (default {!Iosched.Fifo}) selects
+    the disk array's I/O scheduler: [Wdrr _] paces checkpoint-flush
+    and background traffic so foreground reads can slot into reserved
+    gaps instead of queueing behind whole flush batches. *)
 
 val clock : t -> Clock.t
 val now : t -> Duration.t

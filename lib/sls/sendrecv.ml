@@ -86,6 +86,13 @@ let image_oids store ~gen ~pgid ~with_fs =
   (List.rev !record_oids, List.rev_map Oidspace.vmobj !vm_oids, vnode_oids)
 
 let export store ~gen ~pgid ?base ?(with_fs = true) () =
+  (* Image reads are replication traffic, not application reads: demote
+     them so a concurrent ship does not steal the reserved foreground
+     gaps from the application's own page faults. *)
+  let saved_cls = Store.read_class store in
+  Store.set_read_class store Iosched.Background;
+  Fun.protect ~finally:(fun () -> Store.set_read_class store saved_cls)
+  @@ fun () ->
   let record_oids, page_oids, blob_oids = image_oids store ~gen ~pgid ~with_fs in
   let w = Serial.writer () in
   Serial.w_int w pgid;

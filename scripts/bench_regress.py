@@ -38,6 +38,13 @@ Guarded metrics:
                                         are deliberately NOT guarded
                                         against the baseline, only
                                         against the absolute budget)
+  qos-sweep    / wdrr_read_p99_us       foreground p99 read latency
+                                        under the weighted scheduler
+                                        (lower is better)
+  qos-sweep    / wdrr_flush_mean_us     flush completion with pacing on
+                                        (lower is better)
+  qos-sweep    / p99_improve_pct        scheduler-on improvement over
+                                        FIFO (higher is better)
 
 Absolute limits (no baseline needed — the value itself is the gate):
   critpath     / s1_stop_match ... s8_stop_match   must be 1: the
@@ -53,6 +60,9 @@ Absolute limits (no baseline needed — the value itself is the gate):
   critpath     / probe_overhead_pct     must stay under 3: tax of live
                                         probe aggregations on a
                                         checkpoint-saturated workload
+  qos-sweep    / qos_*_flag             must be 1: p99 improvement >=
+                                        30%, flush cost <= 10%, stop
+                                        time within 5% of FIFO
 
 Histogram distribution shape: any guarded target may carry
 "<key>_buckets" entries (per-bucket counts as emitted by the bench's
@@ -62,46 +72,39 @@ the highest non-empty bucket index may exceed the baseline's by at
 most one.  A latency histogram whose tail migrates into coarser
 buckets fails even when the mean stays inside the scalar margin.
 
+The guard and limit tables live in scripts/gates.json — the same
+manifest that drives scripts/ci_gates.py — so the regression gate and
+the workflow's smoke gates are a single declaration. This module keeps
+only the comparison machinery.
+
 Usage: bench_regress.py RESULTS.json [BASELINE.json] [--margin PCT]
+                        [--manifest PATH]
 """
 
 import json
+import os
 import sys
 
-# (target, key, direction): "higher" means larger values are better.
-GUARDS = [
-    ("stripe-sweep", "stripes_4_speedup", "higher"),
-    ("ckpt-rate", "i10_s4_k2_amort_us", "lower"),
-    ("ckpt-rate", "i10_s4_k1_amort_us", "lower"),
-    ("ckpt-rate", "recorder_worst_pct", "lower"),
-    ("phase-breakdown", "stop_us", "lower"),
-    ("repl-sweep", "loss_0_goodput_mibps", "higher"),
-    ("repl-sweep", "loss_1e-2_goodput_mibps", "higher"),
-    ("repl-sweep", "loss_1e-2_time_to_converge_ms", "lower"),
-    ("critpath", "s4_stop_us", "lower"),
-]
-
-# (target, key, op, limit): checked against the results document alone,
-# independent of any baseline drift. "ge"/"le" compare the value to the
-# limit; a key missing from a target that ran is a failure.
-ABS_LIMITS = [
-    ("critpath", "s1_stop_match", "ge", 1),
-    ("critpath", "s2_stop_match", "ge", 1),
-    ("critpath", "s4_stop_match", "ge", 1),
-    ("critpath", "s8_stop_match", "ge", 1),
-    ("critpath", "s1_segments", "ge", 4),
-    ("critpath", "s2_segments", "ge", 4),
-    ("critpath", "s4_segments", "ge", 4),
-    ("critpath", "s8_segments", "ge", 4),
-    ("critpath", "probe_sim_identical", "ge", 1),
-    ("critpath", "probe_overhead_pct", "le", 3.0),
-]
+DEFAULT_MANIFEST = os.path.join(os.path.dirname(os.path.abspath(__file__)), "gates.json")
 
 
-def check_abs_limits(results):
+def load_manifest(path):
+    """(guards, abs_limits, margin_pct, bucket_drift) from gates.json."""
+    with open(path) as f:
+        m = json.load(f)
+    guards = [
+        (g["target"], g["key"], g["direction"]) for g in m.get("regression_guards", [])
+    ]
+    abs_limits = [
+        (l["target"], l["key"], l["op"], l["limit"]) for l in m.get("abs_limits", [])
+    ]
+    return guards, abs_limits, float(m.get("margin_pct", 10)), int(m.get("bucket_drift", 1))
+
+
+def check_abs_limits(results, abs_limits):
     """Gate values against fixed limits. Returns failure count."""
     failures = 0
-    for target, key, op, limit in ABS_LIMITS:
+    for target, key, op, limit in abs_limits:
         if target not in results:
             print(f"  skip {target}/{key}: target not in results")
             continue
@@ -117,11 +120,6 @@ def check_abs_limits(results):
             failures += 1
     return failures
 
-# How many buckets the top of a distribution may shift right relative
-# to the baseline before we call it a shape regression.
-BUCKET_DRIFT = 1
-
-
 def top_bucket(buckets):
     """Index of the highest bucket with a non-zero count, or -1."""
     top = -1
@@ -134,7 +132,7 @@ def top_bucket(buckets):
     return top
 
 
-def check_buckets(results, baseline):
+def check_buckets(results, baseline, bucket_drift):
     """Compare every *_buckets distribution present in both documents.
 
     Returns the number of shape regressions found (prints verdicts).
@@ -155,11 +153,11 @@ def check_buckets(results, baseline):
             if base_top is None or cur_top is None:
                 print(f"  skip {target}/{key}: malformed buckets")
                 continue
-            ok = cur_top <= base_top + BUCKET_DRIFT
+            ok = cur_top <= base_top + bucket_drift
             verdict = "ok  " if ok else "FAIL"
             print(
                 f"{verdict} {target}/{key}: top bucket {cur_top} vs baseline "
-                f"{base_top} (drift allowance {BUCKET_DRIFT})"
+                f"{base_top} (drift allowance {bucket_drift})"
             )
             if not ok:
                 failures += 1
@@ -179,22 +177,28 @@ def lookup(doc, target, key):
 
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
-    margin = 10.0
+    margin = None
+    manifest_path = DEFAULT_MANIFEST
     for a in argv[1:]:
         if a.startswith("--margin"):
             margin = float(a.split("=", 1)[1] if "=" in a else args.pop())
+        elif a.startswith("--manifest="):
+            manifest_path = a.split("=", 1)[1]
     if not args:
         print(__doc__)
         return 2
     results_path = args[0]
     baseline_path = args[1] if len(args) > 1 else "BENCH_baseline.json"
+    guards, abs_limits, manifest_margin, bucket_drift = load_manifest(manifest_path)
+    if margin is None:
+        margin = manifest_margin
     with open(results_path) as f:
         results = json.load(f)
     with open(baseline_path) as f:
         baseline = json.load(f)
 
     failed = False
-    for target, key, direction in GUARDS:
+    for target, key, direction in guards:
         base = lookup(baseline, target, key)
         cur = lookup(results, target, key)
         if base is None:
@@ -224,8 +228,8 @@ def main(argv):
             f"({rel:+.1f}% {'worse' if rel > 0 else 'better'}, margin {margin:g}%)"
         )
         failed = failed or not ok
-    failed = failed or check_buckets(results, baseline) > 0
-    failed = failed or check_abs_limits(results) > 0
+    failed = failed or check_buckets(results, baseline, bucket_drift) > 0
+    failed = failed or check_abs_limits(results, abs_limits) > 0
     return 1 if failed else 0
 
 

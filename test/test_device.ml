@@ -577,6 +577,164 @@ let test_fault_write_retry_charges_time () =
   let st = Devarray.fault_stats flaky in
   check_bool "write retries counted" true (st.Fault.transient_writes > 0)
 
+(* --- I/O scheduler -------------------------------------------------- *)
+
+let uss = Duration.microseconds
+
+(* A small weighted config with round numbers: after every 100 us of
+   bulk service a 25 us gap is reserved (fg:flush = 1:4). *)
+let wdrr_1_4 =
+  Iosched.Wdrr { fg_weight = 1; flush_weight = 4; bg_weight = 4; quantum_us = 100. }
+
+let test_iosched_fifo_is_legacy_queue () =
+  (* Fifo must be bit-identical to the old busy_until arithmetic:
+     max (now, horizon) + cost, classes ignored. *)
+  let s = Iosched.create Iosched.Fifo in
+  let st1, c1 =
+    Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Flush ~cost:(uss 100)
+      ~blocks:10
+  in
+  Alcotest.check duration_t "first starts now" Duration.zero st1;
+  Alcotest.check duration_t "first completes at cost" (uss 100) c1;
+  let st2, c2 =
+    Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Foreground ~cost:(uss 10)
+      ~blocks:1
+  in
+  Alcotest.check duration_t "foreground queues behind flush" (uss 100) st2;
+  Alcotest.check duration_t "tail completion" (uss 110) c2;
+  Alcotest.check duration_t "horizon is the tail" (uss 110) (Iosched.horizon s)
+
+let test_iosched_wdrr_paces_bulk () =
+  (* 400 us of flush service at 1:4 stretches to 500 us: four quanta,
+     each followed by a 25 us reserved gap. *)
+  let s = Iosched.create wdrr_1_4 in
+  let st, c =
+    Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Flush ~cost:(uss 400)
+      ~blocks:40
+  in
+  Alcotest.check duration_t "bulk starts now" Duration.zero st;
+  Alcotest.check duration_t "elongated by fg/flush weight" (uss 500) c;
+  let stats = Iosched.stats s in
+  Alcotest.(check int)
+    "reservation bookkeeping" 100
+    (int_of_float stats.Iosched.s_gaps_reserved_us)
+
+let test_iosched_wdrr_gap_fill () =
+  let s = Iosched.create wdrr_1_4 in
+  ignore
+    (Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Flush ~cost:(uss 400)
+       ~blocks:40);
+  (* A foreground arrival slots into the first reserved gap [100, 125)
+     instead of queueing at 500. *)
+  let st, c =
+    Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Foreground ~cost:(uss 10)
+      ~blocks:1
+  in
+  Alcotest.check duration_t "starts at the first gap" (uss 100) st;
+  Alcotest.check duration_t "completes inside it" (uss 110) c;
+  (* The remainder of the gap is still usable. *)
+  let st2, _ =
+    Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Foreground ~cost:(uss 10)
+      ~blocks:1
+  in
+  Alcotest.check duration_t "remainder reused" (uss 110) st2;
+  (* Too big for any 25 us gap: falls back to the queue tail. *)
+  let st3, _ =
+    Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Foreground ~cost:(uss 50)
+      ~blocks:5
+  in
+  Alcotest.check duration_t "oversized falls back to tail" (uss 500) st3;
+  let stats = Iosched.stats s in
+  Alcotest.(check int) "gap fills counted" 2 stats.Iosched.s_fg_gap_fills
+
+let test_iosched_wdrr_gap_expiry () =
+  let s = Iosched.create wdrr_1_4 in
+  ignore
+    (Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Flush ~cost:(uss 400)
+       ~blocks:40);
+  (* By 200 us the first gap [100, 125) has passed unused; the arrival
+     fills the second one [225, 250). *)
+  let st, _ =
+    Iosched.schedule s ~now:(uss 200) ~cls:Iosched.Foreground ~cost:(uss 10)
+      ~blocks:1
+  in
+  Alcotest.check duration_t "expired gap skipped" (uss 225) st;
+  let stats = Iosched.stats s in
+  Alcotest.(check int)
+    "expired reservation counted" 25
+    (int_of_float stats.Iosched.s_gaps_expired_us)
+
+let test_iosched_deadline_not_paced () =
+  let s = Iosched.create wdrr_1_4 in
+  (* Deadline submissions are never stretched... *)
+  let st, c =
+    Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Deadline ~cost:(uss 400)
+      ~blocks:40
+  in
+  Alcotest.check duration_t "deadline starts now" Duration.zero st;
+  Alcotest.check duration_t "deadline not elongated" (uss 400) c;
+  (* ... and honor not_before like the superblock barrier requires. *)
+  let st2, c2 =
+    Iosched.schedule ~not_before:(uss 600) s ~now:Duration.zero
+      ~cls:Iosched.Deadline ~cost:(uss 10) ~blocks:1
+  in
+  Alcotest.check duration_t "not_before respected" (uss 600) st2;
+  Alcotest.check duration_t "completion after barrier" (uss 610) c2
+
+let test_iosched_reset_clears_schedule () =
+  let s = Iosched.create wdrr_1_4 in
+  ignore
+    (Iosched.schedule s ~now:Duration.zero ~cls:Iosched.Flush ~cost:(uss 400)
+       ~blocks:40);
+  Iosched.reset_to s (uss 1000);
+  Alcotest.check duration_t "horizon at reset point" (uss 1000) (Iosched.horizon s);
+  let st, _ =
+    Iosched.schedule s ~now:(uss 1000) ~cls:Iosched.Foreground ~cost:(uss 10)
+      ~blocks:1
+  in
+  Alcotest.check duration_t "no stale gaps" (uss 1000) st
+
+let test_iosched_blockdev_read_overtakes_flush () =
+  (* End to end through the device: with the scheduler on, a foreground
+     read issued while a checkpoint-sized extent batch drains completes
+     well before the batch does. *)
+  let run sched =
+    let clock = Clock.create () in
+    let dev = Blockdev.create ~sched ~clock ~profile:Profile.optane_900p "qdev" in
+    let extents =
+      List.init 4 (fun e ->
+          List.init 256 (fun i -> (e * 256 + i, Blockdev.Seed (Int64.of_int i))))
+    in
+    let done_at = Blockdev.write_extents dev extents in
+    ignore (Blockdev.read dev 0);
+    (Clock.now clock, done_at)
+  in
+  let fifo_read, fifo_done = run Iosched.Fifo in
+  let wdrr_read, wdrr_done = run Iosched.default_wdrr in
+  check_bool "fifo read queues behind the batch" true
+    Duration.(fifo_read >= fifo_done);
+  check_bool "wdrr read overtakes the batch" true
+    Duration.(wdrr_read < wdrr_done);
+  (* The batch pays the reservation tax, bounded by fg/flush weight. *)
+  check_bool "flush cost bounded" true
+    (Duration.to_us wdrr_done <= Duration.to_us fifo_done *. 1.10)
+
+let test_iosched_determinism () =
+  let trace cfg =
+    let s = Iosched.create cfg in
+    List.map
+      (fun (now, cls, cost) ->
+        Iosched.schedule s ~now:(uss now) ~cls ~cost:(uss cost) ~blocks:1)
+      [ (0, Iosched.Flush, 400); (0, Iosched.Foreground, 10);
+        (50, Iosched.Background, 200); (120, Iosched.Foreground, 10);
+        (300, Iosched.Deadline, 30); (400, Iosched.Foreground, 15) ]
+  in
+  List.iter
+    (fun cfg ->
+      let a = trace cfg and b = trace cfg in
+      check_bool "identical submissions, identical schedule" true (a = b))
+    [ Iosched.Fifo; Iosched.default_wdrr; wdrr_1_4 ]
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -640,6 +798,25 @@ let () =
             test_fault_corruption_alters_payload;
           Alcotest.test_case "write retries charge time" `Quick
             test_fault_write_retry_charges_time;
+        ] );
+      ( "iosched",
+        [
+          Alcotest.test_case "fifo is the legacy queue" `Quick
+            test_iosched_fifo_is_legacy_queue;
+          Alcotest.test_case "wdrr paces bulk service" `Quick
+            test_iosched_wdrr_paces_bulk;
+          Alcotest.test_case "foreground fills reserved gaps" `Quick
+            test_iosched_wdrr_gap_fill;
+          Alcotest.test_case "unused gaps expire" `Quick
+            test_iosched_wdrr_gap_expiry;
+          Alcotest.test_case "deadline bypasses pacing" `Quick
+            test_iosched_deadline_not_paced;
+          Alcotest.test_case "reset clears the schedule" `Quick
+            test_iosched_reset_clears_schedule;
+          Alcotest.test_case "read overtakes a flush batch" `Quick
+            test_iosched_blockdev_read_overtakes_flush;
+          Alcotest.test_case "schedule is deterministic" `Quick
+            test_iosched_determinism;
         ] );
       ( "netlink",
         [

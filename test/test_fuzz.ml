@@ -19,6 +19,14 @@ open Aurora_sls
 let () =
   Program.register ~name:"fuzz/parked" (fun _ _ _ -> Program.Block Thread.Wait_forever)
 
+(* The nightly CI job runs these suites at a multiple of the default
+   case counts (AURORA_FUZZ_FACTOR=10) without a separate build; any
+   failing seed reproduces locally by exporting the same factor. *)
+let fuzz_count n =
+  match Option.bind (Sys.getenv_opt "AURORA_FUZZ_FACTOR") int_of_string_opt with
+  | Some f when f > 0 -> n * f
+  | _ -> n
+
 (* ------------------------------------------------------------------ *)
 (* Operations                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -228,7 +236,7 @@ let rebind s p' = { s with p = p' }
 
 let prop_random_history_survives_crash =
   QCheck.Test.make ~name:"random syscall histories survive checkpoint+crash+restore"
-    ~count:40 ops_arbitrary (fun ops ->
+    ~count:(fuzz_count 40) ops_arbitrary (fun ops ->
       (* Reference execution: never interrupted. *)
       let ref_s = fresh_session () in
       List.iter (apply_op ref_s) ops;
@@ -254,7 +262,7 @@ let prop_random_history_survives_crash =
 
 let prop_random_history_survives_rollback_replay =
   QCheck.Test.make
-    ~name:"rollback + deterministic re-execution reproduces the same state" ~count:20
+    ~name:"rollback + deterministic re-execution reproduces the same state" ~count:(fuzz_count 20)
     QCheck.(
       pair ops_arbitrary
         (QCheck.make QCheck.Gen.(list_size (int_range 1 20) op_gen)
@@ -336,7 +344,7 @@ let prop_crash_at_random_instant_recovers_a_checkpoint =
      a store that passes fsck and restores to EXACTLY the state one of
      the committed checkpoints captured — never a torn hybrid. *)
   QCheck.Test.make ~name:"random-instant crashes recover exactly one checkpoint's state"
-    ~count:30
+    ~count:(fuzz_count 30)
     QCheck.(pair (int_range 1 40) (int_range 0 2_000))
     (fun (run_ms_tenths, extra_us) ->
       let m = Machine.create () in
@@ -414,7 +422,7 @@ let prop_pipelined_crashes_expose_committed_prefix =
   let open Aurora_simtime in
   QCheck.Test.make
     ~name:"pipelined crashes recover a committed prefix of generations"
-    ~count:30
+    ~count:(fuzz_count 30)
     QCheck.(triple (int_range 1 60) (int_range 0 2_000) bool)
     (fun (run_tenths, extra_us, with_faults) ->
       let faults =
@@ -526,7 +534,7 @@ let prop_faulty_media_never_serves_wrong_data =
   let open Aurora_device in
   QCheck.Test.make
     ~name:"random media faults: committed data is bit-exact or reported lost"
-    ~count:30
+    ~count:(fuzz_count 30)
     QCheck.(triple (int_range 0 1_000_000) (int_range 0 3) (int_range 2 4))
     (fun (case_seed, rate_idx, cycles) ->
       let rate = [| 0.; 1e-4; 1e-3; 1e-2 |].(rate_idx) in
@@ -641,7 +649,7 @@ let prop_replication_converges_under_network_faults =
   let open Aurora_device in
   QCheck.Test.make
     ~name:"random network faults: standby converges, never corrupt, failover replays"
-    ~count:20
+    ~count:(fuzz_count 20)
     QCheck.(triple (int_range 0 1_000_000) (int_range 0 3) (int_range 3 6))
     (fun (case_seed, severity, ckpts) ->
       let drop, dup, reorder, corrupt =
@@ -820,7 +828,7 @@ let prop_forensics_postmortem_matches_ground_truth =
   let open Aurora_device in
   QCheck.Test.make
     ~name:"random crash instants: postmortem pending/unacked match ground truth"
-    ~count:25
+    ~count:(fuzz_count 25)
     QCheck.(triple (int_range 1 50) (int_range 0 2_000) (int_range 0 2))
     (fun (run_tenths, extra_us, mode) ->
       (* mode 0: plain crash + recover (window 2); mode 1: deep
